@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the cryptographic primitives the ORAM
+//! controller is built on (AES-128 for the PRF and bucket encryption,
+//! SHA3-224 for PMMAC).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use oram_crypto::ctr::CtrKeystream;
+use oram_crypto::mac::MacKey;
+use oram_crypto::prf::{AesPrf, Prf};
+use oram_crypto::sha3::Sha3_224;
+use oram_crypto::Aes128;
+
+fn bench_aes_block(c: &mut Criterion) {
+    let aes = Aes128::new([7u8; 16]);
+    let mut group = c.benchmark_group("crypto/aes128");
+    group.throughput(Throughput::Bytes(16));
+    group.bench_function("encrypt_block", |b| {
+        let mut block = [0u8; 16];
+        b.iter(|| {
+            block = aes.encrypt_block(block);
+            block
+        });
+    });
+    group.finish();
+}
+
+fn bench_ctr_bucket(c: &mut Criterion) {
+    // One 320-byte bucket (Z = 4, 64-byte blocks) — the unit of bucket
+    // encryption in the backend.
+    let ks = CtrKeystream::new([3u8; 16]);
+    let mut group = c.benchmark_group("crypto/ctr");
+    group.throughput(Throughput::Bytes(320));
+    group.bench_function("seal_bucket_320B", |b| {
+        b.iter_batched(
+            || vec![0xA5u8; 320],
+            |mut bucket| {
+                ks.apply(42, &mut bucket);
+                bucket
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_prf_leaf(c: &mut Criterion) {
+    let prf = AesPrf::new([1u8; 16]);
+    c.bench_function("crypto/prf_leaf_for", |b| {
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            prf.leaf_for(12345, counter, 25)
+        });
+    });
+}
+
+fn bench_sha3_and_mac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto/sha3");
+    group.throughput(Throughput::Bytes(64));
+    group.bench_function("sha3_224_64B", |b| {
+        let data = [0x5Au8; 64];
+        b.iter(|| Sha3_224::digest(&data));
+    });
+    let key = MacKey::new([9u8; 16]);
+    group.bench_function("pmmac_mac_64B_block", |b| {
+        let data = [0x5Au8; 64];
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter += 1;
+            key.compute(counter, 77, &data)
+        });
+    });
+    group.finish();
+}
+
+fn quick_config() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = quick_config();
+    targets = bench_aes_block, bench_ctr_bucket, bench_prf_leaf, bench_sha3_and_mac
+}
+criterion_main!(benches);

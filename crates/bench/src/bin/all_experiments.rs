@@ -1,0 +1,13 @@
+//! Runs every experiment driver in sequence and prints all tables/figures.
+fn main() {
+    let scale = bench::scale_from_args();
+    println!("{}", oram_sim::experiments::fig3::run().render());
+    println!("{}", oram_sim::experiments::table2::run(50).render());
+    println!("{}", oram_sim::experiments::fig5::run(scale).render());
+    println!("{}", oram_sim::experiments::fig6::run(scale).render());
+    println!("{}", oram_sim::experiments::fig7::run(scale).render());
+    println!("{}", oram_sim::experiments::fig8::run(scale).render());
+    println!("{}", oram_sim::experiments::fig9::run(scale).render());
+    println!("{}", oram_sim::experiments::table3::run().render());
+    println!("{}", oram_sim::experiments::hash_bandwidth::run(1000).render());
+}

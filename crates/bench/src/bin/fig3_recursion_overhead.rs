@@ -1,0 +1,4 @@
+//! Regenerates Figure 3: % of bytes from PosMap ORAMs vs ORAM capacity.
+fn main() {
+    println!("{}", oram_sim::experiments::fig3::run().render());
+}

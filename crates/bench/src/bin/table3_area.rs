@@ -1,0 +1,4 @@
+//! Regenerates Table 3: the post-synthesis area breakdown and 7.2.3 alternatives.
+fn main() {
+    println!("{}", oram_sim::experiments::table3::run().render());
+}

@@ -1,0 +1,277 @@
+//! Configuration for the Freecursive ORAM controller.
+//!
+//! The paper names its design points with the letters **P** (PLB), **I**
+//! (integrity / PMMAC) and **C** (compressed PosMap) followed by the PosMap
+//! block fan-out X (§7.1.4).  The presets below reproduce those points:
+//!
+//! | Preset       | PLB | PMMAC | Compressed | X (64 B blocks) |
+//! |--------------|-----|-------|------------|-----------------|
+//! | `R_X8`       | –   | –     | –          | 8 (baseline Recursive ORAM) |
+//! | `P_X16`      | ✓   | –     | –          | 16 |
+//! | `PC_X32`     | ✓   | –     | ✓          | 32 |
+//! | `PI_X8`      | ✓   | ✓     | –          | 8 (flat 64-bit counters) |
+//! | `PIC_X32`    | ✓   | ✓     | ✓          | 32 |
+
+use crate::error::ConfigError;
+use path_oram::EncryptionMode;
+use posmap::compressed::{CompressedPosMapBlock, DEFAULT_ALPHA, DEFAULT_BETA};
+use serde::{Deserialize, Serialize};
+
+/// How PosMap blocks represent the leaves of the blocks they cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PosMapFormat {
+    /// X raw leaf labels per block (4 bytes each); leaves drawn uniformly at
+    /// random on every remap.  The baseline format (§3.2).
+    UncompressedLeaves,
+    /// X flat 64-bit access counters per block; leaves derived via the PRF.
+    /// Required by PMMAC when compression is disabled (§6.2.2, PI_X8).
+    FlatCounters,
+    /// The compressed format of §5.2: an α-bit group counter plus X β-bit
+    /// individual counters; leaves derived via the PRF.
+    Compressed {
+        /// Group-counter width in bits.
+        alpha: u32,
+        /// Individual-counter width in bits.
+        beta: u32,
+    },
+}
+
+impl PosMapFormat {
+    /// The default compressed format (α = 64, β = 14, §5.3).
+    pub fn compressed_default() -> Self {
+        PosMapFormat::Compressed {
+            alpha: DEFAULT_ALPHA,
+            beta: DEFAULT_BETA,
+        }
+    }
+
+    /// Whether leaves are derived from counters through the PRF (rather than
+    /// stored explicitly).
+    pub fn uses_prf(&self) -> bool {
+        !matches!(self, PosMapFormat::UncompressedLeaves)
+    }
+
+    /// Largest power-of-two X that fits in a PosMap block of `block_bytes`
+    /// bytes under this format (the paper restricts X to powers of two to
+    /// keep address translation simple, §5.3 footnote).
+    pub fn max_x(&self, block_bytes: usize) -> u64 {
+        let raw = match self {
+            PosMapFormat::UncompressedLeaves => block_bytes / 4,
+            PosMapFormat::FlatCounters => block_bytes / 8,
+            PosMapFormat::Compressed { alpha, beta } => {
+                CompressedPosMapBlock::max_x_for_block(block_bytes, *alpha, *beta)
+            }
+        };
+        if raw == 0 {
+            0
+        } else {
+            1u64 << (63 - (raw as u64).leading_zeros())
+        }
+    }
+}
+
+/// Full configuration of a Freecursive ORAM controller instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FreecursiveConfig {
+    /// Number of data blocks the ORAM must hold (N).
+    pub num_blocks: u64,
+    /// Data block size in bytes (B), typically the LLC line size.
+    pub block_bytes: usize,
+    /// Slots per bucket (Z).
+    pub z: usize,
+    /// PosMap block format.
+    pub posmap_format: PosMapFormat,
+    /// Explicit X override; `None` derives the largest power-of-two X that
+    /// fits the block.
+    pub x_override: Option<u64>,
+    /// Enable PMMAC integrity verification (§6).
+    pub pmmac: bool,
+    /// PLB capacity in bytes (0 disables the PLB entirely — every access
+    /// walks the full recursion, still over the unified tree).
+    pub plb_capacity_bytes: usize,
+    /// PLB associativity (1 = direct-mapped, the paper's default §7.1.3).
+    pub plb_associativity: usize,
+    /// On-chip PosMap capacity in entries.
+    pub onchip_entries: u64,
+    /// Bucket encryption discipline.
+    pub encryption: EncryptionMode,
+    /// Stash capacity in blocks.
+    pub stash_capacity: usize,
+    /// Seed for deterministic key and leaf generation.
+    pub seed: u64,
+}
+
+impl Default for FreecursiveConfig {
+    fn default() -> Self {
+        Self::pc_x32(1 << 20, 64)
+    }
+}
+
+impl FreecursiveConfig {
+    fn base(num_blocks: u64, block_bytes: usize) -> Self {
+        Self {
+            num_blocks,
+            block_bytes,
+            z: 4,
+            posmap_format: PosMapFormat::compressed_default(),
+            x_override: None,
+            pmmac: false,
+            plb_capacity_bytes: 64 << 10,
+            plb_associativity: 1,
+            onchip_entries: (8 << 10) / 8,
+            encryption: EncryptionMode::GlobalSeed,
+            stash_capacity: path_oram::params::DEFAULT_STASH_CAPACITY,
+            seed: 1,
+        }
+    }
+
+    /// The paper's `PC_X32` design point: PLB + compressed PosMap, no
+    /// integrity (§7.1.4).
+    pub fn pc_x32(num_blocks: u64, block_bytes: usize) -> Self {
+        Self::base(num_blocks, block_bytes)
+    }
+
+    /// The paper's `P_X16` design point: PLB with uncompressed PosMap blocks.
+    pub fn p_x16(num_blocks: u64, block_bytes: usize) -> Self {
+        Self {
+            posmap_format: PosMapFormat::UncompressedLeaves,
+            ..Self::base(num_blocks, block_bytes)
+        }
+    }
+
+    /// The paper's `PI_X8` design point: PLB + PMMAC with flat 64-bit
+    /// counters (no compression).
+    pub fn pi_x8(num_blocks: u64, block_bytes: usize) -> Self {
+        Self {
+            posmap_format: PosMapFormat::FlatCounters,
+            pmmac: true,
+            ..Self::base(num_blocks, block_bytes)
+        }
+    }
+
+    /// The paper's `PIC_X32` design point: PLB + compressed PosMap + PMMAC —
+    /// the complete Freecursive ORAM.
+    pub fn pic_x32(num_blocks: u64, block_bytes: usize) -> Self {
+        Self {
+            pmmac: true,
+            ..Self::base(num_blocks, block_bytes)
+        }
+    }
+
+    /// Sets the PLB capacity in bytes.
+    pub fn with_plb_capacity(mut self, bytes: usize) -> Self {
+        self.plb_capacity_bytes = bytes;
+        self
+    }
+
+    /// Sets the on-chip PosMap capacity in entries.
+    pub fn with_onchip_entries(mut self, entries: u64) -> Self {
+        self.onchip_entries = entries;
+        self
+    }
+
+    /// Sets the RNG/key seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the bucket encryption mode.
+    pub fn with_encryption(mut self, mode: EncryptionMode) -> Self {
+        self.encryption = mode;
+        self
+    }
+
+    /// Overrides X explicitly.
+    pub fn with_x(mut self, x: u64) -> Self {
+        self.x_override = Some(x);
+        self
+    }
+
+    /// The PosMap fan-out X in effect.
+    pub fn x(&self) -> u64 {
+        self.x_override
+            .unwrap_or_else(|| self.posmap_format.max_x(self.block_bytes))
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when parameters are inconsistent: PMMAC with
+    /// the uncompressed-leaf format, an X that does not fit the block, or
+    /// degenerate sizes.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.num_blocks == 0 || self.block_bytes == 0 || self.z == 0 {
+            return Err(ConfigError::Degenerate);
+        }
+        if self.pmmac && self.posmap_format == PosMapFormat::UncompressedLeaves {
+            return Err(ConfigError::PmmacNeedsCounters);
+        }
+        let x = self.x();
+        if x < 2 {
+            return Err(ConfigError::XTooSmall { x });
+        }
+        let max = self.posmap_format.max_x(self.block_bytes);
+        if x > max {
+            return Err(ConfigError::XTooLarge { x, max });
+        }
+        if self.onchip_entries == 0 {
+            return Err(ConfigError::Degenerate);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_x_values_for_64_byte_blocks() {
+        assert_eq!(FreecursiveConfig::p_x16(1 << 20, 64).x(), 16);
+        assert_eq!(FreecursiveConfig::pc_x32(1 << 20, 64).x(), 32);
+        assert_eq!(FreecursiveConfig::pi_x8(1 << 20, 64).x(), 8);
+        assert_eq!(FreecursiveConfig::pic_x32(1 << 20, 64).x(), 32);
+    }
+
+    #[test]
+    fn compressed_x_doubles_with_128_byte_blocks() {
+        // PC_X64 in §7.1.5.
+        assert_eq!(FreecursiveConfig::pc_x32(1 << 20, 128).x(), 64);
+    }
+
+    #[test]
+    fn validation_accepts_presets() {
+        for cfg in [
+            FreecursiveConfig::p_x16(1 << 16, 64),
+            FreecursiveConfig::pc_x32(1 << 16, 64),
+            FreecursiveConfig::pi_x8(1 << 16, 64),
+            FreecursiveConfig::pic_x32(1 << 16, 64),
+        ] {
+            assert!(cfg.validate().is_ok(), "{cfg:?}");
+        }
+    }
+
+    #[test]
+    fn pmmac_with_uncompressed_leaves_is_rejected() {
+        let cfg = FreecursiveConfig {
+            pmmac: true,
+            ..FreecursiveConfig::p_x16(1 << 16, 64)
+        };
+        assert_eq!(cfg.validate(), Err(ConfigError::PmmacNeedsCounters));
+    }
+
+    #[test]
+    fn oversized_x_override_is_rejected() {
+        let cfg = FreecursiveConfig::pc_x32(1 << 16, 64).with_x(1 << 20);
+        assert!(matches!(cfg.validate(), Err(ConfigError::XTooLarge { .. })));
+    }
+
+    #[test]
+    fn format_prf_usage() {
+        assert!(!PosMapFormat::UncompressedLeaves.uses_prf());
+        assert!(PosMapFormat::FlatCounters.uses_prf());
+        assert!(PosMapFormat::compressed_default().uses_prf());
+    }
+}

@@ -1,0 +1,56 @@
+//! Frontend-level errors (configuration problems); runtime ORAM errors are
+//! [`path_oram::OramError`].
+
+use serde::{Deserialize, Serialize};
+
+/// Errors detected while validating a [`crate::FreecursiveConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A size parameter was zero.
+    Degenerate,
+    /// PMMAC requires counter-based PosMap formats (flat counters or the
+    /// compressed format, §6.2.2).
+    PmmacNeedsCounters,
+    /// The requested X is smaller than 2.
+    XTooSmall {
+        /// The offending X.
+        x: u64,
+    },
+    /// The requested X does not fit in the PosMap block.
+    XTooLarge {
+        /// The offending X.
+        x: u64,
+        /// The largest X the block can hold.
+        max: u64,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::Degenerate => write!(f, "a size parameter was zero"),
+            ConfigError::PmmacNeedsCounters => {
+                write!(f, "pmmac requires a counter-based posmap format")
+            }
+            ConfigError::XTooSmall { x } => write!(f, "x = {x} is too small (minimum 2)"),
+            ConfigError::XTooLarge { x, max } => {
+                write!(f, "x = {x} does not fit in the posmap block (maximum {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ConfigError::XTooLarge { x: 99, max: 32 }
+            .to_string()
+            .contains("99"));
+    }
+}

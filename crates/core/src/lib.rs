@@ -1,0 +1,71 @@
+//! # Freecursive ORAM
+//!
+//! A faithful algorithmic reproduction of **"Freecursive ORAM: [Nearly] Free
+//! Recursion and Integrity Verification for Position-based Oblivious RAM"**
+//! (Fletcher, Ren, Kwon, van Dijk, Devadas — ASPLOS 2015).
+//!
+//! The paper's contribution is an ORAM *frontend* — the logic that manages
+//! the Position Map (PosMap) — consisting of three mechanisms:
+//!
+//! 1. the **PosMap Lookaside Buffer (PLB)** plus a **unified ORAM tree**,
+//!    which exploit program address locality to skip most Recursive-ORAM
+//!    PosMap accesses without leaking the access pattern (§4);
+//! 2. the **compressed PosMap**, which replaces stored leaves with a group
+//!    counter and per-block individual counters fed through a PRF, doubling
+//!    the PosMap fan-out X and improving the construction asymptotically
+//!    (§5);
+//! 3. **PosMap MAC (PMMAC)**, which reuses those counters as the
+//!    non-repeating nonces of a replay-resistant MAC, giving integrity
+//!    verification that hashes only the block of interest instead of a whole
+//!    Merkle path (§6).
+//!
+//! This crate contains the functional controller: [`FreecursiveOram`] (the
+//! PLB/compressed/PMMAC frontend over a real Path ORAM backend) and
+//! [`RecursiveOram`] (the `R_X8` baseline of the evaluation).  The scalable
+//! trace-driven *timing* simulator that regenerates the paper's figures lives
+//! in the `oram-sim` crate; the Path ORAM backend substrate in `path-oram`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use freecursive::{FreecursiveConfig, FreecursiveOram, Oram};
+//!
+//! # fn main() -> Result<(), path_oram::OramError> {
+//! // A 64 MB ORAM (2^20 blocks of 64 bytes) with the full PIC_X32 design.
+//! let config = FreecursiveConfig::pic_x32(1 << 12, 64);
+//! let mut oram = FreecursiveOram::new(config)?;
+//!
+//! oram.write(1000, &vec![42u8; 64])?;
+//! assert_eq!(oram.read(1000)?, vec![42u8; 64]);
+//!
+//! // The stats expose exactly the quantities the paper evaluates.
+//! println!("posmap fraction of traffic: {:?}",
+//!          oram.stats().posmap_bandwidth_fraction());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod analysis;
+pub mod config;
+pub mod error;
+pub mod frontend;
+pub mod payload;
+pub mod recursive;
+pub mod stats;
+pub mod traits;
+
+pub use adversary::Adversary;
+pub use analysis::AsymptoticParams;
+pub use config::{FreecursiveConfig, PosMapFormat};
+pub use error::ConfigError;
+pub use frontend::FreecursiveOram;
+pub use recursive::{RecursiveOram, RecursiveOramConfig};
+pub use stats::FrontendStats;
+pub use traits::Oram;
+
+// Re-export the substrate types callers commonly need alongside the frontend.
+pub use path_oram::{EncryptionMode, OramError};

@@ -1,0 +1,369 @@
+//! The baseline Recursive ORAM frontend (Shi et al. [30], as optimised by Ren
+//! et al. [26]) — the `R_X8` comparison point of the evaluation.
+//!
+//! Each PosMap level lives in its **own** ORAM tree; a single data access
+//! walks the on-chip PosMap, then every PosMap ORAM from the smallest down to
+//! ORAM 1, and finally the Data ORAM (§3.2) — `H` full path accesses in
+//! total, independent of program locality.  This is the overhead the PLB is
+//! designed to remove.
+
+use crate::stats::FrontendStats;
+use crate::traits::Oram;
+use path_oram::{
+    AccessOp, EncryptionMode, OramBackend, OramError, OramParams, PathOramBackend,
+};
+use posmap::addressing::RecursionAddressing;
+use posmap::onchip::{OnChipEntryKind, OnChipPosMap};
+use posmap::UncompressedPosMapBlock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the baseline Recursive ORAM.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecursiveOramConfig {
+    /// Number of data blocks (N).
+    pub num_blocks: u64,
+    /// Data block size in bytes (the LLC line size).
+    pub data_block_bytes: usize,
+    /// PosMap ORAM block size in bytes; [26] uses 32 bytes, giving X = 8.
+    pub posmap_block_bytes: usize,
+    /// Slots per bucket.
+    pub z: usize,
+    /// On-chip PosMap capacity in entries.
+    pub onchip_entries: u64,
+    /// Bucket encryption discipline for every tree.
+    pub encryption: EncryptionMode,
+    /// RNG seed for deterministic leaf generation.
+    pub seed: u64,
+}
+
+impl RecursiveOramConfig {
+    /// The paper's `R_X8` baseline: 32-byte PosMap ORAM blocks (X = 8)
+    /// following [26].
+    pub fn r_x8(num_blocks: u64, data_block_bytes: usize) -> Self {
+        Self {
+            num_blocks,
+            data_block_bytes,
+            posmap_block_bytes: 32,
+            z: 4,
+            onchip_entries: (8 << 10) / 4,
+            encryption: EncryptionMode::GlobalSeed,
+            seed: 1,
+        }
+    }
+
+    /// Sets the on-chip PosMap capacity in entries.
+    pub fn with_onchip_entries(mut self, entries: u64) -> Self {
+        self.onchip_entries = entries;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Leaves per PosMap block (X).
+    pub fn x(&self) -> u64 {
+        (self.posmap_block_bytes / posmap::uncompressed::LEAF_ENTRY_BYTES) as u64
+    }
+}
+
+/// The baseline Recursive Path ORAM controller: one ORAM tree per recursion
+/// level, uncompressed PosMap blocks, no PLB, no integrity.
+///
+/// # Examples
+///
+/// ```
+/// use freecursive::recursive::{RecursiveOram, RecursiveOramConfig};
+/// use freecursive::Oram;
+///
+/// # fn main() -> Result<(), path_oram::OramError> {
+/// let mut oram = RecursiveOram::new(RecursiveOramConfig::r_x8(1 << 12, 64))?;
+/// oram.write(5, &vec![0xAA; 64])?;
+/// assert_eq!(oram.read(5)?, vec![0xAA; 64]);
+/// // Every request walked all H ORAMs.
+/// let h = oram.num_levels() as u64;
+/// assert_eq!(oram.stats().total_backend_accesses(), 2 * h);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct RecursiveOram {
+    config: RecursiveOramConfig,
+    rec: RecursionAddressing,
+    /// Index 0 is the Data ORAM; index `i ≥ 1` is PosMap ORAM `i`.
+    backends: Vec<PathOramBackend>,
+    onchip: OnChipPosMap,
+    rng: StdRng,
+    stats: FrontendStats,
+}
+
+impl RecursiveOram {
+    /// Builds the controller, allocating one ORAM tree per recursion level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend construction errors.
+    pub fn new(config: RecursiveOramConfig) -> Result<Self, OramError> {
+        let rec = RecursionAddressing::new(config.num_blocks, config.x(), config.onchip_entries);
+        let mut backends = Vec::new();
+        for level in 0..rec.num_levels() {
+            let block_bytes = if level == 0 {
+                config.data_block_bytes
+            } else {
+                config.posmap_block_bytes
+            };
+            let params = OramParams::new(rec.blocks_at_level(level), block_bytes, config.z);
+            let mut key = [0u8; 16];
+            key[..8].copy_from_slice(&config.seed.to_le_bytes());
+            key[8..].copy_from_slice(&u64::from(level).to_le_bytes());
+            backends.push(PathOramBackend::new(
+                params,
+                config.encryption,
+                key,
+                config.seed,
+            )?);
+        }
+        let mut onchip = OnChipPosMap::new(rec.required_onchip_entries(), OnChipEntryKind::Leaf);
+        // A deployed ORAM is initialised with every block mapped to a uniform
+        // random leaf (§3.1).  Emulate that here: zero-initialised entries
+        // would send every first-touch access down path 0, which both leaks
+        // and overloads that one path.
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed_5a17);
+        let top_leaves = backends[(rec.num_levels() - 1) as usize]
+            .params()
+            .num_leaves();
+        for i in 0..onchip.len() as u64 {
+            onchip.set(i, rng.gen_range(0..top_leaves));
+        }
+        Ok(Self {
+            rng,
+            config,
+            rec,
+            backends,
+            onchip,
+            stats: FrontendStats::default(),
+        })
+    }
+
+    /// Number of ORAMs in the recursion (H).
+    pub fn num_levels(&self) -> u32 {
+        self.rec.num_levels()
+    }
+
+    /// The recursion addressing in use.
+    pub fn addressing(&self) -> &RecursionAddressing {
+        &self.rec
+    }
+
+    /// Per-level backends (diagnostics; index 0 is the Data ORAM).
+    pub fn backend(&self, level: u32) -> &PathOramBackend {
+        &self.backends[level as usize]
+    }
+
+    fn random_leaf(&mut self, level: u32) -> u64 {
+        let leaves = self.backends[level as usize].params().num_leaves();
+        self.rng.gen_range(0..leaves)
+    }
+
+    fn access(
+        &mut self,
+        addr: u64,
+        op: AccessOp,
+        data: Option<&[u8]>,
+    ) -> Result<Option<Vec<u8>>, OramError> {
+        if addr >= self.config.num_blocks {
+            return Err(OramError::AddressOutOfRange {
+                addr,
+                capacity: self.config.num_blocks,
+            });
+        }
+        self.stats.frontend_requests += 1;
+        let h = self.rec.num_levels();
+        let x = self.rec.x();
+
+        // Root of the walk: the on-chip PosMap holds the leaf of the level
+        // H-1 block covering `addr`.
+        let top = h - 1;
+        let top_addr = self.rec.posmap_block_addr(top, addr);
+        let mut cur_leaf = self.onchip.get(top_addr);
+        let mut new_leaf = self.random_leaf(top);
+        self.onchip.set(top_addr, new_leaf);
+
+        // Walk PosMap ORAMs H-1 .. 1 (a "page table walk", §3.2).
+        for level in (1..=top).rev() {
+            let a_i = self.rec.posmap_block_addr(level, addr);
+            let bytes = self.backends[level as usize]
+                .access(AccessOp::ReadRmv, a_i, cur_leaf, 0, None)?
+                .expect("readrmv returns data");
+            let mut block = if bytes.iter().all(|&b| b == 0) {
+                // A never-written PosMap block: in a deployed system its
+                // entries would have been initialised to random leaves; do
+                // that now so children are spread over the whole tree.
+                let mut fresh = UncompressedPosMapBlock::new(x as usize);
+                let child_leaves = self.backends[(level - 1) as usize].params().num_leaves();
+                for j in 0..x as usize {
+                    fresh.set_leaf(j, self.rng.gen_range(0..child_leaves));
+                }
+                fresh
+            } else {
+                UncompressedPosMapBlock::from_bytes(&bytes, x as usize)
+            };
+            let entry = self.rec.entry_index(level, addr);
+            let child_cur_leaf = block.leaf(entry);
+            let child_new_leaf = self.random_leaf(level - 1);
+            block.set_leaf(entry, child_new_leaf);
+            let serialized = block.to_bytes(self.config.posmap_block_bytes);
+            self.backends[level as usize].access(
+                AccessOp::Append,
+                a_i,
+                0,
+                new_leaf,
+                Some(&serialized),
+            )?;
+            let access_bytes = self.backends[level as usize].params().access_bytes();
+            self.stats.posmap_backend_accesses += 1;
+            self.stats.posmap_bytes_moved += access_bytes;
+            self.stats.appends += 1;
+            cur_leaf = child_cur_leaf;
+            new_leaf = child_new_leaf;
+        }
+
+        // Finally the Data ORAM access.
+        let result = self.backends[0].access(op, addr, cur_leaf, new_leaf, data)?;
+        self.stats.data_backend_accesses += 1;
+        self.stats.data_bytes_moved += self.backends[0].params().access_bytes();
+        Ok(result)
+    }
+}
+
+impl Oram for RecursiveOram {
+    fn block_bytes(&self) -> usize {
+        self.config.data_block_bytes
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.config.num_blocks
+    }
+
+    fn read(&mut self, addr: u64) -> Result<Vec<u8>, OramError> {
+        Ok(self
+            .access(addr, AccessOp::Read, None)?
+            .expect("read returns data"))
+    }
+
+    fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), OramError> {
+        self.access(addr, AccessOp::Write, Some(data))?;
+        Ok(())
+    }
+
+    fn stats(&self) -> &FrontendStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = FrontendStats::default();
+        for b in &mut self.backends {
+            b.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_oram() -> RecursiveOram {
+        // Small on-chip PosMap to force several levels of recursion.
+        let cfg = RecursiveOramConfig {
+            onchip_entries: 16,
+            ..RecursiveOramConfig::r_x8(1 << 12, 64)
+        };
+        RecursiveOram::new(cfg).unwrap()
+    }
+
+    #[test]
+    fn recursion_depth_matches_formula() {
+        let oram = small_oram();
+        // N = 2^12, X = 8, p = 16: H = ceil(log(2^12/16)/log 8) + 1 = 3 + 1.
+        assert_eq!(oram.num_levels(), 4);
+    }
+
+    #[test]
+    fn write_read_roundtrip_across_many_blocks() {
+        let mut oram = small_oram();
+        for addr in (0..64u64).step_by(7) {
+            let data = vec![addr as u8; 64];
+            oram.write(addr, &data).unwrap();
+        }
+        for addr in (0..64u64).step_by(7) {
+            assert_eq!(oram.read(addr).unwrap(), vec![addr as u8; 64]);
+        }
+    }
+
+    #[test]
+    fn every_request_walks_all_levels() {
+        let mut oram = small_oram();
+        let h = u64::from(oram.num_levels());
+        for addr in 0..20u64 {
+            oram.read(addr).unwrap();
+        }
+        assert_eq!(oram.stats().frontend_requests, 20);
+        assert_eq!(oram.stats().data_backend_accesses, 20);
+        assert_eq!(oram.stats().posmap_backend_accesses, 20 * (h - 1));
+        assert_eq!(
+            oram.stats().backend_accesses_per_request(),
+            Some(h as f64)
+        );
+    }
+
+    #[test]
+    fn posmap_bandwidth_fraction_is_substantial() {
+        // The motivation for the whole paper (Figure 3): with small blocks a
+        // large fraction of bytes moved belongs to PosMap ORAMs.
+        let mut oram = small_oram();
+        for addr in 0..50u64 {
+            oram.read(addr % 100).unwrap();
+        }
+        let frac = oram.stats().posmap_bandwidth_fraction().unwrap();
+        assert!(frac > 0.2, "posmap fraction {frac}");
+    }
+
+    #[test]
+    fn random_workload_is_consistent_with_reference_model() {
+        let mut oram = small_oram();
+        let n = 256u64;
+        let mut reference: Vec<Option<Vec<u8>>> = vec![None; n as usize];
+        let mut rng = StdRng::seed_from_u64(7);
+        for i in 0..1500u32 {
+            let addr = rng.gen_range(0..n);
+            if rng.gen_bool(0.5) {
+                let mut data = vec![0u8; 64];
+                rng.fill(&mut data[..]);
+                data[0] = i as u8;
+                oram.write(addr, &data).unwrap();
+                reference[addr as usize] = Some(data);
+            } else {
+                let got = oram.read(addr).unwrap();
+                match &reference[addr as usize] {
+                    Some(expected) => assert_eq!(&got, expected),
+                    None => assert_eq!(got, vec![0u8; 64]),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_address_is_rejected() {
+        let mut oram = small_oram();
+        assert!(matches!(
+            oram.read(1 << 12),
+            Err(OramError::AddressOutOfRange { .. })
+        ));
+    }
+}

@@ -1,0 +1,131 @@
+//! Frontend statistics: the quantities the paper's figures are built from.
+
+use posmap::PlbStats;
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a Freecursive (or baseline Recursive) frontend.
+///
+/// The evaluation figures are all derived from these: Figure 6/8 from the
+/// backend-access counts (latency), Figure 7 from the byte counters, §6.3
+/// from the hash counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FrontendStats {
+    /// Requests received from the LLC (each is one `read` or `write`).
+    pub frontend_requests: u64,
+    /// Backend path accesses made for the data block itself (level 0).
+    pub data_backend_accesses: u64,
+    /// Backend path accesses made for PosMap blocks (levels ≥ 1), including
+    /// the baseline design's PosMap-ORAM accesses.
+    pub posmap_backend_accesses: u64,
+    /// Backend path accesses made to remap sibling blocks after a group
+    /// counter overflow (§5.2.2).
+    pub group_remap_accesses: u64,
+    /// Number of group-counter overflow events.
+    pub group_remaps: u64,
+    /// Appends issued (PLB evictions and block-of-interest write-backs).
+    pub appends: u64,
+    /// Bytes moved to/from untrusted memory for data-block path accesses.
+    pub data_bytes_moved: u64,
+    /// Bytes moved for PosMap-related path accesses (PosMap blocks and group
+    /// remaps).  The white regions of Figures 7 and 8.
+    pub posmap_bytes_moved: u64,
+    /// MAC verifications performed (PMMAC).
+    pub macs_verified: u64,
+    /// MAC computations performed for write-back (PMMAC).
+    pub macs_computed: u64,
+    /// Hashes a Merkle-tree scheme ([25]) would have needed over the same
+    /// trace: one per bucket on every path touched.  Basis of the ≥68×
+    /// hash-bandwidth claim (§6.3).
+    pub merkle_equivalent_hashes: u64,
+    /// Integrity violations detected.
+    pub integrity_violations: u64,
+    /// PLB statistics (zero for the baseline design).
+    pub plb: PlbStats,
+}
+
+impl FrontendStats {
+    /// Total backend path accesses of any kind.
+    pub fn total_backend_accesses(&self) -> u64 {
+        self.data_backend_accesses + self.posmap_backend_accesses + self.group_remap_accesses
+    }
+
+    /// Total bytes moved to/from untrusted memory.
+    pub fn total_bytes_moved(&self) -> u64 {
+        self.data_bytes_moved + self.posmap_bytes_moved
+    }
+
+    /// Fraction of moved bytes attributable to PosMap management (the metric
+    /// of Figure 3 and the white regions of Figure 7).
+    pub fn posmap_bandwidth_fraction(&self) -> Option<f64> {
+        let total = self.total_bytes_moved();
+        if total == 0 {
+            None
+        } else {
+            Some(self.posmap_bytes_moved as f64 / total as f64)
+        }
+    }
+
+    /// Average bytes moved per frontend request (the y-axis of Figure 7).
+    pub fn bytes_per_request(&self) -> Option<f64> {
+        if self.frontend_requests == 0 {
+            None
+        } else {
+            Some(self.total_bytes_moved() as f64 / self.frontend_requests as f64)
+        }
+    }
+
+    /// Average backend accesses per frontend request (1.0 means recursion is
+    /// free; the baseline design sits at H).
+    pub fn backend_accesses_per_request(&self) -> Option<f64> {
+        if self.frontend_requests == 0 {
+            None
+        } else {
+            Some(self.total_backend_accesses() as f64 / self.frontend_requests as f64)
+        }
+    }
+
+    /// Ratio of Merkle-equivalent hashes to PMMAC hashes over the same trace
+    /// (the §6.3 hash-bandwidth reduction), or `None` if PMMAC was off.
+    pub fn hash_reduction_factor(&self) -> Option<f64> {
+        let pmmac = self.macs_verified + self.macs_computed;
+        if pmmac == 0 {
+            None
+        } else {
+            Some(self.merkle_equivalent_hashes as f64 / pmmac as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics_handle_empty_stats() {
+        let s = FrontendStats::default();
+        assert_eq!(s.posmap_bandwidth_fraction(), None);
+        assert_eq!(s.bytes_per_request(), None);
+        assert_eq!(s.backend_accesses_per_request(), None);
+        assert_eq!(s.hash_reduction_factor(), None);
+    }
+
+    #[test]
+    fn derived_metrics_compute_expected_ratios() {
+        let s = FrontendStats {
+            frontend_requests: 10,
+            data_backend_accesses: 10,
+            posmap_backend_accesses: 30,
+            data_bytes_moved: 1000,
+            posmap_bytes_moved: 3000,
+            macs_verified: 20,
+            macs_computed: 20,
+            merkle_equivalent_hashes: 4000,
+            ..FrontendStats::default()
+        };
+        assert_eq!(s.total_backend_accesses(), 40);
+        assert_eq!(s.posmap_bandwidth_fraction(), Some(0.75));
+        assert_eq!(s.bytes_per_request(), Some(400.0));
+        assert_eq!(s.backend_accesses_per_request(), Some(4.0));
+        assert_eq!(s.hash_reduction_factor(), Some(100.0));
+    }
+}

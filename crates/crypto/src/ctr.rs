@@ -1,0 +1,135 @@
+//! AES counter-mode keystream generation for probabilistic bucket encryption.
+//!
+//! The ORAM tree stores every bucket encrypted under AES counter mode (§3.1).
+//! The paper discusses two seeding disciplines (§6.4):
+//!
+//! * **Per-bucket seeds** (the scheme of Ren et al. [26]): the pad for chunk
+//!   `i` of a bucket is `AES_K(BucketID || BucketSeed || i)`.  This is
+//!   vulnerable to a one-time-pad replay under an active adversary.
+//! * **Global seed** (the fix): the pad is `AES_K(GlobalSeed || i)` where
+//!   `GlobalSeed` is a monotonically increasing counter inside the ORAM
+//!   controller, so no pad ever repeats.
+//!
+//! This module only produces keystreams; the seed discipline lives in
+//! `path-oram::encryption`, which chooses what goes into the counter block.
+
+use crate::aes::{Aes128, BLOCK_BYTES};
+
+/// A counter-mode keystream generator over AES-128.
+///
+/// # Examples
+///
+/// ```
+/// use oram_crypto::ctr::{CtrKeystream, xor_in_place};
+///
+/// let ks = CtrKeystream::new([3u8; 16]);
+/// let mut data = b"secret bucket bytes".to_vec();
+/// let pad_seed = 77u128;
+/// ks.apply(pad_seed, &mut data);          // encrypt
+/// assert_ne!(&data, b"secret bucket bytes");
+/// ks.apply(pad_seed, &mut data);          // decrypt (XOR is an involution)
+/// assert_eq!(&data, b"secret bucket bytes");
+/// # let _ = xor_in_place;
+/// ```
+#[derive(Debug, Clone)]
+pub struct CtrKeystream {
+    cipher: Aes128,
+}
+
+impl CtrKeystream {
+    /// Creates a keystream generator from a session key.
+    pub fn new(key: [u8; 16]) -> Self {
+        Self {
+            cipher: Aes128::new(key),
+        }
+    }
+
+    /// Produces the `chunk`-th 16-byte pad for the given 128-bit seed.
+    ///
+    /// The seed occupies the high 96 bits of the counter block and the chunk
+    /// index the low 32 bits, so a single seed can cover buckets of up to
+    /// 64 GiB without pad reuse.
+    pub fn pad(&self, seed: u128, chunk: u32) -> [u8; BLOCK_BYTES] {
+        let counter: u128 = (seed << 32) | u128::from(chunk);
+        self.cipher.encrypt_block(counter.to_be_bytes())
+    }
+
+    /// XORs the keystream for `seed` into `data` in place (encrypts or
+    /// decrypts, since XOR is an involution).
+    pub fn apply(&self, seed: u128, data: &mut [u8]) {
+        for (chunk_idx, chunk) in data.chunks_mut(BLOCK_BYTES).enumerate() {
+            let pad = self.pad(seed, chunk_idx as u32);
+            for (b, p) in chunk.iter_mut().zip(pad.iter()) {
+                *b ^= *p;
+            }
+        }
+    }
+}
+
+/// XORs `src` into `dst` element-wise.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn xor_in_place(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "xor_in_place length mismatch");
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= *s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_various_lengths() {
+        let ks = CtrKeystream::new([9u8; 16]);
+        for len in [0usize, 1, 15, 16, 17, 64, 320, 1000] {
+            let original: Vec<u8> = (0..len).map(|i| (i * 7 % 256) as u8).collect();
+            let mut data = original.clone();
+            ks.apply(12345, &mut data);
+            if len > 0 {
+                assert_ne!(data, original, "len {len} should change under encryption");
+            }
+            ks.apply(12345, &mut data);
+            assert_eq!(data, original);
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_pads() {
+        let ks = CtrKeystream::new([9u8; 16]);
+        assert_ne!(ks.pad(1, 0), ks.pad(2, 0));
+        assert_ne!(ks.pad(1, 0), ks.pad(1, 1));
+    }
+
+    #[test]
+    fn pad_reuse_leaks_xor_of_plaintexts() {
+        // This is exactly the attack of §6.4: if the same (seed, chunk) pad is
+        // used for two plaintexts, their XOR is revealed.
+        let ks = CtrKeystream::new([1u8; 16]);
+        let d1 = [0x11u8; 16];
+        let d2 = [0x2eu8; 16];
+        let mut c1 = d1;
+        let mut c2 = d2;
+        ks.apply(99, &mut c1);
+        ks.apply(99, &mut c2);
+        let mut xor = [0u8; 16];
+        for i in 0..16 {
+            xor[i] = c1[i] ^ c2[i];
+        }
+        let mut expected = [0u8; 16];
+        for i in 0..16 {
+            expected[i] = d1[i] ^ d2[i];
+        }
+        assert_eq!(xor, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn xor_in_place_rejects_length_mismatch() {
+        let mut a = [0u8; 4];
+        xor_in_place(&mut a, &[0u8; 5]);
+    }
+}

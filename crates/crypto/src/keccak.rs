@@ -1,0 +1,112 @@
+//! The Keccak-f[1600] permutation underlying SHA-3 (FIPS-202).
+//!
+//! PMMAC (§6) instantiates its MAC with SHA3-224; this module provides the
+//! sponge permutation, and [`crate::sha3`] builds the hash on top of it.
+
+/// Number of 64-bit lanes in the Keccak-f[1600] state (5×5).
+pub const STATE_LANES: usize = 25;
+/// Number of rounds of Keccak-f[1600].
+pub const ROUNDS: usize = 24;
+
+/// Round constants for the iota step.
+const RC: [u64; ROUNDS] = [
+    0x0000000000000001,
+    0x0000000000008082,
+    0x800000000000808a,
+    0x8000000080008000,
+    0x000000000000808b,
+    0x0000000080000001,
+    0x8000000080008081,
+    0x8000000000008009,
+    0x000000000000008a,
+    0x0000000000000088,
+    0x0000000080008009,
+    0x000000008000000a,
+    0x000000008000808b,
+    0x800000000000008b,
+    0x8000000000008089,
+    0x8000000000008003,
+    0x8000000000008002,
+    0x8000000000000080,
+    0x000000000000800a,
+    0x800000008000000a,
+    0x8000000080008081,
+    0x8000000000008080,
+    0x0000000080000001,
+    0x8000000080008008,
+];
+
+/// Rotation offsets for the rho step, indexed `[x][y]`.
+const RHO: [[u32; 5]; 5] = [
+    [0, 36, 3, 41, 18],
+    [1, 44, 10, 45, 2],
+    [62, 6, 43, 15, 61],
+    [28, 55, 25, 21, 56],
+    [27, 20, 39, 8, 14],
+];
+
+/// Applies the full 24-round Keccak-f[1600] permutation to `state`.
+///
+/// Lanes are indexed `state[x + 5*y]` as in FIPS-202.
+pub fn keccak_f1600(state: &mut [u64; STATE_LANES]) {
+    for rc in RC.iter() {
+        // Theta
+        let mut c = [0u64; 5];
+        for x in 0..5 {
+            c[x] = state[x] ^ state[x + 5] ^ state[x + 10] ^ state[x + 15] ^ state[x + 20];
+        }
+        let mut d = [0u64; 5];
+        for x in 0..5 {
+            d[x] = c[(x + 4) % 5] ^ c[(x + 1) % 5].rotate_left(1);
+        }
+        for y in 0..5 {
+            for x in 0..5 {
+                state[x + 5 * y] ^= d[x];
+            }
+        }
+
+        // Rho and Pi combined
+        let mut b = [0u64; STATE_LANES];
+        for y in 0..5 {
+            for x in 0..5 {
+                b[y + 5 * ((2 * x + 3 * y) % 5)] = state[x + 5 * y].rotate_left(RHO[x][y]);
+            }
+        }
+
+        // Chi
+        for y in 0..5 {
+            for x in 0..5 {
+                state[x + 5 * y] = b[x + 5 * y] ^ ((!b[(x + 1) % 5 + 5 * y]) & b[(x + 2) % 5 + 5 * y]);
+            }
+        }
+
+        // Iota
+        state[0] ^= rc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Known-answer test: Keccak-f[1600] applied to the all-zero state.
+    /// First lane of the result per the XKCP reference implementation.
+    #[test]
+    fn permutation_of_zero_state() {
+        let mut state = [0u64; STATE_LANES];
+        keccak_f1600(&mut state);
+        assert_eq!(state[0], 0xF1258F7940E1DDE7);
+        assert_eq!(state[1], 0x84D5CCF933C0478A);
+        assert_eq!(state[24], 0xEAF1FF7B5CECA249);
+    }
+
+    #[test]
+    fn permutation_is_not_identity_and_is_deterministic() {
+        let mut s1 = [0x1234_5678_9abc_def0u64; STATE_LANES];
+        let mut s2 = s1;
+        keccak_f1600(&mut s1);
+        keccak_f1600(&mut s2);
+        assert_eq!(s1, s2);
+        assert_ne!(s1, [0x1234_5678_9abc_def0u64; STATE_LANES]);
+    }
+}

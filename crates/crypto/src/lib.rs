@@ -1,0 +1,43 @@
+//! Cryptographic primitives for the Freecursive ORAM reproduction.
+//!
+//! The paper (Fletcher et al., ASPLOS 2015) instantiates its primitives with
+//! AES-128 (for the PRF used by the compressed PosMap, §5.1, and for the
+//! counter-mode bucket encryption, §6.4) and SHA3-224 (for the PMMAC message
+//! authentication codes, §6.1).  This crate provides from-scratch, dependency
+//! free software implementations of those primitives together with the small
+//! wrappers the ORAM controller needs:
+//!
+//! * [`aes::Aes128`] — the block cipher (FIPS-197), encryption direction only.
+//! * [`ctr::CtrKeystream`] / [`ctr::xor_in_place`] — AES counter-mode pads for
+//!   probabilistic bucket encryption.
+//! * [`sha3::Sha3_224`] — the Keccak-based hash used for MACs.
+//! * [`prf::Prf`] / [`prf::AesPrf`] — the pseudorandom function
+//!   `PRF_K(x) mod 2^L` that maps (address, counter) pairs to leaves.
+//! * [`mac::MacKey`] — the keyed MAC `MAC_K(c || a || d)` of §6.2.1.
+//!
+//! # Examples
+//!
+//! ```
+//! use oram_crypto::prf::{AesPrf, Prf};
+//!
+//! let prf = AesPrf::new([7u8; 16]);
+//! // Leaf for block address 42 with access count 3 in a tree with 2^20 leaves.
+//! let leaf = prf.leaf_for(42, 3, 20);
+//! assert!(leaf < (1 << 20));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod ctr;
+pub mod keccak;
+pub mod mac;
+pub mod prf;
+pub mod sha3;
+
+pub use aes::Aes128;
+pub use ctr::CtrKeystream;
+pub use mac::{Mac, MacKey};
+pub use prf::{AesPrf, Prf};
+pub use sha3::Sha3_224;

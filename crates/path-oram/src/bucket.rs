@@ -1,0 +1,201 @@
+//! Buckets: fixed-size containers of Z block slots plus an encryption seed.
+//!
+//! Any slot may be empty at any time; empty slots are filled with dummy
+//! blocks so that, after encryption, real and dummy blocks are
+//! indistinguishable (§3.1).
+
+use crate::error::OramError;
+use crate::params::{OramParams, BUCKET_HEADER_BYTES, SLOT_META_BYTES};
+use crate::types::{BlockId, Leaf, OramBlock};
+use serde::{Deserialize, Serialize};
+
+/// A decrypted, in-controller representation of one bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bucket {
+    /// Occupied slots (at most Z of them).
+    pub blocks: Vec<OramBlock>,
+    /// The encryption seed stored in the bucket header (interpretation
+    /// depends on the encryption mode).
+    pub seed: u64,
+    /// Number of slots (Z).
+    z: usize,
+    /// Payload bytes per block.
+    block_bytes: usize,
+}
+
+impl Bucket {
+    /// Creates an empty bucket for the given parameters.
+    pub fn empty(params: &OramParams) -> Self {
+        Self {
+            blocks: Vec::with_capacity(params.z),
+            seed: 0,
+            z: params.z,
+            block_bytes: params.block_bytes,
+        }
+    }
+
+    /// Number of free slots remaining.
+    pub fn free_slots(&self) -> usize {
+        self.z - self.blocks.len()
+    }
+
+    /// Adds a block to the bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket is already full or the data length is wrong;
+    /// the backend only calls this after checking `free_slots`.
+    pub fn push(&mut self, block: OramBlock) {
+        assert!(self.free_slots() > 0, "bucket overflow");
+        assert_eq!(block.data.len(), self.block_bytes, "block size mismatch");
+        self.blocks.push(block);
+    }
+
+    /// Serialises the bucket (plaintext) into exactly
+    /// [`OramParams::bucket_bytes`] bytes.
+    ///
+    /// Layout: `[seed: 8B][slot 0 meta][slot 1 meta]…[slot 0 data][slot 1
+    /// data]…[padding]` where each slot meta is `[valid: 1B][addr: 4B]
+    /// [leaf: 4B]`.  Invalid slots carry zero metadata and arbitrary
+    /// (here: zero) data, indistinguishable after encryption.
+    pub fn serialize(&self, params: &OramParams) -> Vec<u8> {
+        let mut out = vec![0u8; params.bucket_bytes()];
+        out[..8].copy_from_slice(&self.seed.to_le_bytes());
+        let meta_base = BUCKET_HEADER_BYTES;
+        let data_base = meta_base + params.z * SLOT_META_BYTES;
+        for (slot, block) in self.blocks.iter().enumerate() {
+            let m = meta_base + slot * SLOT_META_BYTES;
+            out[m] = 1;
+            out[m + 1..m + 5].copy_from_slice(&(block.addr as u32).to_le_bytes());
+            out[m + 5..m + 9].copy_from_slice(&(block.leaf as u32).to_le_bytes());
+            let d = data_base + slot * params.block_bytes;
+            out[d..d + params.block_bytes].copy_from_slice(&block.data);
+        }
+        out
+    }
+
+    /// Parses a plaintext bucket image produced by [`Bucket::serialize`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OramError::MalformedBucket`] if the image has the wrong
+    /// length or a slot's valid byte is neither 0 nor 1 (which can only
+    /// happen if untrusted memory was tampered with and decryption produced
+    /// garbage).
+    pub fn deserialize(
+        bytes: &[u8],
+        params: &OramParams,
+        bucket_index: u64,
+    ) -> Result<Self, OramError> {
+        if bytes.len() != params.bucket_bytes() {
+            return Err(OramError::MalformedBucket {
+                bucket: bucket_index,
+            });
+        }
+        let seed = u64::from_le_bytes(bytes[..8].try_into().expect("8-byte header"));
+        let meta_base = BUCKET_HEADER_BYTES;
+        let data_base = meta_base + params.z * SLOT_META_BYTES;
+        let mut blocks = Vec::new();
+        for slot in 0..params.z {
+            let m = meta_base + slot * SLOT_META_BYTES;
+            match bytes[m] {
+                0 => continue,
+                1 => {
+                    let addr = u32::from_le_bytes(bytes[m + 1..m + 5].try_into().unwrap());
+                    let leaf = u32::from_le_bytes(bytes[m + 5..m + 9].try_into().unwrap());
+                    let d = data_base + slot * params.block_bytes;
+                    blocks.push(OramBlock {
+                        addr: BlockId::from(addr),
+                        leaf: Leaf::from(leaf),
+                        data: bytes[d..d + params.block_bytes].to_vec(),
+                    });
+                }
+                _ => {
+                    return Err(OramError::MalformedBucket {
+                        bucket: bucket_index,
+                    })
+                }
+            }
+        }
+        Ok(Self {
+            blocks,
+            seed,
+            z: params.z,
+            block_bytes: params.block_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> OramParams {
+        OramParams::new(1 << 10, 64, 4)
+    }
+
+    fn block(addr: u64, leaf: u64, fill: u8) -> OramBlock {
+        OramBlock {
+            addr,
+            leaf,
+            data: vec![fill; 64],
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty_and_partial_and_full() {
+        let p = params();
+        for count in 0..=4usize {
+            let mut bucket = Bucket::empty(&p);
+            bucket.seed = 0xDEADBEEF;
+            for i in 0..count {
+                bucket.push(block(i as u64 + 10, i as u64, i as u8));
+            }
+            let bytes = bucket.serialize(&p);
+            assert_eq!(bytes.len(), p.bucket_bytes());
+            let parsed = Bucket::deserialize(&bytes, &p, 0).unwrap();
+            assert_eq!(parsed.seed, 0xDEADBEEF);
+            assert_eq!(parsed.blocks, bucket.blocks);
+        }
+    }
+
+    #[test]
+    fn free_slots_counts_down() {
+        let p = params();
+        let mut bucket = Bucket::empty(&p);
+        assert_eq!(bucket.free_slots(), 4);
+        bucket.push(block(1, 1, 1));
+        assert_eq!(bucket.free_slots(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket overflow")]
+    fn push_beyond_z_panics() {
+        let p = params();
+        let mut bucket = Bucket::empty(&p);
+        for i in 0..5 {
+            bucket.push(block(i, 0, 0));
+        }
+    }
+
+    #[test]
+    fn deserialize_rejects_wrong_length() {
+        let p = params();
+        assert_eq!(
+            Bucket::deserialize(&[0u8; 10], &p, 7),
+            Err(OramError::MalformedBucket { bucket: 7 })
+        );
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage_valid_byte() {
+        let p = params();
+        let bucket = Bucket::empty(&p);
+        let mut bytes = bucket.serialize(&p);
+        bytes[BUCKET_HEADER_BYTES] = 0x7F;
+        assert!(matches!(
+            Bucket::deserialize(&bytes, &p, 3),
+            Err(OramError::MalformedBucket { bucket: 3 })
+        ));
+    }
+}

@@ -1,0 +1,125 @@
+//! Error types for the ORAM backend.
+
+use crate::types::BlockId;
+
+/// Errors returned by the Path ORAM backend and the frontends built on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OramError {
+    /// The stash exceeded its configured capacity.  With Z ≥ 4 this has
+    /// negligible probability under honest operation (§3.1.2); an adversary
+    /// may also try to coerce it (§6.5.2), in which case the controller must
+    /// halt.
+    StashOverflow {
+        /// Number of blocks in the stash when the overflow was detected.
+        occupancy: usize,
+        /// Configured capacity.
+        capacity: usize,
+    },
+    /// A block address was outside the configured ORAM capacity.
+    AddressOutOfRange {
+        /// The offending address.
+        addr: BlockId,
+        /// The capacity (number of blocks).
+        capacity: u64,
+    },
+    /// A leaf label was outside `[0, 2^L)`.
+    LeafOutOfRange {
+        /// The offending leaf.
+        leaf: u64,
+        /// Number of leaves.
+        num_leaves: u64,
+    },
+    /// Write data had the wrong length for the configured block size.
+    BlockSizeMismatch {
+        /// Expected length in bytes.
+        expected: usize,
+        /// Provided length in bytes.
+        actual: usize,
+    },
+    /// An `append` was issued for a block that already exists in the ORAM
+    /// (the unified tree must never contain duplicates, §4.2.2).
+    DuplicateAppend {
+        /// The offending address.
+        addr: BlockId,
+    },
+    /// A read/write/readrmv did not find the requested block on the fetched
+    /// path or in the stash.  Under honest operation this indicates a leaf
+    /// bookkeeping bug; under an active adversary it indicates tampering
+    /// (§6.5.2) and must be treated like an integrity violation.
+    BlockNotFound {
+        /// The requested address.
+        addr: BlockId,
+    },
+    /// PMMAC detected a MAC mismatch: the data returned from untrusted memory
+    /// is not authentic or not fresh (§6.2.1).
+    IntegrityViolation {
+        /// Address of the block whose MAC failed.
+        addr: BlockId,
+    },
+    /// A stored bucket could not be parsed (wrong length or corrupted
+    /// framing); treated as tampering.
+    MalformedBucket {
+        /// Linear index of the offending bucket.
+        bucket: u64,
+    },
+    /// The requested operation requires write data but none was supplied.
+    MissingWriteData,
+}
+
+impl std::fmt::Display for OramError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OramError::StashOverflow {
+                occupancy,
+                capacity,
+            } => write!(f, "stash overflow: {occupancy} blocks exceeds capacity {capacity}"),
+            OramError::AddressOutOfRange { addr, capacity } => {
+                write!(f, "block address {addr} out of range for capacity {capacity}")
+            }
+            OramError::LeafOutOfRange { leaf, num_leaves } => {
+                write!(f, "leaf {leaf} out of range for {num_leaves} leaves")
+            }
+            OramError::BlockSizeMismatch { expected, actual } => {
+                write!(f, "block data length {actual} does not match block size {expected}")
+            }
+            OramError::DuplicateAppend { addr } => {
+                write!(f, "append of block {addr} which is already present in the ORAM")
+            }
+            OramError::BlockNotFound { addr } => {
+                write!(f, "block {addr} was not found on its path or in the stash")
+            }
+            OramError::IntegrityViolation { addr } => {
+                write!(f, "integrity violation detected on block {addr}")
+            }
+            OramError::MalformedBucket { bucket } => {
+                write!(f, "bucket {bucket} could not be parsed")
+            }
+            OramError::MissingWriteData => write!(f, "write operation requires data"),
+        }
+    }
+}
+
+impl std::error::Error for OramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_lowercase_messages() {
+        let e = OramError::StashOverflow {
+            occupancy: 201,
+            capacity: 200,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("201"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OramError>();
+    }
+}

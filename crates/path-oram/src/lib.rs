@@ -1,0 +1,68 @@
+//! A functional Path ORAM *Backend* (Stefanov et al. [34]) as used by the
+//! Freecursive ORAM controller.
+//!
+//! In the paper's terminology the ORAM controller is split into a *Frontend*
+//! (PosMap management — the paper's contribution, implemented in the
+//! `freecursive` crate) and a *Backend* (the Path ORAM tree machinery, §3.1).
+//! This crate implements the Backend:
+//!
+//! * [`params::OramParams`] — tree geometry (N, Z, block size, levels) and the
+//!   bucket byte layout padded to DRAM bursts.
+//! * [`tree`] — path/bucket index arithmetic for the binary ORAM tree.
+//! * [`bucket::Bucket`] — Z-slot buckets with dummy blocks and serialisation.
+//! * [`stash::Stash`] — the bounded on-chip stash.
+//! * [`storage::TreeStorage`] — untrusted external memory holding encrypted
+//!   buckets, with an explicit tampering API for the active-adversary model.
+//! * [`encryption::BucketCipher`] — probabilistic bucket encryption in the
+//!   per-bucket-seed style of [26] or the global-seed style the paper
+//!   introduces to defeat pad-replay attacks (§6.4).
+//! * [`backend::PathOramBackend`] — the access algorithm (path read, stash
+//!   update, greedy write-back) supporting `read`, `write`, `readrmv` and
+//!   `append` operations (§4.2.2).
+//!
+//! The Backend never sees program addresses in the clear beyond the block
+//! address tags required by Path ORAM itself, and is oblivious by
+//! construction: every non-append access reads and rewrites exactly one
+//! root-to-leaf path chosen by the caller-supplied leaf.
+//!
+//! # Examples
+//!
+//! ```
+//! use path_oram::{OramParams, PathOramBackend, AccessOp, EncryptionMode};
+//! use path_oram::backend::OramBackend as _;
+//!
+//! # fn main() -> Result<(), path_oram::OramError> {
+//! let params = OramParams::new(1 << 10, 64, 4);
+//! let mut backend = PathOramBackend::new(params, EncryptionMode::GlobalSeed, [0u8; 16], 7)?;
+//!
+//! // The frontend owns the position map; here we play both roles.
+//! let data = vec![0xAB; 64];
+//! backend.access(AccessOp::Write, 42, 13, 99, Some(&data))?;
+//! let read_back = backend.access(AccessOp::Read, 42, 99, 5, None)?;
+//! assert_eq!(read_back.unwrap(), data);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod bucket;
+pub mod encryption;
+pub mod error;
+pub mod params;
+pub mod stash;
+pub mod stats;
+pub mod storage;
+pub mod tree;
+pub mod types;
+
+pub use backend::{OramBackend, PathOramBackend};
+pub use encryption::EncryptionMode;
+pub use error::OramError;
+pub use params::OramParams;
+pub use stash::Stash;
+pub use stats::BackendStats;
+pub use storage::TreeStorage;
+pub use types::{AccessOp, BlockData, BlockId, Leaf};

@@ -1,0 +1,211 @@
+//! The on-chip stash: a small trusted buffer of blocks awaiting eviction.
+
+use crate::error::OramError;
+use crate::types::{BlockData, BlockId, Leaf, OramBlock};
+use std::collections::HashMap;
+
+/// The Path ORAM stash.
+///
+/// Holds blocks that could not be evicted back to the tree (plus, logically,
+/// the path currently being processed).  The paper assumes a 200-block
+/// capacity (§3.1); exceeding it is a fatal [`OramError::StashOverflow`].
+#[derive(Debug, Clone, Default)]
+pub struct Stash {
+    blocks: HashMap<BlockId, (Leaf, BlockData)>,
+    capacity: usize,
+    max_occupancy: usize,
+}
+
+impl Stash {
+    /// Creates a stash with the given capacity (in blocks).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            blocks: HashMap::new(),
+            capacity,
+            max_occupancy: 0,
+        }
+    }
+
+    /// Number of blocks currently held.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the stash is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// High-water mark of occupancy observed so far.
+    pub fn max_occupancy(&self) -> usize {
+        self.max_occupancy
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts or replaces a block.
+    pub fn insert(&mut self, block: OramBlock) {
+        self.blocks.insert(block.addr, (block.leaf, block.data));
+        self.max_occupancy = self.max_occupancy.max(self.blocks.len());
+    }
+
+    /// Whether the stash currently holds `addr`.
+    pub fn contains(&self, addr: BlockId) -> bool {
+        self.blocks.contains_key(&addr)
+    }
+
+    /// Returns a copy of the block's data, if present.
+    pub fn data_of(&self, addr: BlockId) -> Option<BlockData> {
+        self.blocks.get(&addr).map(|(_, d)| d.clone())
+    }
+
+    /// Returns the leaf the block is currently mapped to, if present.
+    pub fn leaf_of(&self, addr: BlockId) -> Option<Leaf> {
+        self.blocks.get(&addr).map(|(l, _)| *l)
+    }
+
+    /// Updates the leaf of a resident block; returns `false` if absent.
+    pub fn remap(&mut self, addr: BlockId, new_leaf: Leaf) -> bool {
+        if let Some(entry) = self.blocks.get_mut(&addr) {
+            entry.0 = new_leaf;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Replaces the data of a resident block; returns `false` if absent.
+    pub fn update_data(&mut self, addr: BlockId, data: BlockData) -> bool {
+        if let Some(entry) = self.blocks.get_mut(&addr) {
+            entry.1 = data;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns a block.
+    pub fn remove(&mut self, addr: BlockId) -> Option<OramBlock> {
+        self.blocks
+            .remove(&addr)
+            .map(|(leaf, data)| OramBlock { addr, leaf, data })
+    }
+
+    /// Collects up to `max` blocks satisfying `predicate` (on `(addr, leaf)`),
+    /// removing them from the stash.  Used by the eviction logic to fill a
+    /// bucket with blocks that may legally reside there.
+    pub fn take_matching<F>(&mut self, max: usize, mut predicate: F) -> Vec<OramBlock>
+    where
+        F: FnMut(BlockId, Leaf) -> bool,
+    {
+        let selected: Vec<BlockId> = self
+            .blocks
+            .iter()
+            .filter(|(addr, (leaf, _))| predicate(**addr, *leaf))
+            .map(|(addr, _)| *addr)
+            .take(max)
+            .collect();
+        selected
+            .into_iter()
+            .map(|addr| self.remove(addr).expect("selected block present"))
+            .collect()
+    }
+
+    /// Checks the occupancy against the capacity, returning an error if it is
+    /// exceeded.  Called by the backend after each eviction pass.
+    pub fn check_overflow(&self) -> Result<(), OramError> {
+        if self.blocks.len() > self.capacity {
+            Err(OramError::StashOverflow {
+                occupancy: self.blocks.len(),
+                capacity: self.capacity,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Iterates over resident blocks as `(addr, leaf)` pairs (test/diagnostic
+    /// use).
+    pub fn iter_addrs(&self) -> impl Iterator<Item = (BlockId, Leaf)> + '_ {
+        self.blocks.iter().map(|(a, (l, _))| (*a, *l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(addr: u64, leaf: u64) -> OramBlock {
+        OramBlock {
+            addr,
+            leaf,
+            data: vec![addr as u8; 4],
+        }
+    }
+
+    #[test]
+    fn insert_query_remove_roundtrip() {
+        let mut stash = Stash::new(10);
+        stash.insert(blk(5, 3));
+        assert!(stash.contains(5));
+        assert_eq!(stash.leaf_of(5), Some(3));
+        assert_eq!(stash.data_of(5), Some(vec![5u8; 4]));
+        let removed = stash.remove(5).unwrap();
+        assert_eq!(removed.leaf, 3);
+        assert!(!stash.contains(5));
+        assert!(stash.is_empty());
+    }
+
+    #[test]
+    fn remap_and_update_data() {
+        let mut stash = Stash::new(10);
+        stash.insert(blk(1, 0));
+        assert!(stash.remap(1, 9));
+        assert_eq!(stash.leaf_of(1), Some(9));
+        assert!(stash.update_data(1, vec![7, 7, 7, 7]));
+        assert_eq!(stash.data_of(1), Some(vec![7, 7, 7, 7]));
+        assert!(!stash.remap(2, 0));
+        assert!(!stash.update_data(2, vec![]));
+    }
+
+    #[test]
+    fn take_matching_respects_limit_and_predicate() {
+        let mut stash = Stash::new(100);
+        for i in 0..10 {
+            stash.insert(blk(i, i % 2));
+        }
+        let taken = stash.take_matching(3, |_, leaf| leaf == 0);
+        assert_eq!(taken.len(), 3);
+        assert!(taken.iter().all(|b| b.leaf == 0));
+        assert_eq!(stash.len(), 7);
+    }
+
+    #[test]
+    fn overflow_detection_and_high_water_mark() {
+        let mut stash = Stash::new(2);
+        stash.insert(blk(1, 0));
+        stash.insert(blk(2, 0));
+        assert!(stash.check_overflow().is_ok());
+        stash.insert(blk(3, 0));
+        assert_eq!(
+            stash.check_overflow(),
+            Err(OramError::StashOverflow {
+                occupancy: 3,
+                capacity: 2
+            })
+        );
+        assert_eq!(stash.max_occupancy(), 3);
+    }
+
+    #[test]
+    fn reinserting_same_address_replaces_not_duplicates() {
+        let mut stash = Stash::new(10);
+        stash.insert(blk(1, 0));
+        stash.insert(blk(1, 5));
+        assert_eq!(stash.len(), 1);
+        assert_eq!(stash.leaf_of(1), Some(5));
+    }
+}

@@ -1,0 +1,56 @@
+//! Backend activity statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by [`crate::PathOramBackend`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackendStats {
+    /// Path accesses performed (read, write or readrmv).
+    pub path_accesses: u64,
+    /// Append operations (no tree access).
+    pub appends: u64,
+    /// Bytes read from untrusted memory.
+    pub bytes_read: u64,
+    /// Bytes written to untrusted memory.
+    pub bytes_written: u64,
+    /// Real blocks encountered while reading paths.
+    pub real_blocks_fetched: u64,
+    /// Real blocks evicted back into the tree.
+    pub blocks_evicted: u64,
+    /// Dummy blocks written during evictions.
+    pub dummies_written: u64,
+    /// Maximum stash occupancy observed (after eviction).
+    pub max_stash_occupancy: usize,
+}
+
+impl BackendStats {
+    /// Total bytes moved in either direction.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Average bytes moved per path access, or `None` if no accesses
+    /// occurred.
+    pub fn bytes_per_access(&self) -> Option<f64> {
+        if self.path_accesses == 0 {
+            None
+        } else {
+            Some(self.total_bytes() as f64 / self.path_accesses as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_per_access_handles_zero() {
+        let mut s = BackendStats::default();
+        assert_eq!(s.bytes_per_access(), None);
+        s.path_accesses = 2;
+        s.bytes_read = 100;
+        s.bytes_written = 100;
+        assert_eq!(s.bytes_per_access(), Some(100.0));
+    }
+}

@@ -1,0 +1,193 @@
+//! Untrusted external memory holding the encrypted ORAM tree.
+//!
+//! The storage is indexed by linear bucket index.  It deliberately exposes a
+//! tampering API so tests and examples can play the *active adversary* of the
+//! threat model (§2): flipping bits, replaying stale buckets, and rolling back
+//! bucket seeds.
+
+use crate::params::OramParams;
+
+/// Untrusted memory: a flat array of encrypted bucket images.
+///
+/// In a real system this is DRAM; the controller only ever exchanges
+/// ciphertext with it.  All adversarial capabilities (observe, corrupt,
+/// replay) are available through this type.
+#[derive(Debug, Clone)]
+pub struct TreeStorage {
+    buckets: Vec<Vec<u8>>,
+    bucket_bytes: usize,
+}
+
+impl TreeStorage {
+    /// Allocates storage for every bucket of the tree described by `params`,
+    /// initialised with `initial` (typically an encrypted empty bucket per
+    /// index, written by the backend during initialisation).
+    pub fn new(params: &OramParams) -> Self {
+        Self {
+            buckets: vec![Vec::new(); params.num_buckets() as usize],
+            bucket_bytes: params.bucket_bytes(),
+        }
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Serialised bucket size in bytes.
+    pub fn bucket_bytes(&self) -> usize {
+        self.bucket_bytes
+    }
+
+    /// Reads the raw (encrypted) image of a bucket.  Returns an empty slice
+    /// for a bucket that has never been written.
+    pub fn read_bucket(&self, index: u64) -> &[u8] {
+        &self.buckets[index as usize]
+    }
+
+    /// Writes the raw (encrypted) image of a bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image length differs from the configured bucket size.
+    pub fn write_bucket(&mut self, index: u64, image: Vec<u8>) {
+        assert_eq!(
+            image.len(),
+            self.bucket_bytes,
+            "bucket image must be exactly bucket_bytes long"
+        );
+        self.buckets[index as usize] = image;
+    }
+
+    /// Whether a bucket has ever been written.
+    pub fn is_initialized(&self, index: u64) -> bool {
+        !self.buckets[index as usize].is_empty()
+    }
+
+    /// Total bytes currently resident (diagnostics).
+    pub fn resident_bytes(&self) -> u64 {
+        self.buckets.iter().map(|b| b.len() as u64).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Active-adversary API (§2): these model a malicious data centre.
+    // ------------------------------------------------------------------
+
+    /// Flips the bits of `mask` at `offset` within bucket `index`.
+    ///
+    /// Returns `false` (and does nothing) if the bucket is uninitialised or
+    /// the offset is out of range.
+    pub fn tamper_xor(&mut self, index: u64, offset: usize, mask: u8) -> bool {
+        if let Some(bucket) = self.buckets.get_mut(index as usize) {
+            if let Some(byte) = bucket.get_mut(offset) {
+                *byte ^= mask;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Takes a snapshot of a bucket's current ciphertext (for replay attacks).
+    pub fn snapshot_bucket(&self, index: u64) -> Vec<u8> {
+        self.buckets[index as usize].clone()
+    }
+
+    /// Replays a previously snapshotted ciphertext into a bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length does not match the bucket size (a
+    /// zero-length snapshot of an uninitialised bucket is allowed).
+    pub fn replay_bucket(&mut self, index: u64, snapshot: Vec<u8>) {
+        assert!(
+            snapshot.is_empty() || snapshot.len() == self.bucket_bytes,
+            "snapshot must be a full bucket image"
+        );
+        self.buckets[index as usize] = snapshot;
+    }
+
+    /// Rolls back the plaintext seed field in a bucket header by `delta`
+    /// (the seed is stored in the clear, §6.4).  Returns `false` if the
+    /// bucket is uninitialised.
+    pub fn rollback_seed(&mut self, index: u64, delta: u64) -> bool {
+        let bucket = &mut self.buckets[index as usize];
+        if bucket.len() < 8 {
+            return false;
+        }
+        let seed = u64::from_le_bytes(bucket[..8].try_into().expect("8-byte header"));
+        bucket[..8].copy_from_slice(&seed.wrapping_sub(delta).to_le_bytes());
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn storage() -> TreeStorage {
+        TreeStorage::new(&OramParams::new(64, 16, 4))
+    }
+
+    #[test]
+    fn starts_uninitialized() {
+        let s = storage();
+        assert!(s.num_buckets() > 0);
+        assert!(!s.is_initialized(0));
+        assert!(s.read_bucket(0).is_empty());
+        assert_eq!(s.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut s = storage();
+        let image = vec![0xCD; s.bucket_bytes()];
+        s.write_bucket(3, image.clone());
+        assert!(s.is_initialized(3));
+        assert_eq!(s.read_bucket(3), &image[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket_bytes")]
+    fn rejects_wrong_size_image() {
+        let mut s = storage();
+        s.write_bucket(0, vec![0u8; 3]);
+    }
+
+    #[test]
+    fn tamper_flips_exactly_the_requested_bits() {
+        let mut s = storage();
+        s.write_bucket(0, vec![0u8; s.bucket_bytes()]);
+        assert!(s.tamper_xor(0, 10, 0xFF));
+        assert_eq!(s.read_bucket(0)[10], 0xFF);
+        assert_eq!(s.read_bucket(0)[9], 0x00);
+        // Out of range / uninitialised tampering reports failure.
+        assert!(!s.tamper_xor(0, 1 << 20, 1));
+        assert!(!s.tamper_xor(1, 0, 1));
+    }
+
+    #[test]
+    fn snapshot_and_replay_restore_old_contents() {
+        let mut s = storage();
+        let old = vec![1u8; s.bucket_bytes()];
+        let new = vec![2u8; s.bucket_bytes()];
+        s.write_bucket(5, old.clone());
+        let snap = s.snapshot_bucket(5);
+        s.write_bucket(5, new);
+        s.replay_bucket(5, snap);
+        assert_eq!(s.read_bucket(5), &old[..]);
+    }
+
+    #[test]
+    fn rollback_seed_decrements_header() {
+        let mut s = storage();
+        let mut image = vec![0u8; s.bucket_bytes()];
+        image[..8].copy_from_slice(&100u64.to_le_bytes());
+        s.write_bucket(2, image);
+        assert!(s.rollback_seed(2, 1));
+        assert_eq!(
+            u64::from_le_bytes(s.read_bucket(2)[..8].try_into().unwrap()),
+            99
+        );
+        assert!(!s.rollback_seed(3, 1));
+    }
+}

@@ -1,0 +1,120 @@
+//! Index arithmetic for the binary ORAM tree.
+//!
+//! Buckets are identified by a *linear index* in level order (heap layout):
+//! the root is bucket 0, and the bucket at `(level, index_in_level)` has
+//! linear index `2^level - 1 + index_in_level`.  A leaf label `l ∈ [0, 2^L)`
+//! identifies the path whose bucket at level `d` is the ancestor
+//! `l >> (L - d)` within that level.
+
+use crate::types::Leaf;
+
+/// Linear (heap-order) index of the bucket at `(level, index_in_level)`.
+pub fn bucket_linear_index(level: u32, index_in_level: u64) -> u64 {
+    ((1u64 << level) - 1) + index_in_level
+}
+
+/// The `(level, index_in_level)` coordinates of a linear bucket index.
+pub fn bucket_coordinates(linear: u64) -> (u32, u64) {
+    let level = 63 - (linear + 1).leading_zeros();
+    let index = linear + 1 - (1u64 << level);
+    (level, index)
+}
+
+/// Index within its level of the bucket on path `leaf` at `level`, for a tree
+/// with leaf level `leaf_level`.
+pub fn path_index_at_level(leaf: Leaf, level: u32, leaf_level: u32) -> u64 {
+    debug_assert!(level <= leaf_level);
+    leaf >> (leaf_level - level)
+}
+
+/// Linear indices of every bucket on the path from the root to `leaf`, root
+/// first.
+pub fn path_linear_indices(leaf: Leaf, leaf_level: u32) -> Vec<u64> {
+    (0..=leaf_level)
+        .map(|level| bucket_linear_index(level, path_index_at_level(leaf, level, leaf_level)))
+        .collect()
+}
+
+/// Whether a block currently mapped to `block_leaf` may legally reside in the
+/// bucket at `level` on the path to `path_leaf` (the Path ORAM invariant:
+/// their paths must share the ancestor at that level).
+pub fn block_can_reside(block_leaf: Leaf, path_leaf: Leaf, level: u32, leaf_level: u32) -> bool {
+    path_index_at_level(block_leaf, level, leaf_level)
+        == path_index_at_level(path_leaf, level, leaf_level)
+}
+
+/// Deepest level (closest to the leaves) at which a block mapped to
+/// `block_leaf` may reside on the path to `path_leaf`.
+pub fn deepest_common_level(block_leaf: Leaf, path_leaf: Leaf, leaf_level: u32) -> u32 {
+    let diff = block_leaf ^ path_leaf;
+    if diff == 0 {
+        leaf_level
+    } else {
+        // The first differing bit (from the top of the L-bit labels) bounds
+        // the shared prefix.
+        let highest_diff_bit = 63 - diff.leading_zeros();
+        leaf_level - (highest_diff_bit + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_index_roundtrips_through_coordinates() {
+        for level in 0..12u32 {
+            for idx in [0u64, 1, (1 << level) - 1] {
+                if idx >= (1 << level) {
+                    continue;
+                }
+                let linear = bucket_linear_index(level, idx);
+                assert_eq!(bucket_coordinates(linear), (level, idx));
+            }
+        }
+    }
+
+    #[test]
+    fn root_is_bucket_zero() {
+        assert_eq!(bucket_linear_index(0, 0), 0);
+        assert_eq!(bucket_coordinates(0), (0, 0));
+    }
+
+    #[test]
+    fn path_contains_one_bucket_per_level_and_ends_at_leaf() {
+        let leaf_level = 5;
+        let leaf = 0b10110;
+        let path = path_linear_indices(leaf, leaf_level);
+        assert_eq!(path.len(), 6);
+        assert_eq!(path[0], 0);
+        assert_eq!(path[5], bucket_linear_index(5, leaf));
+        // Every bucket is the parent of the next.
+        for w in path.windows(2) {
+            let (level, idx) = bucket_coordinates(w[1]);
+            assert_eq!(bucket_coordinates(w[0]), (level - 1, idx / 2));
+        }
+    }
+
+    #[test]
+    fn block_can_reside_in_root_always_and_leaf_only_if_same() {
+        let leaf_level = 8;
+        for (a, b) in [(0u64, 255u64), (17, 17), (100, 101)] {
+            assert!(block_can_reside(a, b, 0, leaf_level));
+            assert_eq!(block_can_reside(a, b, leaf_level, leaf_level), a == b);
+        }
+    }
+
+    #[test]
+    fn deepest_common_level_matches_reside_predicate() {
+        let leaf_level = 10;
+        for a in [0u64, 1, 37, 512, 1023] {
+            for b in [0u64, 1, 37, 512, 1023] {
+                let deepest = deepest_common_level(a, b, leaf_level);
+                assert!(block_can_reside(a, b, deepest, leaf_level));
+                if deepest < leaf_level {
+                    assert!(!block_can_reside(a, b, deepest + 1, leaf_level));
+                }
+            }
+        }
+    }
+}

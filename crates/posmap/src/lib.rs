@@ -1,0 +1,49 @@
+//! Position-map (PosMap) structures for the Freecursive ORAM controller.
+//!
+//! The PosMap is the page-table-like structure at the heart of Position-based
+//! ORAMs: it maps every block to the random leaf it is currently stored
+//! under.  Managing it efficiently is the entire subject of the paper; this
+//! crate contains the data structures the frontends are built from:
+//!
+//! * [`addressing::RecursionAddressing`] — the multi-level page-table
+//!   arithmetic of Recursive ORAM (§3.2): which PosMap block at which level
+//!   covers a given data block, and the unified `i‖a_i` address space of the
+//!   single-tree design (§4.2.1).
+//! * [`uncompressed::UncompressedPosMapBlock`] — a PosMap block storing `X`
+//!   raw leaf labels (the baseline format).
+//! * [`compressed::CompressedPosMapBlock`] — the paper's compressed format
+//!   (§5.2): an α-bit group counter plus `X` β-bit individual counters, from
+//!   which leaves are derived through a PRF.
+//! * [`plb::Plb`] — the PosMap Lookaside Buffer (§4), a set-associative cache
+//!   of PosMap blocks.
+//! * [`onchip::OnChipPosMap`] — the root of the recursion, held in trusted
+//!   on-chip storage.
+//!
+//! # Examples
+//!
+//! ```
+//! use posmap::addressing::RecursionAddressing;
+//!
+//! // 2^26 data blocks, X = 32 leaves per PosMap block, 4 KB on-chip PosMap
+//! // holding 512 64-bit entries.
+//! let rec = RecursionAddressing::new(1 << 26, 32, 1 << 9);
+//! assert_eq!(rec.num_levels(), 5); // the Data ORAM plus 4 PosMap levels
+//! let a0 = 0x12345;
+//! let a1 = rec.posmap_block_addr(1, a0);
+//! assert_eq!(a1, a0 / 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addressing;
+pub mod compressed;
+pub mod onchip;
+pub mod plb;
+pub mod uncompressed;
+
+pub use addressing::RecursionAddressing;
+pub use compressed::CompressedPosMapBlock;
+pub use onchip::OnChipPosMap;
+pub use plb::{Plb, PlbEntry, PlbStats};
+pub use uncompressed::UncompressedPosMapBlock;

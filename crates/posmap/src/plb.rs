@@ -1,0 +1,344 @@
+//! The PosMap Lookaside Buffer (PLB, §4): a set-associative cache of PosMap
+//! blocks inside the ORAM frontend.
+//!
+//! The PLB caches *whole PosMap blocks* (akin to caching page tables, §4.1.4),
+//! tagged by their unified address `i‖a_i` so blocks from different recursion
+//! levels never alias (§4.1.1).  Each cached block is stored together with its
+//! current leaf, because PLB-resident blocks have been read-removed from the
+//! ORAM tree and must be appended back (with that leaf) when evicted
+//! (§4.2.3).
+//!
+//! The paper evaluates direct-mapped PLBs of 8–128 KB and finds ≤10% benefit
+//! from full associativity (§7.1.3), so direct-mapped is the default here.
+
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss statistics for a PLB instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlbStats {
+    /// Lookups that found the requested block.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Insertions that displaced a resident block.
+    pub evictions: u64,
+}
+
+impl PlbStats {
+    /// Hit rate over all lookups, or `None` if no lookups occurred.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            None
+        } else {
+            Some(self.hits as f64 / total as f64)
+        }
+    }
+}
+
+/// One PLB-resident PosMap block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlbEntry<V> {
+    /// Unified address (`i‖a_i`) of the cached PosMap block.
+    pub unified_addr: u64,
+    /// The leaf under which the block must be appended back to the ORAM when
+    /// evicted from the PLB.
+    pub leaf: u64,
+    /// The block payload (serialised or typed PosMap block).
+    pub payload: V,
+}
+
+/// A set-associative PLB holding PosMap blocks of type `V`.
+///
+/// `V` is typically a typed PosMap block during functional simulation, or a
+/// unit type `()` in the address-only timing simulator.
+///
+/// # Examples
+///
+/// ```
+/// use posmap::plb::{Plb, PlbEntry};
+///
+/// // An 8 KB direct-mapped PLB of 64-byte PosMap blocks: 128 entries.
+/// let mut plb: Plb<Vec<u8>> = Plb::new(128, 1);
+/// assert!(plb.lookup(42).is_none());
+/// plb.insert(PlbEntry { unified_addr: 42, leaf: 7, payload: vec![0u8; 64] });
+/// assert!(plb.lookup(42).is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Plb<V> {
+    sets: Vec<Vec<PlbEntry<V>>>,
+    associativity: usize,
+    stats: PlbStats,
+}
+
+impl<V> Plb<V> {
+    /// Creates a PLB with `capacity_blocks` total entries organised into sets
+    /// of `associativity` ways.  An associativity of 1 is direct-mapped; an
+    /// associativity equal to the capacity is fully associative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is zero, the associativity is zero, or the
+    /// capacity is not a multiple of the associativity.
+    pub fn new(capacity_blocks: usize, associativity: usize) -> Self {
+        assert!(capacity_blocks > 0, "PLB must have at least one entry");
+        assert!(associativity > 0, "associativity must be at least 1");
+        assert!(
+            capacity_blocks % associativity == 0,
+            "capacity must be a multiple of associativity"
+        );
+        let num_sets = capacity_blocks / associativity;
+        Self {
+            sets: (0..num_sets).map(|_| Vec::new()).collect(),
+            associativity,
+            stats: PlbStats::default(),
+        }
+    }
+
+    /// Builds a PLB sized in bytes, as the paper specifies capacities
+    /// (e.g. "64 KB direct-mapped PLB"), given the PosMap block size.
+    pub fn with_capacity_bytes(
+        capacity_bytes: usize,
+        block_bytes: usize,
+        associativity: usize,
+    ) -> Self {
+        let blocks = (capacity_bytes / block_bytes).max(associativity);
+        Self::new(blocks - blocks % associativity, associativity)
+    }
+
+    /// Total number of entries.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.associativity
+    }
+
+    /// Number of entries currently resident.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Whether the PLB holds no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Associativity (ways per set).
+    pub fn associativity(&self) -> usize {
+        self.associativity
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> PlbStats {
+        self.stats
+    }
+
+    /// Resets statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = PlbStats::default();
+    }
+
+    fn set_index(&self, unified_addr: u64) -> usize {
+        // Mix the level tag into the index so PosMap levels do not all map to
+        // the same few sets.
+        let h = unified_addr ^ (unified_addr >> 56).wrapping_mul(0x9e37_79b9);
+        (h % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up a PosMap block by unified address, returning a mutable
+    /// reference on a hit (the frontend updates counters/leaves in place).
+    /// Updates hit/miss statistics and LRU order.
+    pub fn lookup(&mut self, unified_addr: u64) -> Option<&mut PlbEntry<V>> {
+        let set_idx = self.set_index(unified_addr);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|e| e.unified_addr == unified_addr) {
+            self.stats.hits += 1;
+            // Move to the back = most recently used.
+            let entry = set.remove(pos);
+            set.push(entry);
+            set.last_mut()
+        } else {
+            self.stats.misses += 1;
+            None
+        }
+    }
+
+    /// Returns a mutable reference to a resident block without updating
+    /// statistics or LRU state.  Used by the frontend when it re-touches a
+    /// block it already accounted for during the lookup loop (§4.2.4 step 1).
+    pub fn peek_mut(&mut self, unified_addr: u64) -> Option<&mut PlbEntry<V>> {
+        let set_idx = self.set_index(unified_addr);
+        self.sets[set_idx]
+            .iter_mut()
+            .find(|e| e.unified_addr == unified_addr)
+    }
+
+    /// Checks residency without touching statistics or LRU state.
+    pub fn contains(&self, unified_addr: u64) -> bool {
+        let set_idx = self.set_index(unified_addr);
+        self.sets[set_idx]
+            .iter()
+            .any(|e| e.unified_addr == unified_addr)
+    }
+
+    /// Inserts a block, returning the entry it displaced (which the frontend
+    /// must append back to the ORAM, §4.2.4 step 2), if any.
+    ///
+    /// Inserting a block that is already resident replaces it without an
+    /// eviction.
+    pub fn insert(&mut self, entry: PlbEntry<V>) -> Option<PlbEntry<V>> {
+        let set_idx = self.set_index(entry.unified_addr);
+        let assoc = self.associativity;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|e| e.unified_addr == entry.unified_addr) {
+            set.remove(pos);
+            set.push(entry);
+            return None;
+        }
+        let victim = if set.len() == assoc {
+            self.stats.evictions += 1;
+            Some(set.remove(0))
+        } else {
+            None
+        };
+        set.push(entry);
+        victim
+    }
+
+    /// Removes a specific block (used when the frontend must flush a block,
+    /// e.g. during a group remap).
+    pub fn remove(&mut self, unified_addr: u64) -> Option<PlbEntry<V>> {
+        let set_idx = self.set_index(unified_addr);
+        let set = &mut self.sets[set_idx];
+        set.iter()
+            .position(|e| e.unified_addr == unified_addr)
+            .map(|pos| set.remove(pos))
+    }
+
+    /// Drains every resident entry (used when flushing the PLB).
+    pub fn drain(&mut self) -> Vec<PlbEntry<V>> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            out.append(set);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(addr: u64) -> PlbEntry<u64> {
+        PlbEntry {
+            unified_addr: addr,
+            leaf: addr * 10,
+            payload: addr,
+        }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut plb: Plb<u64> = Plb::new(8, 1);
+        assert!(plb.lookup(5).is_none());
+        plb.insert(entry(5));
+        assert_eq!(plb.lookup(5).unwrap().leaf, 50);
+        assert_eq!(plb.stats().hits, 1);
+        assert_eq!(plb.stats().misses, 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_evicts_previous_occupant() {
+        let mut plb: Plb<u64> = Plb::new(4, 1);
+        // Two addresses that collide in a 4-set direct-mapped PLB.
+        let a = 3u64;
+        let b = a + 4;
+        plb.insert(entry(a));
+        let evicted = plb.insert(entry(b));
+        assert_eq!(evicted.unwrap().unified_addr, a);
+        assert!(plb.lookup(a).is_none());
+        assert!(plb.lookup(b).is_some());
+        assert_eq!(plb.stats().evictions, 1);
+    }
+
+    #[test]
+    fn higher_associativity_avoids_the_conflict() {
+        let mut plb: Plb<u64> = Plb::new(4, 4);
+        let a = 3u64;
+        let b = a + 4;
+        plb.insert(entry(a));
+        assert!(plb.insert(entry(b)).is_none());
+        assert!(plb.lookup(a).is_some());
+        assert!(plb.lookup(b).is_some());
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_way() {
+        let mut plb: Plb<u64> = Plb::new(2, 2);
+        plb.insert(entry(0));
+        plb.insert(entry(1));
+        // Touch 0 so 1 becomes LRU.
+        assert!(plb.lookup(0).is_some());
+        let evicted = plb.insert(entry(2)).unwrap();
+        assert_eq!(evicted.unified_addr, 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut plb: Plb<u64> = Plb::new(4, 2);
+        plb.insert(entry(9));
+        let mut updated = entry(9);
+        updated.leaf = 123;
+        assert!(plb.insert(updated).is_none());
+        assert_eq!(plb.lookup(9).unwrap().leaf, 123);
+        assert_eq!(plb.len(), 1);
+    }
+
+    #[test]
+    fn capacity_bytes_constructor_matches_paper_sizes() {
+        // 8 KB PLB of 64-byte blocks = 128 entries; 64 KB = 1024 entries.
+        let plb8: Plb<()> = Plb::with_capacity_bytes(8 << 10, 64, 1);
+        let plb64: Plb<()> = Plb::with_capacity_bytes(64 << 10, 64, 1);
+        assert_eq!(plb8.capacity(), 128);
+        assert_eq!(plb64.capacity(), 1024);
+    }
+
+    #[test]
+    fn drain_returns_everything_and_empties() {
+        let mut plb: Plb<u64> = Plb::new(8, 2);
+        for i in 0..5 {
+            plb.insert(entry(i));
+        }
+        let drained = plb.drain();
+        assert_eq!(drained.len(), 5);
+        assert!(plb.is_empty());
+    }
+
+    #[test]
+    fn remove_specific_entry() {
+        let mut plb: Plb<u64> = Plb::new(8, 2);
+        plb.insert(entry(1));
+        plb.insert(entry(2));
+        assert_eq!(plb.remove(1).unwrap().unified_addr, 1);
+        assert!(plb.remove(1).is_none());
+        assert_eq!(plb.len(), 1);
+    }
+
+    #[test]
+    fn hit_rate_reflects_locality() {
+        let mut plb: Plb<u64> = Plb::new(64, 1);
+        // Sequential re-use: after the first pass everything hits.
+        for _ in 0..4 {
+            for addr in 0..32u64 {
+                if plb.lookup(addr).is_none() {
+                    plb.insert(entry(addr));
+                }
+            }
+        }
+        assert!(plb.stats().hit_rate().unwrap() > 0.7);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of associativity")]
+    fn rejects_mismatched_capacity_and_associativity() {
+        let _: Plb<()> = Plb::new(6, 4);
+    }
+}

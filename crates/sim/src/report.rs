@@ -1,0 +1,83 @@
+//! Plain-text table formatting for the experiment binaries.
+
+/// Formats a table with a header row, padding every column to its widest
+/// cell.
+///
+/// # Examples
+///
+/// ```
+/// use oram_sim::report::format_table;
+///
+/// let t = format_table(
+///     &["bench", "slowdown"],
+///     &[vec!["mcf".to_string(), "9.81".to_string()]],
+/// );
+/// assert!(t.contains("bench"));
+/// assert!(t.contains("mcf"));
+/// ```
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let columns = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(columns) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        padded.join("  ")
+    };
+    out.push_str(&fmt_row(
+        headers.iter().map(|h| h.to_string()).collect(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with 2 decimal places.
+pub fn f2(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Formats a byte count as KB with one decimal.
+pub fn kb(bytes: f64) -> String {
+    format!("{:.1}", bytes / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_contains_all_cells() {
+        let t = format_table(
+            &["a", "longer"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333333".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains('1'));
+        assert!(lines[3].starts_with("333333"));
+    }
+
+    #[test]
+    fn numeric_helpers() {
+        assert_eq!(f2(1.23456), "1.23");
+        assert_eq!(kb(2048.0), "2.0");
+    }
+}

@@ -1,0 +1,427 @@
+//! Address-only (timing) models of the ORAM frontends, scalable to the
+//! paper's 4–64 GB capacities.
+//!
+//! The models track exactly the state that determines cost — the PLB contents
+//! and the recursion addressing — and charge each backend access the average
+//! latency calibrated by [`crate::latency::OramLatencyModel`].  Group-remap
+//! overhead (§5.2.2) is at most X/2^β = 0.2% of accesses for the compressed
+//! format and is ignored here (the functional frontend models it exactly).
+
+use crate::latency::OramLatencyModel;
+use crate::scheme::SchemePoint;
+use cache_sim::MainMemory;
+use dram_sim::DramConfig;
+use path_oram::OramParams;
+use posmap::addressing::RecursionAddressing;
+use posmap::{Plb, PlbEntry};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a timing-model ORAM.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingOramConfig {
+    /// Which design point to model.
+    pub scheme: SchemePoint,
+    /// Logical data capacity in bytes (e.g. 4 GiB).
+    pub data_capacity_bytes: u64,
+    /// ORAM block size in bytes (the LLC line size in Figures 5–8).
+    pub block_bytes: usize,
+    /// Slots per bucket (Z).
+    pub z: usize,
+    /// PLB capacity in bytes.
+    pub plb_capacity_bytes: usize,
+    /// PLB associativity (1 = direct mapped).
+    pub plb_associativity: usize,
+    /// On-chip PosMap capacity in bytes.
+    pub onchip_posmap_bytes: usize,
+    /// DRAM configuration (channel count etc.).
+    pub dram: DramConfig,
+    /// Random-path samples used to calibrate each tree's average latency.
+    pub latency_samples: usize,
+}
+
+impl TimingOramConfig {
+    /// The paper's default configuration (Table 1): 4 GB ORAM of 64-byte
+    /// blocks, Z = 4, 64 KB direct-mapped PLB, 8 KB on-chip PosMap, 2 DRAM
+    /// channels.
+    pub fn paper_default(scheme: SchemePoint) -> Self {
+        Self {
+            scheme,
+            data_capacity_bytes: 4 << 30,
+            block_bytes: 64,
+            z: 4,
+            plb_capacity_bytes: 64 << 10,
+            plb_associativity: 1,
+            onchip_posmap_bytes: 8 << 10,
+            dram: DramConfig::default(),
+            latency_samples: 50,
+        }
+    }
+
+    /// Number of data blocks.
+    pub fn num_blocks(&self) -> u64 {
+        self.data_capacity_bytes / self.block_bytes as u64
+    }
+
+    /// On-chip PosMap capacity in entries: 8-byte counters under PMMAC,
+    /// 4-byte leaves for the PLB designs, and tightly bit-packed (~2-byte)
+    /// leaves for the R_X8 baseline, matching the paper's generosity toward
+    /// the baseline's large on-chip PosMap (§7.1.4).
+    pub fn onchip_entries(&self) -> u64 {
+        let entry = if self.scheme.pmmac() {
+            8
+        } else if self.scheme == SchemePoint::RX8 {
+            2
+        } else {
+            4
+        };
+        (self.onchip_posmap_bytes as u64 / entry).max(1)
+    }
+}
+
+/// Cost of one frontend request, in whatever the caller accumulates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessCost {
+    /// Total latency in processor cycles.
+    pub cycles: u64,
+    /// Backend accesses made for PosMap blocks.
+    pub posmap_accesses: u64,
+    /// Backend accesses made for the data block.
+    pub data_accesses: u64,
+    /// Bytes moved for PosMap accesses.
+    pub posmap_bytes: u64,
+    /// Bytes moved for the data access.
+    pub data_bytes: u64,
+}
+
+/// Aggregate traffic statistics of a timing run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Frontend requests served (LLC misses + evictions).
+    pub requests: u64,
+    /// Total PosMap backend accesses.
+    pub posmap_accesses: u64,
+    /// Total data backend accesses.
+    pub data_accesses: u64,
+    /// Total PosMap bytes moved.
+    pub posmap_bytes: u64,
+    /// Total data bytes moved.
+    pub data_bytes: u64,
+    /// Total cycles spent in the ORAM.
+    pub cycles: u64,
+}
+
+impl TrafficStats {
+    /// Average bytes moved per request (the y-axis of Figure 7), split as
+    /// `(posmap, data)`.
+    pub fn bytes_per_request(&self) -> (f64, f64) {
+        if self.requests == 0 {
+            (0.0, 0.0)
+        } else {
+            (
+                self.posmap_bytes as f64 / self.requests as f64,
+                self.data_bytes as f64 / self.requests as f64,
+            )
+        }
+    }
+
+    /// Fraction of moved bytes that belong to PosMap management.
+    pub fn posmap_fraction(&self) -> f64 {
+        let total = self.posmap_bytes + self.data_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.posmap_bytes as f64 / total as f64
+        }
+    }
+}
+
+/// Per-recursion-level geometry for the baseline separate-tree design.
+#[derive(Debug, Clone)]
+struct BaselineLevel {
+    latency: OramLatencyModel,
+    access_bytes: u64,
+}
+
+/// The timing model of one ORAM design point.
+#[derive(Debug)]
+pub struct TimingOram {
+    config: TimingOramConfig,
+    rec: RecursionAddressing,
+    /// PLB of address-only entries (None for the baseline design).
+    plb: Option<Plb<()>>,
+    /// Latency/byte model of the unified tree (PLB designs) or the Data ORAM
+    /// (baseline).
+    data_latency: OramLatencyModel,
+    /// Latency/byte models of the separate PosMap ORAMs (baseline only),
+    /// indexed by recursion level (entry 0 unused).
+    baseline_levels: Vec<BaselineLevel>,
+    stats: TrafficStats,
+}
+
+impl TimingOram {
+    /// Builds the timing model, calibrating DRAM latencies for every tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called for [`SchemePoint::Insecure`] or
+    /// [`SchemePoint::Phantom4K`] (those are modelled elsewhere).
+    pub fn new(config: TimingOramConfig) -> Self {
+        assert!(
+            !matches!(config.scheme, SchemePoint::Insecure | SchemePoint::Phantom4K),
+            "use FlatLatencyMemory / PhantomOram for this scheme"
+        );
+        let x = config.scheme.x(config.block_bytes);
+        let rec = RecursionAddressing::new(config.num_blocks(), x, config.onchip_entries());
+
+        if config.scheme.uses_plb() {
+            let payload = config.scheme.payload_bytes(config.block_bytes);
+            let params = OramParams::new(rec.unified_total_blocks(), payload, config.z);
+            let data_latency =
+                OramLatencyModel::new(params, config.dram.clone(), config.latency_samples);
+            let plb_blocks = (config.plb_capacity_bytes / config.block_bytes)
+                .max(config.plb_associativity * 4);
+            let plb = Plb::new(
+                plb_blocks - plb_blocks % config.plb_associativity,
+                config.plb_associativity,
+            );
+            Self {
+                config,
+                rec,
+                plb: Some(plb),
+                data_latency,
+                baseline_levels: Vec::new(),
+                stats: TrafficStats::default(),
+            }
+        } else {
+            // Baseline: one tree per level.
+            let data_params =
+                OramParams::new(rec.blocks_at_level(0), config.block_bytes, config.z);
+            let data_latency =
+                OramLatencyModel::new(data_params, config.dram.clone(), config.latency_samples);
+            let mut baseline_levels = Vec::new();
+            for level in 0..rec.num_levels() {
+                let block_bytes = if level == 0 {
+                    config.block_bytes
+                } else {
+                    config.scheme.posmap_block_bytes(config.block_bytes)
+                };
+                let params = OramParams::new(rec.blocks_at_level(level), block_bytes, config.z);
+                let latency =
+                    OramLatencyModel::new(params, config.dram.clone(), config.latency_samples);
+                let access_bytes = latency.params().access_bytes();
+                baseline_levels.push(BaselineLevel {
+                    latency,
+                    access_bytes,
+                });
+            }
+            Self {
+                config,
+                rec,
+                plb: None,
+                data_latency,
+                baseline_levels,
+                stats: TrafficStats::default(),
+            }
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TimingOramConfig {
+        &self.config
+    }
+
+    /// The recursion addressing (H, X, per-level block counts).
+    pub fn addressing(&self) -> &RecursionAddressing {
+        &self.rec
+    }
+
+    /// Latency model of the unified tree / Data ORAM.
+    pub fn data_latency(&self) -> &OramLatencyModel {
+        &self.data_latency
+    }
+
+    /// Accumulated traffic statistics.
+    pub fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Resets statistics (PLB contents are retained, as in a long-running
+    /// system).
+    pub fn reset_stats(&mut self) {
+        self.stats = TrafficStats::default();
+    }
+
+    /// Serves one frontend request for data block `block_addr`.
+    pub fn access(&mut self, block_addr: u64) -> AccessCost {
+        let block_addr = block_addr % self.config.num_blocks().max(1);
+        let h = self.rec.num_levels();
+        let pmmac = self.config.scheme.pmmac();
+        let mut cost = AccessCost::default();
+
+        if let Some(plb) = &mut self.plb {
+            // PLB design: probe for the parent of each level starting at the
+            // data level (§4.2.4 step 1).
+            let mut start_level = h - 1;
+            for i in 0..h - 1 {
+                let parent = self.rec.unified_addr(i + 1, block_addr);
+                if plb.lookup(parent).is_some() {
+                    start_level = i;
+                    break;
+                }
+            }
+            let access_bytes = self.data_latency.params().access_bytes();
+            let backend_cycles = self.data_latency.backend_access_cycles(pmmac);
+            // PosMap fetches for levels start_level .. 1.
+            for level in (1..=start_level).rev() {
+                let unified = self.rec.unified_addr(level, block_addr);
+                plb.insert(PlbEntry {
+                    unified_addr: unified,
+                    leaf: 0,
+                    payload: (),
+                });
+                cost.posmap_accesses += 1;
+                cost.posmap_bytes += access_bytes;
+                cost.cycles += backend_cycles + self.data_latency.frontend_cycles();
+            }
+            // The data access itself.
+            cost.data_accesses = 1;
+            cost.data_bytes = access_bytes;
+            cost.cycles += backend_cycles;
+        } else {
+            // Baseline: every level, every time.
+            for level in (1..h).rev() {
+                let lvl = &self.baseline_levels[level as usize];
+                cost.posmap_accesses += 1;
+                cost.posmap_bytes += lvl.access_bytes;
+                cost.cycles += lvl.latency.backend_access_cycles(pmmac);
+            }
+            let data = &self.baseline_levels[0];
+            cost.data_accesses = 1;
+            cost.data_bytes = data.access_bytes;
+            cost.cycles += data.latency.backend_access_cycles(pmmac);
+        }
+
+        self.stats.requests += 1;
+        self.stats.posmap_accesses += cost.posmap_accesses;
+        self.stats.data_accesses += cost.data_accesses;
+        self.stats.posmap_bytes += cost.posmap_bytes;
+        self.stats.data_bytes += cost.data_bytes;
+        self.stats.cycles += cost.cycles;
+        cost
+    }
+}
+
+/// Adapter exposing a [`TimingOram`] as the processor's main memory.
+#[derive(Debug)]
+pub struct OramMemory {
+    oram: TimingOram,
+    block_bytes: u64,
+}
+
+impl OramMemory {
+    /// Wraps a timing ORAM; `block_bytes` is the ORAM block size used to
+    /// translate byte addresses into block addresses.
+    pub fn new(oram: TimingOram) -> Self {
+        let block_bytes = oram.config().block_bytes as u64;
+        Self { oram, block_bytes }
+    }
+
+    /// The wrapped ORAM (for statistics).
+    pub fn oram(&self) -> &TimingOram {
+        &self.oram
+    }
+
+    /// Resets the wrapped ORAM's traffic statistics (PLB state is retained).
+    pub fn reset_stats(&mut self) {
+        self.oram.reset_stats();
+    }
+}
+
+impl MainMemory for OramMemory {
+    fn access(&mut self, line_addr: u64, _is_write: bool) -> u64 {
+        self.oram.access(line_addr / self.block_bytes).cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(scheme: SchemePoint) -> TimingOramConfig {
+        TimingOramConfig {
+            data_capacity_bytes: 64 << 20,
+            latency_samples: 5,
+            ..TimingOramConfig::paper_default(scheme)
+        }
+    }
+
+    #[test]
+    fn baseline_walks_every_level_every_time() {
+        let mut oram = TimingOram::new(small_config(SchemePoint::RX8));
+        let h = oram.addressing().num_levels() as u64;
+        assert!(h >= 3);
+        for addr in 0..100u64 {
+            let cost = oram.access(addr);
+            assert_eq!(cost.posmap_accesses, h - 1);
+            assert_eq!(cost.data_accesses, 1);
+        }
+    }
+
+    #[test]
+    fn plb_design_skips_posmap_accesses_on_locality() {
+        let mut oram = TimingOram::new(small_config(SchemePoint::PcX32));
+        // Sequential block addresses share PosMap blocks.
+        let mut total_posmap = 0;
+        for addr in 0..1000u64 {
+            total_posmap += oram.access(addr).posmap_accesses;
+        }
+        let per_request = total_posmap as f64 / 1000.0;
+        assert!(per_request < 0.5, "posmap accesses per request {per_request}");
+    }
+
+    #[test]
+    fn plb_design_costs_less_than_baseline_on_sequential_traffic() {
+        let mut baseline = TimingOram::new(small_config(SchemePoint::RX8));
+        let mut plb = TimingOram::new(small_config(SchemePoint::PcX32));
+        let mut base_cycles = 0;
+        let mut plb_cycles = 0;
+        for addr in 0..500u64 {
+            base_cycles += baseline.access(addr).cycles;
+            plb_cycles += plb.access(addr).cycles;
+        }
+        assert!(
+            plb_cycles < base_cycles,
+            "PLB {plb_cycles} should beat baseline {base_cycles}"
+        );
+    }
+
+    #[test]
+    fn pmmac_increases_per_access_bytes_via_mac_field() {
+        let pc = TimingOram::new(small_config(SchemePoint::PcX32));
+        let pic = TimingOram::new(small_config(SchemePoint::PicX32));
+        assert!(
+            pic.data_latency().params().access_bytes() >= pc.data_latency().params().access_bytes()
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut oram = TimingOram::new(small_config(SchemePoint::PcX32));
+        for addr in 0..50u64 {
+            oram.access(addr * 1000);
+        }
+        assert_eq!(oram.stats().requests, 50);
+        assert!(oram.stats().cycles > 0);
+        oram.reset_stats();
+        assert_eq!(oram.stats().requests, 0);
+    }
+
+    #[test]
+    fn oram_memory_translates_byte_addresses() {
+        let oram = TimingOram::new(small_config(SchemePoint::PcX32));
+        let mut mem = OramMemory::new(oram);
+        let lat = cache_sim::MainMemory::access(&mut mem, 0x1000, false);
+        assert!(lat > 100, "an ORAM access takes hundreds of cycles, got {lat}");
+        assert_eq!(mem.oram().stats().requests, 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! PLB locality exploration: how program address locality translates into
+//! skipped PosMap ORAM accesses (the core idea of §4), and why the unified
+//! ORAM tree is needed for security (§4.1.2).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p bench --example plb_locality
+//! ```
+
+use freecursive::{FreecursiveConfig, FreecursiveOram, Oram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn run_pattern(name: &str, addresses: &[u64]) -> Result<(), freecursive::OramError> {
+    let config = FreecursiveConfig::pc_x32(1 << 14, 64).with_onchip_entries(64);
+    let mut oram = FreecursiveOram::new(config)?;
+    let x = oram.config().x();
+    for &addr in addresses {
+        oram.read(addr)?;
+    }
+    let stats = oram.stats();
+    let per_request =
+        stats.posmap_backend_accesses as f64 / stats.frontend_requests as f64;
+    println!(
+        "{name:<28} posmap accesses/request = {per_request:.3}   plb hit rate = {:.2}   (H-1 = {})",
+        stats.plb.hit_rate().unwrap_or(0.0),
+        oram.num_levels() - 1
+    );
+    // The two programs of §4.1.2: without a unified tree, the *set of ORAMs
+    // accessed* would differ between patterns and leak which one ran.  With
+    // the unified tree the adversary sees only path accesses to one tree.
+    let _ = x;
+    Ok(())
+}
+
+fn main() -> Result<(), freecursive::OramError> {
+    println!("== PLB effectiveness vs program address locality (PC_X32, X = 32) ==\n");
+
+    // Program A of §4.1.2: a unit-stride scan.
+    let unit_stride: Vec<u64> = (0..4000u64).collect();
+    run_pattern("unit stride (program A)", &unit_stride)?;
+
+    // Program B of §4.1.2: a stride-X scan that misses the PLB constantly.
+    let stride_x: Vec<u64> = (0..4000u64).map(|i| (i * 32) % (1 << 14)).collect();
+    run_pattern("stride X=32 (program B)", &stride_x)?;
+
+    // A fully random pattern.
+    let mut rng = StdRng::seed_from_u64(1);
+    let random: Vec<u64> = (0..4000u64).map(|_| rng.gen_range(0..1 << 14)).collect();
+    run_pattern("uniform random", &random)?;
+
+    // A small hot set: everything ends up PLB-resident.
+    let hot: Vec<u64> = (0..4000u64).map(|i| i % 512).collect();
+    run_pattern("512-block hot set", &hot)?;
+
+    println!(
+        "\nBoth programs produce the *same kind* of observable trace (path accesses to the\n\
+         single unified tree); only the number of accesses differs — exactly the leakage\n\
+         the security definition permits ( 4.3).  Without the unified tree, program B's\n\
+         per-level PosMap ORAM accesses would reveal its stride."
+    );
+    Ok(())
+}

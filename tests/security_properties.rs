@@ -1,0 +1,190 @@
+//! Security-property integration tests: the obliviousness of the backend
+//! request trace, the indistinguishability argument for the PLB + unified
+//! tree (§4.3), and PMMAC's integrity guarantees under an active adversary
+//! (§6.5).
+
+use freecursive::{Adversary, FreecursiveConfig, FreecursiveOram, Oram, OramError};
+use path_oram::{AccessOp, EncryptionMode, OramBackend, OramParams, PathOramBackend};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Statistical obliviousness of the Path ORAM backend: the leaves it is asked
+/// to read are fresh uniform values, so the distribution of visited paths is
+/// indistinguishable between two very different access patterns.
+#[test]
+fn backend_path_distribution_is_independent_of_the_program() {
+    // Drive the *frontend* with two different programs and record, for each,
+    // how many backend accesses hit each half of the leaf space.  Any
+    // program-dependent skew would be a leak.
+    let observe = |addresses: &[u64]| -> (u64, u64) {
+        let mut oram = FreecursiveOram::new(
+            FreecursiveConfig::pc_x32(1 << 12, 64).with_onchip_entries(64),
+        )
+        .unwrap();
+        for &a in addresses {
+            oram.read(a).unwrap();
+        }
+        // Count evictions into the left/right half of the tree by looking at
+        // which second-level buckets were ever written.
+        let storage = oram.backend().storage();
+        let left = u64::from(storage.is_initialized(1));
+        let right = u64::from(storage.is_initialized(2));
+        let _ = (left, right);
+        // Stronger: use the dummy/real write counts, which are identical per
+        // access regardless of the program.
+        let stats = oram.backend().stats();
+        (stats.path_accesses, stats.bytes_written / stats.path_accesses.max(1))
+    };
+
+    let seq: Vec<u64> = (0..1000u64).collect();
+    let same: Vec<u64> = std::iter::repeat(7u64).take(1000).collect();
+    let (seq_accesses, seq_bytes) = observe(&seq);
+    let (same_accesses, same_bytes) = observe(&same);
+    // Both traces have the same length; the per-access bytes written to
+    // untrusted memory are identical constants — the adversary sees only the
+    // trace length (the paper's security definition, §2).
+    assert_eq!(seq_bytes, same_bytes);
+    assert!(seq_accesses >= 1000 && same_accesses >= 1000);
+}
+
+/// The §4.1.2 counterexample, resolved: with the unified tree, program A
+/// (unit stride) and program B (stride X) are distinguishable only by their
+/// total number of backend accesses — not by *which* structure is accessed.
+#[test]
+fn unified_tree_hides_which_posmap_level_is_needed() {
+    let run = |stride: u64| -> (u64, u64) {
+        let mut oram = FreecursiveOram::new(
+            FreecursiveConfig::pc_x32(1 << 14, 64).with_onchip_entries(64),
+        )
+        .unwrap();
+        for i in 0..2000u64 {
+            oram.read((i * stride) % (1 << 14)).unwrap();
+        }
+        let s = oram.stats();
+        (s.total_backend_accesses(), s.data_backend_accesses)
+    };
+    let x = FreecursiveConfig::pc_x32(1 << 14, 64).x();
+    let (a_total, a_data) = run(1);
+    let (b_total, b_data) = run(x);
+    // Program B needs more total accesses (PLB misses)…
+    assert!(b_total > a_total);
+    // …but both programs' accesses all target the single unified tree: the
+    // per-access observable is identical, and the data-block accesses are
+    // exactly one per request for both.
+    assert_eq!(a_data, 2000);
+    assert_eq!(b_data, 2000);
+}
+
+/// Every bucket written to untrusted memory under the global-seed scheme uses
+/// a fresh pad: ciphertexts of consecutive writes of the same bucket differ
+/// even when the plaintext is unchanged (probabilistic encryption, §3.1).
+#[test]
+fn bucket_rewrites_are_probabilistic() {
+    let params = OramParams::new(256, 32, 4);
+    let mut backend =
+        PathOramBackend::new(params, EncryptionMode::GlobalSeed, [5u8; 16], 0).unwrap();
+    // Two accesses to the same path with no data change.
+    backend
+        .access(AccessOp::Write, 1, 0, 0, Some(&[9u8; 32]))
+        .unwrap();
+    let root_before = backend.storage().snapshot_bucket(0);
+    backend.access(AccessOp::Read, 1, 0, 0, None).unwrap();
+    let root_after = backend.storage().snapshot_bucket(0);
+    assert_ne!(
+        root_before, root_after,
+        "re-encrypting the root bucket must produce a fresh ciphertext"
+    );
+}
+
+/// Integrity: random bit flips anywhere on the target block's path are either
+/// detected or harmless (never silently wrong data), across many trials.
+#[test]
+fn random_tampering_never_yields_silently_wrong_data() {
+    let mut rng = StdRng::seed_from_u64(0xF00D);
+    let mut detected = 0;
+    let trials = 12;
+    for trial in 0..trials {
+        let mut oram = FreecursiveOram::new(
+            FreecursiveConfig::pic_x32(1 << 10, 64)
+                .with_onchip_entries(32)
+                .with_seed(trial),
+        )
+        .unwrap();
+        let mut adversary = Adversary::new(trial * 7 + 1);
+        for addr in 0..32u64 {
+            oram.write(addr, &vec![(addr as u8) ^ 0x5A; 64]).unwrap();
+        }
+        // Flip a few random bytes.
+        for _ in 0..8 {
+            adversary.corrupt_random_bucket(&mut oram);
+        }
+        for addr in 0..32u64 {
+            match oram.read(addr) {
+                Ok(data) => assert_eq!(
+                    data,
+                    vec![(addr as u8) ^ 0x5A; 64],
+                    "trial {trial}: silently wrong data for block {addr}"
+                ),
+                Err(
+                    OramError::IntegrityViolation { .. }
+                    | OramError::MalformedBucket { .. }
+                    | OramError::BlockNotFound { .. },
+                ) => {
+                    detected += 1;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        let _ = rng.gen::<u8>();
+    }
+    assert!(
+        detected > 0,
+        "at least some of the {trials} tampering trials must be detected"
+    );
+}
+
+/// Replay of a whole-memory snapshot is detected once the target block
+/// actually lives in untrusted memory.
+#[test]
+fn whole_memory_rollback_is_not_silently_accepted() {
+    let mut oram = FreecursiveOram::new(
+        FreecursiveConfig::pic_x32(1 << 10, 64).with_onchip_entries(32),
+    )
+    .unwrap();
+    let adversary = Adversary::new(123);
+    oram.write(3, &vec![1u8; 64]).unwrap();
+    for a in 100..500u64 {
+        oram.read(a).unwrap();
+    }
+    let snapshot = adversary.snapshot(&oram);
+    for _ in 0..3 {
+        oram.write(3, &vec![2u8; 64]).unwrap();
+    }
+    for a in 500..900u64 {
+        oram.read(a).unwrap();
+    }
+    adversary.replay(&mut oram, &snapshot);
+    match oram.read(3) {
+        Ok(data) => assert_eq!(data, vec![2u8; 64], "stale value accepted"),
+        Err(
+            OramError::IntegrityViolation { .. }
+            | OramError::BlockNotFound { .. }
+            | OramError::MalformedBucket { .. },
+        ) => {}
+        Err(e) => panic!("unexpected error {e}"),
+    }
+}
+
+/// The PMMAC counters embedded in the on-chip PosMap make MAC forgeries with
+/// stale counters useless even when the adversary can see old MACs.
+#[test]
+fn stale_mac_cannot_authenticate_new_counter() {
+    use oram_crypto::mac::MacKey;
+    let key = MacKey::new([7u8; 16]);
+    let data = vec![0xAB; 64];
+    let old = key.compute(5, 1000, &data);
+    // The frontend's counter has moved to 6; the old tuple no longer passes.
+    assert!(!key.verify(6, 1000, &data, &old));
+    assert!(key.verify(5, 1000, &data, &old));
+}
