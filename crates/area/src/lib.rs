@@ -189,8 +189,7 @@ impl AreaModel {
         // The stash data array is sized by capacity; its datapath widens with
         // the DRAM bus.
         let width_factor = 1.0 + p.stash_width_scaling * (channels as f64).log2();
-        let stash_mm2 =
-            p.stash_sram.area(p.stash_blocks * p.block_bytes) * width_factor;
+        let stash_mm2 = p.stash_sram.area(p.stash_blocks * p.block_bytes) * width_factor;
         let aes_mm2 = p.aes_fixed_mm2 + p.aes_core_mm2 * self.aes_cores(channels) as f64;
         let total_mm2 = posmap_mm2 + plb_mm2 + pmmac_mm2 + misc_mm2 + stash_mm2 + aes_mm2;
         AreaBreakdown {
@@ -237,7 +236,10 @@ mod tests {
         for (channels, paper) in expected {
             let got = model.breakdown(channels).total_mm2;
             let err = (got - paper).abs() / paper;
-            assert!(err < 0.10, "{channels} channels: got {got:.3}, paper {paper}");
+            assert!(
+                err < 0.10,
+                "{channels} channels: got {got:.3}, paper {paper}"
+            );
         }
     }
 
@@ -310,8 +312,10 @@ mod tests {
 
     #[test]
     fn disabling_pmmac_removes_its_area() {
-        let mut params = AreaParams::default();
-        params.pmmac = false;
+        let params = AreaParams {
+            pmmac: false,
+            ..AreaParams::default()
+        };
         let without = AreaModel::new(params).breakdown(2);
         let with = AreaModel::default().breakdown(2);
         assert!(without.total_mm2 < with.total_mm2);

@@ -3,9 +3,7 @@
 //! Freecursive design point, plus the raw Path ORAM backend.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use freecursive::{
-    FreecursiveConfig, FreecursiveOram, Oram, RecursiveOram, RecursiveOramConfig,
-};
+use freecursive::{Oram, OramBuilder, SchemePoint};
 use path_oram::{AccessOp, EncryptionMode, OramBackend, OramParams, PathOramBackend};
 
 const N: u64 = 1 << 12;
@@ -46,31 +44,17 @@ fn bench_frontend_designs(c: &mut Criterion) {
     let mut group = c.benchmark_group("frontend/sequential_read");
     group.sample_size(20);
 
-    // Baseline Recursive ORAM (R_X8).
-    {
-        let mut oram =
-            RecursiveOram::new(RecursiveOramConfig::r_x8(N, BLOCK).with_onchip_entries(64))
-                .unwrap();
+    // The baseline and every Freecursive design point, all through the
+    // builder's object-safe entry point.
+    for scheme in SchemePoint::freecursive_points() {
+        let mut oram = OramBuilder::for_scheme(scheme)
+            .num_blocks(N)
+            .block_bytes(BLOCK)
+            .onchip_entries(64)
+            .build()
+            .unwrap();
         let mut addr = 0u64;
-        group.bench_function("R_X8", |b| {
-            b.iter(|| {
-                addr = (addr + 1) % N;
-                oram.read(addr).unwrap()
-            });
-        });
-    }
-
-    // Freecursive design points.
-    let points: Vec<(&str, FreecursiveConfig)> = vec![
-        ("P_X16", FreecursiveConfig::p_x16(N, BLOCK)),
-        ("PC_X32", FreecursiveConfig::pc_x32(N, BLOCK)),
-        ("PI_X8", FreecursiveConfig::pi_x8(N, BLOCK)),
-        ("PIC_X32", FreecursiveConfig::pic_x32(N, BLOCK)),
-    ];
-    for (name, cfg) in points {
-        let mut oram = FreecursiveOram::new(cfg.with_onchip_entries(64)).unwrap();
-        let mut addr = 0u64;
-        group.bench_function(name, |b| {
+        group.bench_function(scheme.label(), |b| {
             b.iter(|| {
                 addr = (addr + 1) % N;
                 oram.read(addr).unwrap()
@@ -86,9 +70,12 @@ fn bench_random_vs_sequential_plb(c: &mut Criterion) {
     let mut group = c.benchmark_group("frontend/pc_x32_access_pattern");
     group.sample_size(20);
     for (name, stride) in [("sequential", 1u64), ("strided_x64", 64)] {
-        let mut oram =
-            FreecursiveOram::new(FreecursiveConfig::pc_x32(N, BLOCK).with_onchip_entries(64))
-                .unwrap();
+        let mut oram = OramBuilder::for_scheme(SchemePoint::PcX32)
+            .num_blocks(N)
+            .block_bytes(BLOCK)
+            .onchip_entries(64)
+            .build_freecursive()
+            .unwrap();
         let mut addr = 0u64;
         group.bench_function(name, |b| {
             b.iter(|| {

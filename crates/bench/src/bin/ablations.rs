@@ -2,8 +2,21 @@
 //! DRAM tree layout, and unified-tree-vs-separate-trees bandwidth.
 fn main() {
     let scale = bench::scale_from_args();
-    let samples = if std::env::args().any(|a| a == "--quick") { 10 } else { 60 };
-    println!("{}", oram_sim::experiments::ablations::plb_associativity(scale).render());
-    println!("{}", oram_sim::experiments::ablations::layout_ablation(samples).render());
-    println!("{}", oram_sim::experiments::ablations::unified_tree_ablation(scale).render());
+    let samples = if std::env::args().any(|a| a == "--quick") {
+        10
+    } else {
+        60
+    };
+    println!(
+        "{}",
+        oram_sim::experiments::ablations::plb_associativity(scale).render()
+    );
+    println!(
+        "{}",
+        oram_sim::experiments::ablations::layout_ablation(samples).render()
+    );
+    println!(
+        "{}",
+        oram_sim::experiments::ablations::unified_tree_ablation(scale).render()
+    );
 }

@@ -9,5 +9,8 @@ fn main() {
     println!("{}", oram_sim::experiments::fig8::run(scale).render());
     println!("{}", oram_sim::experiments::fig9::run(scale).render());
     println!("{}", oram_sim::experiments::table3::run().render());
-    println!("{}", oram_sim::experiments::hash_bandwidth::run(1000).render());
+    println!(
+        "{}",
+        oram_sim::experiments::hash_bandwidth::run(1000).render()
+    );
 }

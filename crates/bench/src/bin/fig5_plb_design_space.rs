@@ -1,4 +1,7 @@
 //! Regenerates Figure 5: the PLB design-space sweep (8-128 KB).
 fn main() {
-    println!("{}", oram_sim::experiments::fig5::run(bench::scale_from_args()).render());
+    println!(
+        "{}",
+        oram_sim::experiments::fig5::run(bench::scale_from_args()).render()
+    );
 }

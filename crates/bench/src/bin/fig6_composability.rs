@@ -1,4 +1,7 @@
 //! Regenerates Figure 6: slowdowns of R_X8, PC_X32 and PIC_X32 vs insecure DRAM.
 fn main() {
-    println!("{}", oram_sim::experiments::fig6::run(bench::scale_from_args()).render());
+    println!(
+        "{}",
+        oram_sim::experiments::fig6::run(bench::scale_from_args()).render()
+    );
 }

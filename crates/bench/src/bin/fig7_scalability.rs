@@ -1,4 +1,7 @@
 //! Regenerates Figure 7: data moved per ORAM access at 4/16/64 GB capacities.
 fn main() {
-    println!("{}", oram_sim::experiments::fig7::run(bench::scale_from_args()).render());
+    println!(
+        "{}",
+        oram_sim::experiments::fig7::run(bench::scale_from_args()).render()
+    );
 }

@@ -1,4 +1,7 @@
 //! Regenerates Figure 8: the comparison under the parameters of Ren et al. [26].
 fn main() {
-    println!("{}", oram_sim::experiments::fig8::run(bench::scale_from_args()).render());
+    println!(
+        "{}",
+        oram_sim::experiments::fig8::run(bench::scale_from_args()).render()
+    );
 }

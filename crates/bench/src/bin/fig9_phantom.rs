@@ -1,4 +1,7 @@
 //! Regenerates Figure 9: PC_X32 speedup over a Phantom-style 4 KB-block ORAM.
 fn main() {
-    println!("{}", oram_sim::experiments::fig9::run(bench::scale_from_args()).render());
+    println!(
+        "{}",
+        oram_sim::experiments::fig9::run(bench::scale_from_args()).render()
+    );
 }

@@ -1,5 +1,12 @@
 //! Regenerates the 6.3 hash-bandwidth comparison (PMMAC vs Merkle tree).
 fn main() {
-    let accesses = if std::env::args().any(|a| a == "--quick") { 200 } else { 2000 };
-    println!("{}", oram_sim::experiments::hash_bandwidth::run(accesses).render());
+    let accesses = if std::env::args().any(|a| a == "--quick") {
+        200
+    } else {
+        2000
+    };
+    println!(
+        "{}",
+        oram_sim::experiments::hash_bandwidth::run(accesses).render()
+    );
 }

@@ -1,5 +1,9 @@
 //! Regenerates Table 2: ORAM tree latency by DRAM channel count.
 fn main() {
-    let samples = if std::env::args().any(|a| a == "--quick") { 10 } else { 200 };
+    let samples = if std::env::args().any(|a| a == "--quick") {
+        10
+    } else {
+        200
+    };
     println!("{}", oram_sim::experiments::table2::run(samples).render());
 }

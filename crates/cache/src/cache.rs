@@ -61,7 +61,9 @@ impl SetAssocCache {
     pub fn new(config: CacheConfig) -> Self {
         assert!(config.line_bytes > 0 && config.associativity > 0);
         assert!(
-            config.capacity_bytes % (config.associativity * config.line_bytes) == 0
+            config
+                .capacity_bytes
+                .is_multiple_of(config.associativity * config.line_bytes)
                 && config.num_sets() > 0,
             "capacity must be a whole number of sets"
         );
@@ -118,9 +120,7 @@ impl SetAssocCache {
         self.misses += 1;
         let writeback = if set.len() == assoc {
             let victim = set.remove(0);
-            victim
-                .dirty
-                .then(|| self.line_addr(set_idx, victim.tag))
+            victim.dirty.then(|| self.line_addr(set_idx, victim.tag))
         } else {
             None
         };
@@ -148,9 +148,7 @@ impl SetAssocCache {
         }
         let writeback = if set.len() == assoc {
             let victim = set.remove(0);
-            victim
-                .dirty
-                .then(|| self.line_addr(set_idx, victim.tag))
+            victim.dirty.then(|| self.line_addr(set_idx, victim.tag))
         } else {
             None
         };

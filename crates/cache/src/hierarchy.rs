@@ -187,7 +187,10 @@ mod tests {
                 saw_writeback = true;
             }
         }
-        assert!(saw_writeback, "dirty line 0 must eventually be written back");
+        assert!(
+            saw_writeback,
+            "dirty line 0 must eventually be written back"
+        );
     }
 
     #[test]

@@ -28,8 +28,10 @@
 
 pub mod cache;
 pub mod hierarchy;
+pub mod oram_memory;
 pub mod processor;
 
 pub use cache::{CacheConfig, SetAssocCache};
 pub use hierarchy::{CacheHierarchy, HierarchyConfig, HitLevel};
+pub use oram_memory::FunctionalOramMemory;
 pub use processor::{FlatLatencyMemory, MainMemory, ProcessorConfig, RunResult, SecureProcessor};

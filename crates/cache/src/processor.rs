@@ -144,7 +144,8 @@ impl<M: MainMemory> SecureProcessor<M> {
         let mut latency = self.hierarchy.hit_latency(outcome.level);
         if outcome.level == HitLevel::Memory {
             self.result.llc_misses += 1;
-            let line = addr / self.hierarchy.line_bytes() as u64 * self.hierarchy.line_bytes() as u64;
+            let line =
+                addr / self.hierarchy.line_bytes() as u64 * self.hierarchy.line_bytes() as u64;
             let mem_latency = self.memory.access(line, false);
             latency += mem_latency;
             self.result.memory_cycles += mem_latency;
@@ -169,7 +170,8 @@ mod tests {
 
     #[test]
     fn flat_memory_baseline_latency() {
-        let mut cpu = SecureProcessor::new(ProcessorConfig::default(), FlatLatencyMemory::default());
+        let mut cpu =
+            SecureProcessor::new(ProcessorConfig::default(), FlatLatencyMemory::default());
         cpu.step(0, 0, false);
         // Miss: L1+L2 lookup latency (13) + 58 memory cycles.
         assert_eq!(cpu.result().total_cycles, 13 + 58);
@@ -181,7 +183,8 @@ mod tests {
 
     #[test]
     fn gap_instructions_cost_one_cycle_each() {
-        let mut cpu = SecureProcessor::new(ProcessorConfig::default(), FlatLatencyMemory::default());
+        let mut cpu =
+            SecureProcessor::new(ProcessorConfig::default(), FlatLatencyMemory::default());
         cpu.step(100, 0, false);
         assert_eq!(cpu.result().instructions, 101);
         assert_eq!(cpu.result().total_cycles, 100 + 13 + 58);
@@ -221,7 +224,8 @@ mod tests {
 
     #[test]
     fn mpki_and_ipc_are_consistent() {
-        let mut cpu = SecureProcessor::new(ProcessorConfig::default(), FlatLatencyMemory::default());
+        let mut cpu =
+            SecureProcessor::new(ProcessorConfig::default(), FlatLatencyMemory::default());
         for i in 0..1000u64 {
             cpu.step(9, i * 64, false);
         }

@@ -44,7 +44,10 @@ impl Adversary {
         let mut corrupted = 0;
         for idx in 0..num {
             if oram.backend().storage().is_initialized(idx)
-                && oram.backend_mut().storage_mut().tamper_xor(idx, offset, 0xFF)
+                && oram
+                    .backend_mut()
+                    .storage_mut()
+                    .tamper_xor(idx, offset, 0xFF)
             {
                 corrupted += 1;
             }
@@ -63,8 +66,12 @@ impl Adversary {
             return None;
         }
         let idx = initialized[self.rng.gen_range(0..initialized.len())];
-        let offset = self.rng.gen_range(0..oram.backend().storage().bucket_bytes());
-        oram.backend_mut().storage_mut().tamper_xor(idx, offset, 0x01);
+        let offset = self
+            .rng
+            .gen_range(0..oram.backend().storage().bucket_bytes());
+        oram.backend_mut()
+            .storage_mut()
+            .tamper_xor(idx, offset, 0x01);
         Some(idx)
     }
 
@@ -105,15 +112,19 @@ impl Adversary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::FreecursiveConfig;
+    use crate::builder::OramBuilder;
+    use crate::error::FreecursiveError;
+    use crate::scheme::SchemePoint;
     use crate::traits::Oram;
     use path_oram::OramError;
 
     fn pmmac_oram() -> FreecursiveOram {
-        FreecursiveOram::new(
-            FreecursiveConfig::pic_x32(1 << 10, 64).with_onchip_entries(32),
-        )
-        .unwrap()
+        OramBuilder::for_scheme(SchemePoint::PicX32)
+            .num_blocks(1 << 10)
+            .block_bytes(64)
+            .onchip_entries(32)
+            .build_freecursive()
+            .unwrap()
     }
 
     #[test]
@@ -121,7 +132,7 @@ mod tests {
         let mut oram = pmmac_oram();
         let mut adv = Adversary::new(1);
         for addr in 0..32u64 {
-            oram.write(addr, &vec![addr as u8; 64]).unwrap();
+            oram.write(addr, &[addr as u8; 64]).unwrap();
         }
         // Corrupt a data byte deep inside every bucket payload.
         let corrupted = adv.corrupt_all_buckets(&mut oram, 100);
@@ -132,7 +143,12 @@ mod tests {
         let mut violations = 0;
         for addr in 0..32u64 {
             match oram.read(addr) {
-                Err(OramError::IntegrityViolation { .. }) | Err(OramError::MalformedBucket { .. }) | Err(OramError::BlockNotFound { .. }) => {
+                Err(
+                    FreecursiveError::Integrity { .. }
+                    | FreecursiveError::Backend(
+                        OramError::MalformedBucket { .. } | OramError::BlockNotFound { .. },
+                    ),
+                ) => {
                     violations += 1;
                     break; // the controller would halt here
                 }
@@ -158,21 +174,24 @@ mod tests {
                 other += 1;
             }
         };
-        oram.write(target, &vec![1u8; 64]).unwrap();
+        oram.write(target, &[1u8; 64]).unwrap();
         flush(&mut oram);
         // Capture the state, advance it, then roll memory back.
         let snapshot = adv.snapshot(&oram);
         for _ in 0..5 {
-            oram.write(target, &vec![2u8; 64]).unwrap();
+            oram.write(target, &[2u8; 64]).unwrap();
         }
         flush(&mut oram);
         adv.replay(&mut oram, &snapshot);
         match oram.read(target) {
             // Detected: the stale MAC does not verify under the current
             // counter, or the block is not where the fresh PosMap says.
-            Err(OramError::IntegrityViolation { .. })
-            | Err(OramError::BlockNotFound { .. })
-            | Err(OramError::MalformedBucket { .. }) => {}
+            Err(
+                FreecursiveError::Integrity { .. }
+                | FreecursiveError::Backend(
+                    OramError::BlockNotFound { .. } | OramError::MalformedBucket { .. },
+                ),
+            ) => {}
             // Not silently fooled: the read still returned the *fresh* value
             // because the block never left trusted storage.
             Ok(data) => assert_eq!(
@@ -189,7 +208,7 @@ mod tests {
         let mut oram = pmmac_oram();
         let adv = Adversary::new(3);
         assert!(adv.snapshot(&oram).is_empty());
-        oram.write(0, &vec![0u8; 64]).unwrap();
+        oram.write(0, &[0u8; 64]).unwrap();
         assert!(!adv.snapshot(&oram).is_empty());
     }
 
@@ -198,7 +217,7 @@ mod tests {
         let mut oram = pmmac_oram();
         let mut adv = Adversary::new(4);
         assert!(adv.corrupt_random_bucket(&mut oram).is_none());
-        oram.write(0, &vec![0u8; 64]).unwrap();
+        oram.write(0, &[0u8; 64]).unwrap();
         assert!(adv.corrupt_random_bucket(&mut oram).is_some());
     }
 }

@@ -35,7 +35,10 @@ impl AsymptoticParams {
     ///
     /// Panics if either argument is not at least 2.
     pub fn new(num_blocks: f64, block_bits: f64) -> Self {
-        assert!(num_blocks >= 2.0 && block_bits >= 2.0, "degenerate parameters");
+        assert!(
+            num_blocks >= 2.0 && block_bits >= 2.0,
+            "degenerate parameters"
+        );
         Self {
             num_blocks,
             block_bits,

@@ -1,0 +1,435 @@
+//! The single construction path for every evaluation design point.
+//!
+//! [`OramBuilder`] replaces the old ad-hoc constructors
+//! (`FreecursiveConfig::pic_x32`, `RecursiveOramConfig::r_x8`, …) with one
+//! entry point keyed by [`SchemePoint`]:
+//!
+//! ```
+//! use freecursive::{Oram, OramBuilder, SchemePoint};
+//!
+//! # fn main() -> Result<(), freecursive::FreecursiveError> {
+//! // Any design point, as a trait object:
+//! let mut oram = OramBuilder::for_scheme(SchemePoint::PicX32)
+//!     .num_blocks(1 << 12)
+//!     .build()?;
+//! oram.write(7, &vec![0xAB; 64])?;
+//! assert_eq!(oram.read(7)?, vec![0xAB; 64]);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Every knob of the underlying configurations is exposed as an override;
+//! unset knobs fall back to the paper's defaults for the chosen scheme
+//! (including the per-scheme block size: 64 B for the main table, 128 B for
+//! `PC_X64`, 4 KB for Phantom).
+
+use crate::config::{FreecursiveConfig, PosMapFormat};
+use crate::error::{ConfigError, FreecursiveError};
+use crate::frontend::FreecursiveOram;
+use crate::insecure::InsecureOram;
+use crate::recursive::{RecursiveOram, RecursiveOramConfig};
+use crate::scheme::SchemePoint;
+use crate::traits::Oram;
+use path_oram::{EncryptionMode, OramBackend, PathOramBackend};
+
+/// Builder for every ORAM design point of the evaluation.
+///
+/// See the [module documentation](self) for an overview and the `build_*`
+/// methods for the concrete construction targets.
+#[derive(Debug, Clone)]
+pub struct OramBuilder {
+    scheme: SchemePoint,
+    num_blocks: u64,
+    block_bytes: Option<usize>,
+    z: Option<usize>,
+    onchip_entries: Option<u64>,
+    plb_capacity_bytes: Option<usize>,
+    plb_associativity: Option<usize>,
+    posmap_format: Option<PosMapFormat>,
+    x_override: Option<u64>,
+    encryption: Option<EncryptionMode>,
+    stash_capacity: Option<usize>,
+    seed: Option<u64>,
+}
+
+impl OramBuilder {
+    /// Starts a builder for the given design point with the paper's default
+    /// geometry (2^20 blocks of the scheme's evaluation block size).
+    pub fn for_scheme(scheme: SchemePoint) -> Self {
+        Self {
+            scheme,
+            num_blocks: 1 << 20,
+            block_bytes: None,
+            z: None,
+            onchip_entries: None,
+            plb_capacity_bytes: None,
+            plb_associativity: None,
+            posmap_format: None,
+            x_override: None,
+            encryption: None,
+            stash_capacity: None,
+            seed: None,
+        }
+    }
+
+    /// The design point this builder constructs.
+    pub fn scheme(&self) -> SchemePoint {
+        self.scheme
+    }
+
+    /// Sets the number of data blocks (N).
+    pub fn num_blocks(mut self, n: u64) -> Self {
+        self.num_blocks = n;
+        self
+    }
+
+    /// Sets the data block size in bytes (default: the scheme's evaluation
+    /// block size, see [`SchemePoint::default_block_bytes`]).
+    pub fn block_bytes(mut self, bytes: usize) -> Self {
+        self.block_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the slots per bucket (Z).
+    pub fn z(mut self, z: usize) -> Self {
+        self.z = Some(z);
+        self
+    }
+
+    /// Sets the on-chip PosMap capacity in entries.
+    ///
+    /// Ignored for [`SchemePoint::Phantom4K`], whose defining property is a
+    /// fully on-chip position map (the capacity is pinned to `num_blocks`);
+    /// every other scheme honours the override.
+    pub fn onchip_entries(mut self, entries: u64) -> Self {
+        self.onchip_entries = Some(entries);
+        self
+    }
+
+    /// Sets the PLB capacity in bytes.
+    ///
+    /// The functional frontend always keeps a small PLB (it is clamped to at
+    /// least four blocks per way — the recursion walk parks in-flight PosMap
+    /// blocks there), so very small values measure a minimal PLB, not a
+    /// PLB-less design; use the `R_X8` scheme for the no-PLB baseline.
+    pub fn plb_capacity_bytes(mut self, bytes: usize) -> Self {
+        self.plb_capacity_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets the PLB associativity.
+    pub fn plb_associativity(mut self, ways: usize) -> Self {
+        self.plb_associativity = Some(ways);
+        self
+    }
+
+    /// Overrides the PosMap block format (e.g. a non-default α/β for the
+    /// compressed format).
+    pub fn posmap_format(mut self, format: PosMapFormat) -> Self {
+        self.posmap_format = Some(format);
+        self
+    }
+
+    /// Overrides the PosMap fan-out X explicitly.
+    pub fn x(mut self, x: u64) -> Self {
+        self.x_override = Some(x);
+        self
+    }
+
+    /// Sets the bucket encryption discipline.
+    pub fn encryption(mut self, mode: EncryptionMode) -> Self {
+        self.encryption = Some(mode);
+        self
+    }
+
+    /// Sets the stash capacity in blocks.
+    pub fn stash_capacity(mut self, blocks: usize) -> Self {
+        self.stash_capacity = Some(blocks);
+        self
+    }
+
+    /// Sets the RNG/key seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The block size in effect (explicit override or scheme default).
+    pub fn block_bytes_in_effect(&self) -> usize {
+        self.block_bytes
+            .unwrap_or_else(|| self.scheme.default_block_bytes())
+    }
+
+    /// Resolves the [`FreecursiveConfig`] for a PLB/unified-tree scheme
+    /// point (`P_X16`, `PC_X32`, `PC_X64`, `PI_X8`, `PIC_X32`, or the
+    /// non-recursive `Phantom_4KB` emulation).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::UnsupportedScheme`] for `insecure`/`R_X8`, or any
+    /// validation error of the resolved configuration.
+    pub fn freecursive_config(&self) -> Result<FreecursiveConfig, FreecursiveError> {
+        let block = self.block_bytes_in_effect();
+        let mut config = match self.scheme {
+            SchemePoint::PX16 => FreecursiveConfig::p_x16(self.num_blocks, block),
+            SchemePoint::PcX32 | SchemePoint::PcX64 => {
+                FreecursiveConfig::pc_x32(self.num_blocks, block)
+            }
+            SchemePoint::PiX8 => FreecursiveConfig::pi_x8(self.num_blocks, block),
+            SchemePoint::PicX32 => FreecursiveConfig::pic_x32(self.num_blocks, block),
+            // Phantom keeps the whole position map on chip: a non-recursive
+            // ORAM (H = 1), so the PosMap format never reaches the tree.
+            SchemePoint::Phantom4K => {
+                let mut cfg = FreecursiveConfig::p_x16(self.num_blocks, block);
+                cfg.onchip_entries = self.num_blocks;
+                cfg
+            }
+            SchemePoint::Insecure | SchemePoint::RX8 => {
+                return Err(ConfigError::UnsupportedScheme {
+                    scheme: self.scheme.label(),
+                }
+                .into())
+            }
+        };
+        if let Some(z) = self.z {
+            config.z = z;
+        }
+        if let Some(entries) = self.onchip_entries {
+            // Phantom's defining property is the fully on-chip PosMap; don't
+            // let a smaller override reintroduce recursion silently.
+            if self.scheme != SchemePoint::Phantom4K {
+                config.onchip_entries = entries;
+            }
+        }
+        if let Some(bytes) = self.plb_capacity_bytes {
+            config.plb_capacity_bytes = bytes;
+        }
+        if let Some(ways) = self.plb_associativity {
+            config.plb_associativity = ways;
+        }
+        if let Some(format) = self.posmap_format {
+            config.posmap_format = format;
+        }
+        if let Some(x) = self.x_override {
+            config.x_override = Some(x);
+        }
+        if let Some(mode) = self.encryption {
+            config.encryption = mode;
+        }
+        if let Some(capacity) = self.stash_capacity {
+            config.stash_capacity = capacity;
+        }
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        config.validate()?;
+        Ok(config)
+    }
+
+    /// Resolves the [`RecursiveOramConfig`] for the `R_X8` baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::UnsupportedScheme`] for any other scheme point.
+    pub fn recursive_config(&self) -> Result<RecursiveOramConfig, FreecursiveError> {
+        if self.scheme != SchemePoint::RX8 {
+            return Err(ConfigError::UnsupportedScheme {
+                scheme: self.scheme.label(),
+            }
+            .into());
+        }
+        let mut config = RecursiveOramConfig::r_x8(self.num_blocks, self.block_bytes_in_effect());
+        if let Some(z) = self.z {
+            config.z = z;
+        }
+        if let Some(entries) = self.onchip_entries {
+            config.onchip_entries = entries;
+        }
+        if let Some(mode) = self.encryption {
+            config.encryption = mode;
+        }
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        Ok(config)
+    }
+
+    /// Builds a [`FreecursiveOram`] over an explicit backend type — the
+    /// generic seam (e.g. `build_freecursive_on::<InsecureBackend>()` for a
+    /// full frontend over flat memory).
+    ///
+    /// # Errors
+    ///
+    /// As for [`OramBuilder::freecursive_config`], plus backend construction
+    /// failures.
+    pub fn build_freecursive_on<B: OramBackend>(
+        &self,
+    ) -> Result<FreecursiveOram<B>, FreecursiveError> {
+        FreecursiveOram::new(self.freecursive_config()?)
+    }
+
+    /// Builds a [`FreecursiveOram`] over the Path ORAM backend.
+    ///
+    /// # Errors
+    ///
+    /// As for [`OramBuilder::build_freecursive_on`].
+    pub fn build_freecursive(&self) -> Result<FreecursiveOram, FreecursiveError> {
+        self.build_freecursive_on::<PathOramBackend>()
+    }
+
+    /// Builds a baseline [`RecursiveOram`] over an explicit backend type.
+    ///
+    /// # Errors
+    ///
+    /// As for [`OramBuilder::recursive_config`], plus backend construction
+    /// failures.
+    pub fn build_recursive_on<B: OramBackend>(&self) -> Result<RecursiveOram<B>, FreecursiveError> {
+        RecursiveOram::new(self.recursive_config()?)
+    }
+
+    /// Builds the baseline [`RecursiveOram`] over the Path ORAM backend.
+    ///
+    /// # Errors
+    ///
+    /// As for [`OramBuilder::build_recursive_on`].
+    pub fn build_recursive(&self) -> Result<RecursiveOram, FreecursiveError> {
+        self.build_recursive_on::<PathOramBackend>()
+    }
+
+    /// Builds the flat [`InsecureOram`] baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::UnsupportedScheme`] unless the scheme is `insecure`,
+    /// or [`ConfigError::Degenerate`] for zero sizes.
+    pub fn build_insecure(&self) -> Result<InsecureOram, FreecursiveError> {
+        if self.scheme != SchemePoint::Insecure {
+            return Err(ConfigError::UnsupportedScheme {
+                scheme: self.scheme.label(),
+            }
+            .into());
+        }
+        InsecureOram::new(self.num_blocks, self.block_bytes_in_effect())
+    }
+
+    /// Builds the design point as a trait object — the uniform entry point
+    /// when the caller doesn't care which frontend serves the scheme.
+    ///
+    /// # Errors
+    ///
+    /// Any configuration or backend construction failure for the scheme.
+    pub fn build(&self) -> Result<Box<dyn Oram>, FreecursiveError> {
+        Ok(match self.scheme {
+            SchemePoint::Insecure => Box::new(self.build_insecure()?),
+            SchemePoint::RX8 => Box::new(self.build_recursive()?),
+            _ => Box::new(self.build_freecursive()?),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use path_oram::InsecureBackend;
+
+    #[test]
+    fn builder_resolves_the_paper_presets() {
+        let cfg = OramBuilder::for_scheme(SchemePoint::PicX32)
+            .num_blocks(1 << 16)
+            .freecursive_config()
+            .unwrap();
+        assert!(cfg.pmmac);
+        assert_eq!(cfg.x(), 32);
+        let cfg = OramBuilder::for_scheme(SchemePoint::PX16)
+            .num_blocks(1 << 16)
+            .freecursive_config()
+            .unwrap();
+        assert!(!cfg.pmmac);
+        assert_eq!(cfg.x(), 16);
+        // PC_X64 defaults to 128-byte blocks, doubling X.
+        let cfg = OramBuilder::for_scheme(SchemePoint::PcX64)
+            .num_blocks(1 << 16)
+            .freecursive_config()
+            .unwrap();
+        assert_eq!(cfg.block_bytes, 128);
+        assert_eq!(cfg.x(), 64);
+    }
+
+    #[test]
+    fn overrides_reach_the_config() {
+        let cfg = OramBuilder::for_scheme(SchemePoint::PcX32)
+            .num_blocks(1 << 12)
+            .block_bytes(128)
+            .z(3)
+            .onchip_entries(64)
+            .plb_capacity_bytes(32 << 10)
+            .plb_associativity(4)
+            .seed(99)
+            .freecursive_config()
+            .unwrap();
+        assert_eq!(cfg.block_bytes, 128);
+        assert_eq!(cfg.z, 3);
+        assert_eq!(cfg.onchip_entries, 64);
+        assert_eq!(cfg.plb_capacity_bytes, 32 << 10);
+        assert_eq!(cfg.plb_associativity, 4);
+        assert_eq!(cfg.seed, 99);
+    }
+
+    #[test]
+    fn phantom_is_non_recursive() {
+        let oram = OramBuilder::for_scheme(SchemePoint::Phantom4K)
+            .num_blocks(256)
+            .block_bytes(64)
+            .build_freecursive()
+            .unwrap();
+        assert_eq!(oram.num_levels(), 1);
+    }
+
+    #[test]
+    fn mismatched_scheme_and_target_is_an_error() {
+        assert!(matches!(
+            OramBuilder::for_scheme(SchemePoint::RX8).freecursive_config(),
+            Err(FreecursiveError::Config(
+                ConfigError::UnsupportedScheme { .. }
+            ))
+        ));
+        assert!(matches!(
+            OramBuilder::for_scheme(SchemePoint::PcX32).recursive_config(),
+            Err(FreecursiveError::Config(
+                ConfigError::UnsupportedScheme { .. }
+            ))
+        ));
+        assert!(matches!(
+            OramBuilder::for_scheme(SchemePoint::PcX32).build_insecure(),
+            Err(FreecursiveError::Config(
+                ConfigError::UnsupportedScheme { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn invalid_overrides_surface_as_config_errors() {
+        assert!(matches!(
+            OramBuilder::for_scheme(SchemePoint::PcX32)
+                .num_blocks(1 << 12)
+                .x(1 << 20)
+                .freecursive_config(),
+            Err(FreecursiveError::Config(ConfigError::XTooLarge { .. }))
+        ));
+    }
+
+    #[test]
+    fn generic_seam_builds_over_the_insecure_backend() {
+        let mut oram = OramBuilder::for_scheme(SchemePoint::PicX32)
+            .num_blocks(1 << 10)
+            .onchip_entries(32)
+            .build_freecursive_on::<InsecureBackend>()
+            .unwrap();
+        use crate::traits::Oram as _;
+        oram.write(1, &[3u8; 64]).unwrap();
+        assert_eq!(oram.read(1).unwrap(), vec![3u8; 64]);
+        // The full frontend machinery ran: PMMAC verified MACs even though
+        // the backend is a flat hash map.
+        assert!(oram.stats().macs_verified > 0);
+    }
+}

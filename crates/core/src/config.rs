@@ -11,6 +11,11 @@
 //! | `PC_X32`     | ✓   | –     | ✓          | 32 |
 //! | `PI_X8`      | ✓   | ✓     | –          | 8 (flat 64-bit counters) |
 //! | `PIC_X32`    | ✓   | ✓     | ✓          | 32 |
+//!
+//! The preset constructors below are the raw material of
+//! [`crate::OramBuilder`]; external code should construct design points
+//! through the builder (`OramBuilder::for_scheme(SchemePoint::PicX32)`)
+//! rather than calling the presets directly.
 
 use crate::error::ConfigError;
 use path_oram::EncryptionMode;
@@ -86,8 +91,10 @@ pub struct FreecursiveConfig {
     pub x_override: Option<u64>,
     /// Enable PMMAC integrity verification (§6).
     pub pmmac: bool,
-    /// PLB capacity in bytes (0 disables the PLB entirely — every access
-    /// walks the full recursion, still over the unified tree).
+    /// PLB capacity in bytes.  Clamped at construction to at least four
+    /// blocks per way: the recursion walk parks in-flight PosMap blocks in
+    /// the PLB, so the functional frontend cannot run PLB-less (the no-PLB
+    /// comparison point is the separate-tree `R_X8` design).
     pub plb_capacity_bytes: usize,
     /// PLB associativity (1 = direct-mapped, the paper's default §7.1.3).
     pub plb_associativity: usize,
@@ -226,29 +233,40 @@ impl FreecursiveConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::OramBuilder;
+    use crate::scheme::SchemePoint;
+
+    fn preset(scheme: SchemePoint, n: u64, block: usize) -> FreecursiveConfig {
+        OramBuilder::for_scheme(scheme)
+            .num_blocks(n)
+            .block_bytes(block)
+            .freecursive_config()
+            .unwrap()
+    }
 
     #[test]
     fn presets_match_paper_x_values_for_64_byte_blocks() {
-        assert_eq!(FreecursiveConfig::p_x16(1 << 20, 64).x(), 16);
-        assert_eq!(FreecursiveConfig::pc_x32(1 << 20, 64).x(), 32);
-        assert_eq!(FreecursiveConfig::pi_x8(1 << 20, 64).x(), 8);
-        assert_eq!(FreecursiveConfig::pic_x32(1 << 20, 64).x(), 32);
+        assert_eq!(preset(SchemePoint::PX16, 1 << 20, 64).x(), 16);
+        assert_eq!(preset(SchemePoint::PcX32, 1 << 20, 64).x(), 32);
+        assert_eq!(preset(SchemePoint::PiX8, 1 << 20, 64).x(), 8);
+        assert_eq!(preset(SchemePoint::PicX32, 1 << 20, 64).x(), 32);
     }
 
     #[test]
     fn compressed_x_doubles_with_128_byte_blocks() {
         // PC_X64 in §7.1.5.
-        assert_eq!(FreecursiveConfig::pc_x32(1 << 20, 128).x(), 64);
+        assert_eq!(preset(SchemePoint::PcX32, 1 << 20, 128).x(), 64);
     }
 
     #[test]
     fn validation_accepts_presets() {
-        for cfg in [
-            FreecursiveConfig::p_x16(1 << 16, 64),
-            FreecursiveConfig::pc_x32(1 << 16, 64),
-            FreecursiveConfig::pi_x8(1 << 16, 64),
-            FreecursiveConfig::pic_x32(1 << 16, 64),
+        for scheme in [
+            SchemePoint::PX16,
+            SchemePoint::PcX32,
+            SchemePoint::PiX8,
+            SchemePoint::PicX32,
         ] {
+            let cfg = preset(scheme, 1 << 16, 64);
             assert!(cfg.validate().is_ok(), "{cfg:?}");
         }
     }
@@ -257,14 +275,14 @@ mod tests {
     fn pmmac_with_uncompressed_leaves_is_rejected() {
         let cfg = FreecursiveConfig {
             pmmac: true,
-            ..FreecursiveConfig::p_x16(1 << 16, 64)
+            ..preset(SchemePoint::PX16, 1 << 16, 64)
         };
         assert_eq!(cfg.validate(), Err(ConfigError::PmmacNeedsCounters));
     }
 
     #[test]
     fn oversized_x_override_is_rejected() {
-        let cfg = FreecursiveConfig::pc_x32(1 << 16, 64).with_x(1 << 20);
+        let cfg = preset(SchemePoint::PcX32, 1 << 16, 64).with_x(1 << 20);
         assert!(matches!(cfg.validate(), Err(ConfigError::XTooLarge { .. })));
     }
 

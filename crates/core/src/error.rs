@@ -1,9 +1,16 @@
-//! Frontend-level errors (configuration problems); runtime ORAM errors are
-//! [`path_oram::OramError`].
+//! The crate's unified error surface.
+//!
+//! Everything the processor-facing API can fail with is a
+//! [`FreecursiveError`]: configuration problems ([`ConfigError`]), backend
+//! failures ([`path_oram::OramError`]), and PMMAC integrity violations, which
+//! get their own variant because a secure processor treats them as a
+//! halt-the-machine event rather than an ordinary error (§6).
 
+use path_oram::OramError;
 use serde::{Deserialize, Serialize};
 
-/// Errors detected while validating a [`crate::FreecursiveConfig`].
+/// Errors detected while validating a [`crate::FreecursiveConfig`] or
+/// resolving an [`crate::OramBuilder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum ConfigError {
@@ -24,6 +31,12 @@ pub enum ConfigError {
         /// The largest X the block can hold.
         max: u64,
     },
+    /// The requested scheme point cannot be built by this constructor (e.g.
+    /// asking [`crate::OramBuilder::build_freecursive`] for `R_X8`).
+    UnsupportedScheme {
+        /// The label of the offending scheme point.
+        scheme: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -35,13 +48,93 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::XTooSmall { x } => write!(f, "x = {x} is too small (minimum 2)"),
             ConfigError::XTooLarge { x, max } => {
-                write!(f, "x = {x} does not fit in the posmap block (maximum {max})")
+                write!(
+                    f,
+                    "x = {x} does not fit in the posmap block (maximum {max})"
+                )
+            }
+            ConfigError::UnsupportedScheme { scheme } => {
+                write!(
+                    f,
+                    "scheme point {scheme} is not supported by this constructor"
+                )
             }
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// The unified error type of the processor-facing ORAM API.
+///
+/// Construction and access go through exactly this one enum, so callers can
+/// hold a `Box<dyn Oram>` without caring which frontend or backend is behind
+/// it.  `From` conversions are provided for both underlying error types;
+/// [`OramError::IntegrityViolation`] is promoted to the dedicated
+/// [`FreecursiveError::Integrity`] variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FreecursiveError {
+    /// The requested configuration is invalid.
+    Config(ConfigError),
+    /// The backend failed (stash overflow, malformed bucket, missing block,
+    /// out-of-range parameters, …).
+    Backend(OramError),
+    /// PMMAC detected tampered or replayed memory (§6).  A secure processor
+    /// halts on this condition.
+    Integrity {
+        /// The unified address whose MAC failed to verify.
+        addr: u64,
+    },
+}
+
+impl FreecursiveError {
+    /// Whether this error is an integrity violation (the halt-the-processor
+    /// condition of the threat model).
+    pub fn is_integrity_violation(&self) -> bool {
+        matches!(self, FreecursiveError::Integrity { .. })
+    }
+}
+
+impl std::fmt::Display for FreecursiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FreecursiveError::Config(e) => write!(f, "invalid configuration: {e}"),
+            FreecursiveError::Backend(e) => write!(f, "backend failure: {e}"),
+            FreecursiveError::Integrity { addr } => {
+                write!(
+                    f,
+                    "integrity violation on block {addr:#x} (tampered or replayed memory)"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FreecursiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FreecursiveError::Config(e) => Some(e),
+            FreecursiveError::Backend(e) => Some(e),
+            FreecursiveError::Integrity { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for FreecursiveError {
+    fn from(e: ConfigError) -> Self {
+        FreecursiveError::Config(e)
+    }
+}
+
+impl From<OramError> for FreecursiveError {
+    fn from(e: OramError) -> Self {
+        match e {
+            OramError::IntegrityViolation { addr } => FreecursiveError::Integrity { addr },
+            other => FreecursiveError::Backend(other),
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -52,5 +145,29 @@ mod tests {
         assert!(ConfigError::XTooLarge { x: 99, max: 32 }
             .to_string()
             .contains("99"));
+        assert!(FreecursiveError::Integrity { addr: 0xAB }
+            .to_string()
+            .contains("0xab"));
+    }
+
+    #[test]
+    fn integrity_violations_are_promoted() {
+        let e: FreecursiveError = OramError::IntegrityViolation { addr: 7 }.into();
+        assert_eq!(e, FreecursiveError::Integrity { addr: 7 });
+        assert!(e.is_integrity_violation());
+        let e: FreecursiveError = OramError::MissingWriteData.into();
+        assert_eq!(e, FreecursiveError::Backend(OramError::MissingWriteData));
+        assert!(!e.is_integrity_violation());
+    }
+
+    #[test]
+    fn config_errors_wrap() {
+        let e: FreecursiveError = ConfigError::Degenerate.into();
+        assert!(matches!(
+            e,
+            FreecursiveError::Config(ConfigError::Degenerate)
+        ));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
     }
 }

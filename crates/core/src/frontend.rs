@@ -13,9 +13,10 @@
 //! [`FreecursiveConfig`] PosMap format and PMMAC flag.
 
 use crate::config::FreecursiveConfig;
+use crate::error::FreecursiveError;
 use crate::payload::{AdvanceResult, GroupRemapInfo, PosMapBlockPayload};
 use crate::stats::FrontendStats;
-use crate::traits::Oram;
+use crate::traits::{Oram, Request, Response};
 use oram_crypto::mac::{MacKey, MAC_BYTES};
 use oram_crypto::prf::{AesPrf, Prf};
 use path_oram::{AccessOp, OramBackend, OramError, OramParams, PathOramBackend};
@@ -46,16 +47,22 @@ struct ResolvedChild {
     advance: AdvanceResult,
 }
 
-/// The Freecursive ORAM controller (frontend + functional Path ORAM backend).
+/// The Freecursive ORAM controller: frontend plus a pluggable
+/// [`OramBackend`] (the functional Path ORAM tree by default).
 ///
-/// # Examples
+/// The backend type parameter is the paper's Frontend/Backend seam (§3.1):
+/// everything PLB-, compression- and PMMAC-related lives here and is
+/// oblivious to how the backend stores paths.  Use
+/// [`crate::OramBuilder`] to construct instances:
 ///
 /// ```
-/// use freecursive::{FreecursiveConfig, FreecursiveOram, Oram};
+/// use freecursive::{Oram, OramBuilder, SchemePoint};
 ///
-/// # fn main() -> Result<(), path_oram::OramError> {
+/// # fn main() -> Result<(), freecursive::FreecursiveError> {
 /// // The full design: PLB + compressed PosMap + PMMAC.
-/// let mut oram = FreecursiveOram::new(FreecursiveConfig::pic_x32(1 << 12, 64))?;
+/// let mut oram = OramBuilder::for_scheme(SchemePoint::PicX32)
+///     .num_blocks(1 << 12)
+///     .build_freecursive()?;
 /// oram.write(42, &vec![7u8; 64])?;
 /// assert_eq!(oram.read(42)?, vec![7u8; 64]);
 /// assert!(oram.stats().macs_verified > 0);
@@ -63,10 +70,10 @@ struct ResolvedChild {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct FreecursiveOram {
+pub struct FreecursiveOram<B: OramBackend = PathOramBackend> {
     config: FreecursiveConfig,
     rec: RecursionAddressing,
-    backend: PathOramBackend,
+    backend: B,
     plb: Plb<PlbPayload>,
     onchip: OnChipPosMap,
     prf: AesPrf,
@@ -79,23 +86,16 @@ pub struct FreecursiveOram {
     payload_bytes: usize,
 }
 
-impl FreecursiveOram {
+impl<B: OramBackend> FreecursiveOram<B> {
     /// Builds the controller from a configuration.
     ///
     /// # Errors
     ///
-    /// Returns [`OramError`] if the configuration is invalid (reported as
-    /// `BlockSizeMismatch`-style errors at the first access) or backend
-    /// construction fails.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration fails [`FreecursiveConfig::validate`];
-    /// call that first for graceful handling.
-    pub fn new(config: FreecursiveConfig) -> Result<Self, OramError> {
-        config
-            .validate()
-            .unwrap_or_else(|e| panic!("invalid Freecursive configuration: {e}"));
+    /// Returns [`FreecursiveError::Config`] if the configuration fails
+    /// [`FreecursiveConfig::validate`], or [`FreecursiveError::Backend`] if
+    /// backend construction fails.
+    pub fn new(config: FreecursiveConfig) -> Result<Self, FreecursiveError> {
+        config.validate()?;
         let x = config.x();
         let rec = RecursionAddressing::new(config.num_blocks, x, config.onchip_entries);
         let payload_bytes = config.block_bytes + if config.pmmac { MAC_BYTES } else { 0 };
@@ -113,7 +113,7 @@ impl FreecursiveOram {
         mac_key[..8].copy_from_slice(&config.seed.to_le_bytes());
         mac_key[8] = 0x3C;
 
-        let backend = PathOramBackend::new(params, config.encryption, enc_key, config.seed)?;
+        let backend = B::new_backend(params, config.encryption, enc_key, config.seed)?;
         let plb_blocks = (config.plb_capacity_bytes / config.block_bytes)
             .max(config.plb_associativity.max(1) * 4);
         let plb = Plb::new(
@@ -157,13 +157,13 @@ impl FreecursiveOram {
     }
 
     /// The unified-tree backend (read-only view).
-    pub fn backend(&self) -> &PathOramBackend {
+    pub fn backend(&self) -> &B {
         &self.backend
     }
 
     /// Mutable access to the unified-tree backend — the active adversary's
     /// handle on untrusted memory (see [`crate::adversary`]).
-    pub fn backend_mut(&mut self) -> &mut PathOramBackend {
+    pub fn backend_mut(&mut self) -> &mut B {
         &mut self.backend
     }
 
@@ -239,8 +239,7 @@ impl FreecursiveOram {
         // A Merkle-tree scheme ([25]) hashes every block on the path twice per
         // access: once to check the read and once to update the hashes on the
         // write-back (§6.3); PMMAC hashes the block of interest twice.
-        let merkle =
-            2 * u64::from(self.backend.params().levels()) * self.backend.params().z as u64;
+        let merkle = 2 * u64::from(self.backend.params().levels()) * self.backend.params().z as u64;
         self.stats.merkle_equivalent_hashes += merkle;
         if is_posmap {
             self.stats.posmap_backend_accesses += 1;
@@ -382,8 +381,13 @@ impl FreecursiveOram {
                 2 * u64::from(self.backend.params().levels()) * self.backend.params().z as u64;
             let data = self.verify_payload(sibling_unified, Some(old_counter), &payload)?;
             let sealed = self.seal_payload(sibling_unified, Some(new_counter), &data);
-            self.backend
-                .access(AccessOp::Append, sibling_unified, 0, new_leaf, Some(&sealed))?;
+            self.backend.access(
+                AccessOp::Append,
+                sibling_unified,
+                0,
+                new_leaf,
+                Some(&sealed),
+            )?;
             self.stats.appends += 1;
         }
         Ok(())
@@ -429,10 +433,16 @@ impl FreecursiveOram {
     }
 
     /// Performs one full ORAM access for data block `a0` (§4.2.4).
-    fn access(
+    ///
+    /// `remove` implements the frontend-level read-remove: the old contents
+    /// are returned and a zero block is written back under a fresh counter,
+    /// so the access is observationally identical to a read (same path
+    /// touched, same bytes moved) and PMMAC state stays consistent.
+    fn access_inner(
         &mut self,
         a0: u64,
         write_data: Option<&[u8]>,
+        remove: bool,
     ) -> Result<Vec<u8>, OramError> {
         if a0 >= self.config.num_blocks {
             return Err(OramError::AddressOutOfRange {
@@ -477,7 +487,13 @@ impl FreecursiveOram {
                 // PosMap block fetch (readrmv) and PLB refill.
                 let payload = self
                     .backend
-                    .access(AccessOp::ReadRmv, child_unified, resolved.current_leaf, 0, None)?
+                    .access(
+                        AccessOp::ReadRmv,
+                        child_unified,
+                        resolved.current_leaf,
+                        0,
+                        None,
+                    )?
                     .expect("readrmv returns data");
                 self.count_path_access(true);
                 let data =
@@ -499,17 +515,24 @@ impl FreecursiveOram {
                 // Data block access.
                 let payload = self
                     .backend
-                    .access(AccessOp::ReadRmv, child_unified, resolved.current_leaf, 0, None)?
+                    .access(
+                        AccessOp::ReadRmv,
+                        child_unified,
+                        resolved.current_leaf,
+                        0,
+                        None,
+                    )?
                     .expect("readrmv returns data");
                 self.count_path_access(false);
                 let mut data =
                     self.verify_payload(child_unified, resolved.current_counter, &payload)?;
                 let result = data.clone();
-                if let Some(new_data) = write_data {
+                if remove {
+                    data = vec![0u8; self.config.block_bytes];
+                } else if let Some(new_data) = write_data {
                     data = new_data.to_vec();
                 }
-                let sealed =
-                    self.seal_payload(child_unified, resolved.advance.new_counter, &data);
+                let sealed = self.seal_payload(child_unified, resolved.advance.new_counter, &data);
                 self.backend.access(
                     AccessOp::Append,
                     child_unified,
@@ -523,9 +546,33 @@ impl FreecursiveOram {
         }
         unreachable!("the walk always terminates with the data-level access")
     }
+
+    /// Dispatches one borrowed request — the single implementation behind
+    /// both [`Oram::access`] and [`Oram::access_batch`], so the two paths
+    /// cannot diverge.
+    fn access_ref(&mut self, request: &Request) -> Result<Response, FreecursiveError> {
+        let response = match request {
+            Request::Read { addr } => Response {
+                addr: *addr,
+                data: Some(self.access_inner(*addr, None, false)?),
+            },
+            Request::Write { addr, data } => {
+                self.access_inner(*addr, Some(data), false)?;
+                Response {
+                    addr: *addr,
+                    data: None,
+                }
+            }
+            Request::ReadRemove { addr } => Response {
+                addr: *addr,
+                data: Some(self.access_inner(*addr, None, true)?),
+            },
+        };
+        Ok(response)
+    }
 }
 
-impl Oram for FreecursiveOram {
+impl<B: OramBackend> Oram for FreecursiveOram<B> {
     fn block_bytes(&self) -> usize {
         self.config.block_bytes
     }
@@ -534,13 +581,32 @@ impl Oram for FreecursiveOram {
         self.config.num_blocks
     }
 
-    fn read(&mut self, addr: u64) -> Result<Vec<u8>, OramError> {
-        self.access(addr, None)
+    fn access(&mut self, request: Request) -> Result<Response, FreecursiveError> {
+        self.access_ref(&request)
     }
 
-    fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), OramError> {
-        self.access(addr, Some(data))?;
+    fn access_batch(&mut self, requests: &[Request]) -> Result<Vec<Response>, FreecursiveError> {
+        // The batched path executes the same walk as `access` but without
+        // per-request `Request` cloning: write payloads are borrowed straight
+        // out of the batch.  Contents are byte-identical to issuing the
+        // requests one by one (pinned down by the integration tests).
+        requests
+            .iter()
+            .map(|request| self.access_ref(request))
+            .collect()
+    }
+
+    fn read(&mut self, addr: u64) -> Result<Vec<u8>, FreecursiveError> {
+        Ok(self.access_inner(addr, None, false)?)
+    }
+
+    fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), FreecursiveError> {
+        self.access_inner(addr, Some(data), false)?;
         Ok(())
+    }
+
+    fn read_remove(&mut self, addr: u64) -> Result<Vec<u8>, FreecursiveError> {
+        Ok(self.access_inner(addr, None, true)?)
     }
 
     fn stats(&self) -> &FrontendStats {
@@ -557,41 +623,64 @@ impl Oram for FreecursiveOram {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::OramBuilder;
     use crate::config::PosMapFormat;
+    use crate::scheme::SchemePoint;
 
-    fn oram(cfg: FreecursiveConfig) -> FreecursiveOram {
-        FreecursiveOram::new(cfg).unwrap()
+    fn point(scheme: SchemePoint, n: u64, block: usize) -> OramBuilder {
+        OramBuilder::for_scheme(scheme)
+            .num_blocks(n)
+            .block_bytes(block)
     }
 
-    fn all_design_points(n: u64, block: usize) -> Vec<(&'static str, FreecursiveConfig)> {
-        vec![
-            ("P_X16", FreecursiveConfig::p_x16(n, block)),
-            ("PC_X32", FreecursiveConfig::pc_x32(n, block)),
-            ("PI_X8", FreecursiveConfig::pi_x8(n, block)),
-            ("PIC_X32", FreecursiveConfig::pic_x32(n, block)),
+    fn all_design_points(n: u64, block: usize) -> Vec<(&'static str, OramBuilder)> {
+        [
+            SchemePoint::PX16,
+            SchemePoint::PcX32,
+            SchemePoint::PiX8,
+            SchemePoint::PicX32,
         ]
+        .into_iter()
+        .map(|s| (s.label(), point(s, n, block)))
+        .collect()
     }
 
     #[test]
     fn write_read_roundtrip_for_every_design_point() {
-        for (name, cfg) in all_design_points(1 << 12, 64) {
-            let cfg = cfg.with_onchip_entries(64);
-            let mut o = oram(cfg);
+        for (name, builder) in all_design_points(1 << 12, 64) {
+            let mut o = builder.onchip_entries(64).build_freecursive().unwrap();
             for addr in (0..200u64).step_by(13) {
                 let data = vec![(addr % 251) as u8; 64];
                 o.write(addr, &data).unwrap();
             }
             for addr in (0..200u64).step_by(13) {
-                assert_eq!(o.read(addr).unwrap(), vec![(addr % 251) as u8; 64], "{name}");
+                assert_eq!(
+                    o.read(addr).unwrap(),
+                    vec![(addr % 251) as u8; 64],
+                    "{name}"
+                );
             }
         }
     }
 
     #[test]
     fn unwritten_blocks_read_as_zero() {
-        for (name, cfg) in all_design_points(1 << 10, 64) {
-            let mut o = oram(cfg.with_onchip_entries(32));
+        for (name, builder) in all_design_points(1 << 10, 64) {
+            let mut o = builder.onchip_entries(32).build_freecursive().unwrap();
             assert_eq!(o.read(17).unwrap(), vec![0u8; 64], "{name}");
+        }
+    }
+
+    #[test]
+    fn read_remove_resets_the_block_and_stays_verifiable() {
+        for (name, builder) in all_design_points(1 << 10, 64) {
+            let mut o = builder.onchip_entries(32).build_freecursive().unwrap();
+            o.write(9, &[0xEE; 64]).unwrap();
+            assert_eq!(o.read_remove(9).unwrap(), vec![0xEE; 64], "{name}");
+            // The block now reads as zero, and with PMMAC on the zero block
+            // still verifies (it was re-MACed under a fresh counter).
+            assert_eq!(o.read(9).unwrap(), vec![0u8; 64], "{name}");
+            assert_eq!(o.stats().integrity_violations, 0, "{name}");
         }
     }
 
@@ -600,14 +689,16 @@ mod tests {
         // A unit-stride scan touches the same PosMap blocks repeatedly, so the
         // PLB should make the number of PosMap backend accesses per request
         // far smaller than H - 1 (this is the whole point of the PLB, §4).
-        let cfg = FreecursiveConfig::pc_x32(1 << 14, 64).with_onchip_entries(32);
-        let mut o = oram(cfg);
+        let mut o = point(SchemePoint::PcX32, 1 << 14, 64)
+            .onchip_entries(32)
+            .build_freecursive()
+            .unwrap();
         let h = f64::from(o.num_levels());
         for addr in 0..2000u64 {
             o.read(addr).unwrap();
         }
-        let per_request = o.stats().posmap_backend_accesses as f64
-            / o.stats().frontend_requests as f64;
+        let per_request =
+            o.stats().posmap_backend_accesses as f64 / o.stats().frontend_requests as f64;
         assert!(
             per_request < 0.4,
             "expected ≪ {} posmap accesses per request, got {per_request}",
@@ -619,7 +710,12 @@ mod tests {
     fn random_access_pattern_needs_more_posmap_accesses_than_sequential() {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
-        let make = || oram(FreecursiveConfig::pc_x32(1 << 14, 64).with_onchip_entries(32));
+        let make = || {
+            point(SchemePoint::PcX32, 1 << 14, 64)
+                .onchip_entries(32)
+                .build_freecursive()
+                .unwrap()
+        };
         let mut seq = make();
         for addr in 0..1500u64 {
             seq.read(addr).unwrap();
@@ -639,8 +735,10 @@ mod tests {
 
     #[test]
     fn pmmac_counts_hashes_only_for_blocks_of_interest() {
-        let cfg = FreecursiveConfig::pic_x32(1 << 12, 64).with_onchip_entries(64);
-        let mut o = oram(cfg);
+        let mut o = point(SchemePoint::PicX32, 1 << 12, 64)
+            .onchip_entries(64)
+            .build_freecursive()
+            .unwrap();
         for addr in 0..300u64 {
             o.read(addr % 64).unwrap();
         }
@@ -658,8 +756,10 @@ mod tests {
     fn mixed_read_write_consistency_with_pmmac() {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
-        let cfg = FreecursiveConfig::pic_x32(1 << 10, 32).with_onchip_entries(32);
-        let mut o = oram(cfg);
+        let mut o = point(SchemePoint::PicX32, 1 << 10, 32)
+            .onchip_entries(32)
+            .build_freecursive()
+            .unwrap();
         let n = 1u64 << 10;
         let mut reference: Vec<Option<Vec<u8>>> = vec![None; n as usize];
         let mut rng = StdRng::seed_from_u64(11);
@@ -686,18 +786,20 @@ mod tests {
     fn group_remap_triggers_with_tiny_individual_counters() {
         // Shrink beta so individual counters overflow quickly and the §5.2.2
         // machinery gets exercised, then verify data is still intact.
-        let cfg = FreecursiveConfig {
-            posmap_format: PosMapFormat::Compressed { alpha: 32, beta: 3 },
-            ..FreecursiveConfig::pic_x32(1 << 10, 64)
-        }
-        .with_onchip_entries(32);
-        let mut o = oram(cfg);
-        o.write(5, &vec![0x55; 64]).unwrap();
+        let mut o = point(SchemePoint::PicX32, 1 << 10, 64)
+            .posmap_format(PosMapFormat::Compressed { alpha: 32, beta: 3 })
+            .onchip_entries(32)
+            .build_freecursive()
+            .unwrap();
+        o.write(5, &[0x55; 64]).unwrap();
         // Hammer the same block so its individual counter overflows repeatedly.
         for _ in 0..40 {
             assert_eq!(o.read(5).unwrap(), vec![0x55; 64]);
         }
-        assert!(o.stats().group_remaps > 0, "expected at least one group remap");
+        assert!(
+            o.stats().group_remaps > 0,
+            "expected at least one group remap"
+        );
         assert!(o.stats().group_remap_accesses > 0);
         // Other blocks in the same group survived their forced remaps.
         assert_eq!(o.read(6).unwrap(), vec![0u8; 64]);
@@ -706,21 +808,29 @@ mod tests {
 
     #[test]
     fn out_of_range_and_wrong_size_are_rejected() {
-        let mut o = oram(FreecursiveConfig::pc_x32(1 << 10, 64));
+        let mut o = point(SchemePoint::PcX32, 1 << 10, 64)
+            .build_freecursive()
+            .unwrap();
         assert!(matches!(
             o.read(1 << 10),
-            Err(OramError::AddressOutOfRange { .. })
+            Err(FreecursiveError::Backend(
+                OramError::AddressOutOfRange { .. }
+            ))
         ));
         assert!(matches!(
             o.write(0, &[0u8; 63]),
-            Err(OramError::BlockSizeMismatch { .. })
+            Err(FreecursiveError::Backend(
+                OramError::BlockSizeMismatch { .. }
+            ))
         ));
     }
 
     #[test]
     fn stats_distinguish_posmap_and_data_traffic() {
-        let cfg = FreecursiveConfig::pc_x32(1 << 14, 64).with_onchip_entries(16);
-        let mut o = oram(cfg);
+        let mut o = point(SchemePoint::PcX32, 1 << 14, 64)
+            .onchip_entries(16)
+            .build_freecursive()
+            .unwrap();
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(5);
@@ -744,15 +854,17 @@ mod tests {
         // touch used to walk path 0, overloading it and growing the stash
         // without bound.  The frontend now emulates a randomly initialised
         // position map, so a first-touch-heavy workload keeps the stash small.
-        let cfg = FreecursiveConfig::p_x16(1 << 12, 64).with_onchip_entries(64);
-        let mut o = oram(cfg);
+        let mut o = point(SchemePoint::PX16, 1 << 12, 64)
+            .onchip_entries(64)
+            .build_freecursive()
+            .unwrap();
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(17);
         for _ in 0..2500u32 {
             let addr = rng.gen_range(0..1 << 12);
             if rng.gen_bool(0.4) {
-                o.write(addr, &vec![3u8; 64]).unwrap();
+                o.write(addr, &[3u8; 64]).unwrap();
             } else {
                 o.read(addr).unwrap();
             }
@@ -763,15 +875,17 @@ mod tests {
 
     #[test]
     fn stash_occupancy_stays_bounded_under_load() {
-        let cfg = FreecursiveConfig::pc_x32(1 << 12, 32).with_onchip_entries(64);
-        let mut o = oram(cfg);
+        let mut o = point(SchemePoint::PcX32, 1 << 12, 32)
+            .onchip_entries(64)
+            .build_freecursive()
+            .unwrap();
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(9);
         for _ in 0..3000u32 {
             let addr = rng.gen_range(0..1 << 12);
             if rng.gen_bool(0.3) {
-                o.write(addr, &vec![1u8; 32]).unwrap();
+                o.write(addr, &[1u8; 32]).unwrap();
             } else {
                 o.read(addr).unwrap();
             }
@@ -781,5 +895,42 @@ mod tests {
             "max stash occupancy {} within capacity",
             o.backend().stats().max_stash_occupancy
         );
+    }
+
+    #[test]
+    fn access_batch_matches_sequential_semantics() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let make = || {
+            point(SchemePoint::PicX32, 1 << 10, 32)
+                .onchip_entries(32)
+                .build_freecursive()
+                .unwrap()
+        };
+        let mut batched = make();
+        let mut sequential = make();
+        let mut rng = StdRng::seed_from_u64(21);
+        let requests: Vec<Request> = (0..300)
+            .map(|i| {
+                let addr = rng.gen_range(0u64..1 << 10);
+                match i % 3 {
+                    0 => Request::Read { addr },
+                    1 => Request::Write {
+                        addr,
+                        data: vec![(i % 251) as u8; 32],
+                    },
+                    _ => Request::ReadRemove { addr },
+                }
+            })
+            .collect();
+        let batch_responses = batched.access_batch(&requests).unwrap();
+        let seq_responses: Vec<Response> = requests
+            .iter()
+            .map(|r| sequential.access(r.clone()).unwrap())
+            .collect();
+        assert_eq!(batch_responses, seq_responses);
+        for addr in 0..(1u64 << 10) {
+            assert_eq!(batched.read(addr).unwrap(), sequential.read(addr).unwrap());
+        }
     }
 }

@@ -1,0 +1,140 @@
+//! The `Insecure` design point as a functional [`Oram`] implementation: a
+//! flat memory with no position map, no PLB and no integrity — the
+//! denominator of every slowdown the evaluation reports.
+//!
+//! Built on [`path_oram::InsecureBackend`] so the "no ORAM" baseline goes
+//! through the exact same backend seam as the real designs, which keeps the
+//! [`crate::OramBuilder`] dispatch uniform and gives tests an apples-to-apples
+//! contents oracle.
+
+use crate::error::FreecursiveError;
+use crate::stats::FrontendStats;
+use crate::traits::{Oram, Request, Response};
+use path_oram::{AccessOp, InsecureBackend, OramBackend, OramError, OramParams};
+
+/// A flat, non-oblivious memory implementing the [`Oram`] contract.
+#[derive(Debug, Clone)]
+pub struct InsecureOram {
+    backend: InsecureBackend,
+    num_blocks: u64,
+    block_bytes: usize,
+    stats: FrontendStats,
+}
+
+impl InsecureOram {
+    /// Creates a flat memory of `num_blocks` blocks of `block_bytes` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FreecursiveError::Config`] if either size is zero.
+    pub fn new(num_blocks: u64, block_bytes: usize) -> Result<Self, FreecursiveError> {
+        if num_blocks == 0 || block_bytes == 0 {
+            return Err(crate::error::ConfigError::Degenerate.into());
+        }
+        let params = OramParams::new(num_blocks, block_bytes, 1);
+        Ok(Self {
+            backend: InsecureBackend::new(params),
+            num_blocks,
+            block_bytes,
+            stats: FrontendStats::default(),
+        })
+    }
+
+    /// The flat backend (diagnostics).
+    pub fn backend(&self) -> &InsecureBackend {
+        &self.backend
+    }
+
+    fn check_addr(&self, addr: u64) -> Result<(), FreecursiveError> {
+        if addr >= self.num_blocks {
+            return Err(OramError::AddressOutOfRange {
+                addr,
+                capacity: self.num_blocks,
+            }
+            .into());
+        }
+        Ok(())
+    }
+
+    fn count(&mut self) {
+        self.stats.frontend_requests += 1;
+        self.stats.data_backend_accesses += 1;
+        self.stats.data_bytes_moved += self.block_bytes as u64;
+    }
+}
+
+impl Oram for InsecureOram {
+    fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.num_blocks
+    }
+
+    fn access(&mut self, request: Request) -> Result<Response, FreecursiveError> {
+        self.check_addr(request.addr())?;
+        let response = match request {
+            Request::Read { addr } => {
+                let data = self
+                    .backend
+                    .access(AccessOp::Read, addr, 0, 0, None)?
+                    .expect("read returns data");
+                Response {
+                    addr,
+                    data: Some(data),
+                }
+            }
+            Request::Write { addr, data } => {
+                self.backend
+                    .access(AccessOp::Write, addr, 0, 0, Some(&data))?;
+                Response { addr, data: None }
+            }
+            Request::ReadRemove { addr } => {
+                let data = self
+                    .backend
+                    .access(AccessOp::ReadRmv, addr, 0, 0, None)?
+                    .expect("readrmv returns data");
+                Response {
+                    addr,
+                    data: Some(data),
+                }
+            }
+        };
+        self.count();
+        Ok(response)
+    }
+
+    fn stats(&self) -> &FrontendStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = FrontendStats::default();
+        self.backend.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_memory_roundtrip_and_read_remove() {
+        let mut m = InsecureOram::new(64, 16).unwrap();
+        assert_eq!(m.read(5).unwrap(), vec![0u8; 16]);
+        m.write(5, &[9u8; 16]).unwrap();
+        assert_eq!(m.read(5).unwrap(), vec![9u8; 16]);
+        assert_eq!(m.read_remove(5).unwrap(), vec![9u8; 16]);
+        assert_eq!(m.read(5).unwrap(), vec![0u8; 16]);
+        assert_eq!(m.stats().frontend_requests, 5);
+    }
+
+    #[test]
+    fn bounds_and_sizes_are_enforced() {
+        let mut m = InsecureOram::new(8, 16).unwrap();
+        assert!(m.read(8).is_err());
+        assert!(m.write(0, &[0u8; 15]).is_err());
+        assert!(InsecureOram::new(0, 16).is_err());
+    }
+}

@@ -19,24 +19,36 @@
 //!    verification that hashes only the block of interest instead of a whole
 //!    Merkle path (§6).
 //!
-//! This crate contains the functional controller: [`FreecursiveOram`] (the
-//! PLB/compressed/PMMAC frontend over a real Path ORAM backend) and
-//! [`RecursiveOram`] (the `R_X8` baseline of the evaluation).  The scalable
-//! trace-driven *timing* simulator that regenerates the paper's figures lives
-//! in the `oram-sim` crate; the Path ORAM backend substrate in `path-oram`.
+//! This crate contains the functional controllers behind one processor-facing
+//! interface, the [`Oram`] trait: [`FreecursiveOram`] (the
+//! PLB/compressed/PMMAC frontend), [`RecursiveOram`] (the `R_X8` baseline of
+//! the evaluation), and [`InsecureOram`] (the flat "no ORAM" baseline).  Both
+//! tree frontends are generic over the [`path_oram::OramBackend`] substrate
+//! seam, and every design point is constructed through [`OramBuilder`] keyed
+//! by [`SchemePoint`].  The scalable trace-driven *timing* simulator that
+//! regenerates the paper's figures lives in the `oram-sim` crate; the Path
+//! ORAM backend substrate in `path-oram`.
 //!
 //! # Quick start
 //!
 //! ```
-//! use freecursive::{FreecursiveConfig, FreecursiveOram, Oram};
+//! use freecursive::{Oram, OramBuilder, Request, SchemePoint};
 //!
-//! # fn main() -> Result<(), path_oram::OramError> {
-//! // A 64 MB ORAM (2^20 blocks of 64 bytes) with the full PIC_X32 design.
-//! let config = FreecursiveConfig::pic_x32(1 << 12, 64);
-//! let mut oram = FreecursiveOram::new(config)?;
+//! # fn main() -> Result<(), freecursive::FreecursiveError> {
+//! // The full PIC_X32 design at 2^12 blocks of 64 bytes.
+//! let mut oram = OramBuilder::for_scheme(SchemePoint::PicX32)
+//!     .num_blocks(1 << 12)
+//!     .build_freecursive()?;
 //!
 //! oram.write(1000, &vec![42u8; 64])?;
 //! assert_eq!(oram.read(1000)?, vec![42u8; 64]);
+//!
+//! // The batched path serves mixed request streams in one call.
+//! let responses = oram.access_batch(&[
+//!     Request::Read { addr: 1000 },
+//!     Request::Write { addr: 3, data: vec![7u8; 64] },
+//! ])?;
+//! assert_eq!(responses[0].data.as_deref(), Some(&[42u8; 64][..]));
 //!
 //! // The stats expose exactly the quantities the paper evaluates.
 //! println!("posmap fraction of traffic: {:?}",
@@ -50,22 +62,28 @@
 
 pub mod adversary;
 pub mod analysis;
+pub mod builder;
 pub mod config;
 pub mod error;
 pub mod frontend;
+pub mod insecure;
 pub mod payload;
 pub mod recursive;
+pub mod scheme;
 pub mod stats;
 pub mod traits;
 
 pub use adversary::Adversary;
 pub use analysis::AsymptoticParams;
+pub use builder::OramBuilder;
 pub use config::{FreecursiveConfig, PosMapFormat};
-pub use error::ConfigError;
+pub use error::{ConfigError, FreecursiveError};
 pub use frontend::FreecursiveOram;
+pub use insecure::InsecureOram;
 pub use recursive::{RecursiveOram, RecursiveOramConfig};
+pub use scheme::SchemePoint;
 pub use stats::FrontendStats;
-pub use traits::Oram;
+pub use traits::{Oram, Request, Response};
 
 // Re-export the substrate types callers commonly need alongside the frontend.
-pub use path_oram::{EncryptionMode, OramError};
+pub use path_oram::{EncryptionMode, InsecureBackend, OramBackend, OramError, PathOramBackend};

@@ -119,7 +119,13 @@ impl PosMapBlockPayload {
     /// `child_unified_addr` is the child's address in the unified space (used
     /// as the PRF input for counter-based formats); `leaf_level` is L of the
     /// tree the child lives in.
-    pub fn child_leaf(&self, index: usize, child_unified_addr: u64, prf: &dyn Prf, leaf_level: u32) -> u64 {
+    pub fn child_leaf(
+        &self,
+        index: usize,
+        child_unified_addr: u64,
+        prf: &dyn Prf,
+        leaf_level: u32,
+    ) -> u64 {
         match self {
             Self::Leaves(b) => b.leaf(index),
             Self::FlatCounters(c) => prf.leaf_for(child_unified_addr, c[index], leaf_level),
@@ -226,7 +232,10 @@ mod tests {
 
     #[test]
     fn counter_formats_start_at_zero_and_increment() {
-        for format in [PosMapFormat::FlatCounters, PosMapFormat::compressed_default()] {
+        for format in [
+            PosMapFormat::FlatCounters,
+            PosMapFormat::compressed_default(),
+        ] {
             let x = format.max_x(64);
             let mut payload = PosMapBlockPayload::new_zeroed(format, x);
             assert_eq!(payload.child_counter(3), Some(0));

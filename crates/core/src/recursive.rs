@@ -7,11 +7,10 @@
 //! total, independent of program locality.  This is the overhead the PLB is
 //! designed to remove.
 
+use crate::error::FreecursiveError;
 use crate::stats::FrontendStats;
-use crate::traits::Oram;
-use path_oram::{
-    AccessOp, EncryptionMode, OramBackend, OramError, OramParams, PathOramBackend,
-};
+use crate::traits::{Oram, Request, Response};
+use path_oram::{AccessOp, EncryptionMode, OramBackend, OramError, OramParams, PathOramBackend};
 use posmap::addressing::RecursionAddressing;
 use posmap::onchip::{OnChipEntryKind, OnChipPosMap};
 use posmap::UncompressedPosMapBlock;
@@ -72,16 +71,18 @@ impl RecursiveOramConfig {
 }
 
 /// The baseline Recursive Path ORAM controller: one ORAM tree per recursion
-/// level, uncompressed PosMap blocks, no PLB, no integrity.
+/// level, uncompressed PosMap blocks, no PLB, no integrity.  Generic over
+/// the same [`OramBackend`] seam as [`crate::FreecursiveOram`].
 ///
 /// # Examples
 ///
 /// ```
-/// use freecursive::recursive::{RecursiveOram, RecursiveOramConfig};
-/// use freecursive::Oram;
+/// use freecursive::{Oram, OramBuilder, SchemePoint};
 ///
-/// # fn main() -> Result<(), path_oram::OramError> {
-/// let mut oram = RecursiveOram::new(RecursiveOramConfig::r_x8(1 << 12, 64))?;
+/// # fn main() -> Result<(), freecursive::FreecursiveError> {
+/// let mut oram = OramBuilder::for_scheme(SchemePoint::RX8)
+///     .num_blocks(1 << 12)
+///     .build_recursive()?;
 /// oram.write(5, &vec![0xAA; 64])?;
 /// assert_eq!(oram.read(5)?, vec![0xAA; 64]);
 /// // Every request walked all H ORAMs.
@@ -91,23 +92,23 @@ impl RecursiveOramConfig {
 /// # }
 /// ```
 #[derive(Debug)]
-pub struct RecursiveOram {
+pub struct RecursiveOram<B: OramBackend = PathOramBackend> {
     config: RecursiveOramConfig,
     rec: RecursionAddressing,
     /// Index 0 is the Data ORAM; index `i ≥ 1` is PosMap ORAM `i`.
-    backends: Vec<PathOramBackend>,
+    backends: Vec<B>,
     onchip: OnChipPosMap,
     rng: StdRng,
     stats: FrontendStats,
 }
 
-impl RecursiveOram {
+impl<B: OramBackend> RecursiveOram<B> {
     /// Builds the controller, allocating one ORAM tree per recursion level.
     ///
     /// # Errors
     ///
     /// Propagates backend construction errors.
-    pub fn new(config: RecursiveOramConfig) -> Result<Self, OramError> {
+    pub fn new(config: RecursiveOramConfig) -> Result<Self, FreecursiveError> {
         let rec = RecursionAddressing::new(config.num_blocks, config.x(), config.onchip_entries);
         let mut backends = Vec::new();
         for level in 0..rec.num_levels() {
@@ -120,12 +121,7 @@ impl RecursiveOram {
             let mut key = [0u8; 16];
             key[..8].copy_from_slice(&config.seed.to_le_bytes());
             key[8..].copy_from_slice(&u64::from(level).to_le_bytes());
-            backends.push(PathOramBackend::new(
-                params,
-                config.encryption,
-                key,
-                config.seed,
-            )?);
+            backends.push(B::new_backend(params, config.encryption, key, config.seed)?);
         }
         let mut onchip = OnChipPosMap::new(rec.required_onchip_entries(), OnChipEntryKind::Leaf);
         // A deployed ORAM is initialised with every block mapped to a uniform
@@ -160,7 +156,7 @@ impl RecursiveOram {
     }
 
     /// Per-level backends (diagnostics; index 0 is the Data ORAM).
-    pub fn backend(&self, level: u32) -> &PathOramBackend {
+    pub fn backend(&self, level: u32) -> &B {
         &self.backends[level as usize]
     }
 
@@ -169,7 +165,7 @@ impl RecursiveOram {
         self.rng.gen_range(0..leaves)
     }
 
-    fn access(
+    fn access_inner(
         &mut self,
         addr: u64,
         op: AccessOp,
@@ -238,9 +234,56 @@ impl RecursiveOram {
         self.stats.data_bytes_moved += self.backends[0].params().access_bytes();
         Ok(result)
     }
+
+    /// Rejects write payloads of the wrong length before any tree is walked.
+    fn check_write_size(&self, data: &[u8]) -> Result<(), FreecursiveError> {
+        if data.len() != self.config.data_block_bytes {
+            return Err(OramError::BlockSizeMismatch {
+                expected: self.config.data_block_bytes,
+                actual: data.len(),
+            }
+            .into());
+        }
+        Ok(())
+    }
+
+    /// Dispatches one borrowed request — the single implementation behind
+    /// both [`Oram::access`] and [`Oram::access_batch`], so the two paths
+    /// cannot diverge.
+    fn access_ref(&mut self, request: &Request) -> Result<Response, FreecursiveError> {
+        let response = match request {
+            Request::Read { addr } => Response {
+                addr: *addr,
+                data: Some(
+                    self.access_inner(*addr, AccessOp::Read, None)?
+                        .expect("read returns data"),
+                ),
+            },
+            Request::Write { addr, data } => {
+                self.check_write_size(data)?;
+                self.access_inner(*addr, AccessOp::Write, Some(data))?;
+                Response {
+                    addr: *addr,
+                    data: None,
+                }
+            }
+            // The data-ORAM `readrmv` removes the block outright; with no
+            // PMMAC counters to keep consistent, the backend's implicit
+            // zero-initialisation makes later reads return zeros, which is
+            // exactly the read-remove contract.
+            Request::ReadRemove { addr } => Response {
+                addr: *addr,
+                data: Some(
+                    self.access_inner(*addr, AccessOp::ReadRmv, None)?
+                        .expect("readrmv returns data"),
+                ),
+            },
+        };
+        Ok(response)
+    }
 }
 
-impl Oram for RecursiveOram {
+impl<B: OramBackend> Oram for RecursiveOram<B> {
     fn block_bytes(&self) -> usize {
         self.config.data_block_bytes
     }
@@ -249,15 +292,33 @@ impl Oram for RecursiveOram {
         self.config.num_blocks
     }
 
-    fn read(&mut self, addr: u64) -> Result<Vec<u8>, OramError> {
+    fn access(&mut self, request: Request) -> Result<Response, FreecursiveError> {
+        self.access_ref(&request)
+    }
+
+    fn access_batch(&mut self, requests: &[Request]) -> Result<Vec<Response>, FreecursiveError> {
+        requests
+            .iter()
+            .map(|request| self.access_ref(request))
+            .collect()
+    }
+
+    fn read(&mut self, addr: u64) -> Result<Vec<u8>, FreecursiveError> {
         Ok(self
-            .access(addr, AccessOp::Read, None)?
+            .access_inner(addr, AccessOp::Read, None)?
             .expect("read returns data"))
     }
 
-    fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), OramError> {
-        self.access(addr, AccessOp::Write, Some(data))?;
+    fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), FreecursiveError> {
+        self.check_write_size(data)?;
+        self.access_inner(addr, AccessOp::Write, Some(data))?;
         Ok(())
+    }
+
+    fn read_remove(&mut self, addr: u64) -> Result<Vec<u8>, FreecursiveError> {
+        Ok(self
+            .access_inner(addr, AccessOp::ReadRmv, None)?
+            .expect("readrmv returns data"))
     }
 
     fn stats(&self) -> &FrontendStats {
@@ -280,11 +341,12 @@ mod tests {
 
     fn small_oram() -> RecursiveOram {
         // Small on-chip PosMap to force several levels of recursion.
-        let cfg = RecursiveOramConfig {
-            onchip_entries: 16,
-            ..RecursiveOramConfig::r_x8(1 << 12, 64)
-        };
-        RecursiveOram::new(cfg).unwrap()
+        crate::builder::OramBuilder::for_scheme(crate::scheme::SchemePoint::RX8)
+            .num_blocks(1 << 12)
+            .block_bytes(64)
+            .onchip_entries(16)
+            .build_recursive()
+            .unwrap()
     }
 
     #[test]
@@ -316,10 +378,7 @@ mod tests {
         assert_eq!(oram.stats().frontend_requests, 20);
         assert_eq!(oram.stats().data_backend_accesses, 20);
         assert_eq!(oram.stats().posmap_backend_accesses, 20 * (h - 1));
-        assert_eq!(
-            oram.stats().backend_accesses_per_request(),
-            Some(h as f64)
-        );
+        assert_eq!(oram.stats().backend_accesses_per_request(), Some(h as f64));
     }
 
     #[test]
@@ -363,7 +422,17 @@ mod tests {
         let mut oram = small_oram();
         assert!(matches!(
             oram.read(1 << 12),
-            Err(OramError::AddressOutOfRange { .. })
+            Err(FreecursiveError::Backend(
+                OramError::AddressOutOfRange { .. }
+            ))
         ));
+    }
+
+    #[test]
+    fn read_remove_returns_old_contents_and_zeroes_the_block() {
+        let mut oram = small_oram();
+        oram.write(11, &[0xCD; 64]).unwrap();
+        assert_eq!(oram.read_remove(11).unwrap(), vec![0xCD; 64]);
+        assert_eq!(oram.read(11).unwrap(), vec![0u8; 64]);
     }
 }

@@ -156,6 +156,10 @@ mod tests {
         for i in 0..4096u64 {
             seen.insert(prf.leaf_for(i, 0, levels));
         }
-        assert!(seen.len() > 240, "expected near-complete coverage of 256 leaves, got {}", seen.len());
+        assert!(
+            seen.len() > 240,
+            "expected near-complete coverage of 256 leaves, got {}",
+            seen.len()
+        );
     }
 }

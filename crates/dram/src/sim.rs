@@ -133,7 +133,10 @@ impl BandwidthModel {
     /// achieves "nearly peak" bandwidth, empirically ~0.75–0.9 for the default
     /// geometry.
     pub fn new(cfg: DramConfig, efficiency: f64, fixed_cpu_cycles: u64) -> Self {
-        assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency must be in (0,1]");
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0,1]"
+        );
         Self {
             cfg,
             efficiency,
@@ -143,8 +146,7 @@ impl BandwidthModel {
 
     /// Latency in processor cycles to transfer `bytes` bytes.
     pub fn latency_cpu_cycles(&self, bytes: u64) -> u64 {
-        let seconds =
-            bytes as f64 / (self.cfg.peak_bandwidth_bytes_per_sec() * self.efficiency);
+        let seconds = bytes as f64 / (self.cfg.peak_bandwidth_bytes_per_sec() * self.efficiency);
         let cycles = seconds * self.cfg.cpu_clock_mhz * 1e6;
         self.fixed_cpu_cycles + cycles.ceil() as u64
     }

@@ -41,6 +41,9 @@ pub struct SubtreeLayout {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct GroupLayout {
     first_level: u32,
+    /// Levels in this group; kept for layout debugging even though address
+    /// arithmetic only needs `first_level` and the counts below.
+    #[allow(dead_code)]
     levels: u32,
     buckets_per_subtree: u64,
     subtree_count: u64,
@@ -124,9 +127,8 @@ impl SubtreeLayout {
         let subtree_index = index_in_level >> local_level;
         let local_index = index_in_level & ((1u64 << local_level) - 1);
         let offset_in_subtree = ((1u64 << local_level) - 1) + local_index;
-        let bucket_linear = group.bucket_offset
-            + subtree_index * group.buckets_per_subtree
-            + offset_in_subtree;
+        let bucket_linear =
+            group.bucket_offset + subtree_index * group.buckets_per_subtree + offset_in_subtree;
         self.base + bucket_linear * self.bucket_bytes
     }
 

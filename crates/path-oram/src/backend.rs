@@ -14,10 +14,32 @@ use std::collections::HashSet;
 /// The interface the Freecursive frontends program against (the paper's
 /// `Backend(a, l, l′, op, d′)`, §3.1).
 ///
-/// Implementations must satisfy Property 1 of §6.5.2: an access reveals only
-/// the leaf supplied by the frontend and a fixed amount of (encrypted) data
+/// This is the crate's substrate seam: the frontends in `freecursive` are
+/// generic over it, so the Path ORAM machinery can be swapped for another
+/// position-based backend (or for [`crate::InsecureBackend`] in functional
+/// tests) without touching frontend code.  Implementations intended for
+/// deployment must satisfy Property 1 of §6.5.2: an access reveals only the
+/// leaf supplied by the frontend and a fixed amount of (encrypted) data
 /// written back.
 pub trait OramBackend {
+    /// Builds a backend for the given geometry.
+    ///
+    /// `encryption`, `key` and `seed` configure the bucket cipher and any
+    /// randomised initialisation; backends without encrypted storage are free
+    /// to ignore them.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the backend cannot be constructed for `params`.
+    fn new_backend(
+        params: OramParams,
+        encryption: EncryptionMode,
+        key: [u8; 16],
+        seed: u64,
+    ) -> Result<Self, OramError>
+    where
+        Self: Sized;
+
     /// The tree geometry this backend serves.
     fn params(&self) -> &OramParams;
 
@@ -49,6 +71,12 @@ pub trait OramBackend {
         new_leaf: Leaf,
         data: Option<&[u8]>,
     ) -> Result<Option<BlockData>, OramError>;
+
+    /// Accumulated backend statistics.
+    fn stats(&self) -> &BackendStats;
+
+    /// Resets the statistics counters (storage contents are retained).
+    fn reset_stats(&mut self);
 }
 
 /// The functional Path ORAM backend.
@@ -185,8 +213,25 @@ impl PathOramBackend {
 }
 
 impl OramBackend for PathOramBackend {
+    fn new_backend(
+        params: OramParams,
+        encryption: EncryptionMode,
+        key: [u8; 16],
+        seed: u64,
+    ) -> Result<Self, OramError> {
+        Self::new(params, encryption, key, seed)
+    }
+
     fn params(&self) -> &OramParams {
         &self.params
+    }
+
+    fn stats(&self) -> &BackendStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = BackendStats::default();
     }
 
     fn access(
@@ -224,8 +269,7 @@ impl OramBackend for PathOramBackend {
             });
             self.resident.insert(addr);
             self.stats.appends += 1;
-            self.stats.max_stash_occupancy =
-                self.stats.max_stash_occupancy.max(self.stash.len());
+            self.stats.max_stash_occupancy = self.stats.max_stash_occupancy.max(self.stash.len());
             self.stash.check_overflow()?;
             return Ok(None);
         }
@@ -284,10 +328,7 @@ impl OramBackend for PathOramBackend {
 
         self.evict_path(leaf, &path);
         self.stats.path_accesses += 1;
-        self.stats.max_stash_occupancy = self
-            .stats
-            .max_stash_occupancy
-            .max(self.stash.len());
+        self.stats.max_stash_occupancy = self.stats.max_stash_occupancy.max(self.stash.len());
         self.stash.check_overflow()?;
         Ok(result)
     }
@@ -330,10 +371,7 @@ mod tests {
         let mut b = backend(256, 32);
         let data = vec![9u8; 32];
         b.access(AccessOp::Write, 7, 1, 5, Some(&data)).unwrap();
-        let out = b
-            .access(AccessOp::ReadRmv, 7, 5, 0, None)
-            .unwrap()
-            .unwrap();
+        let out = b.access(AccessOp::ReadRmv, 7, 5, 0, None).unwrap().unwrap();
         assert_eq!(out, data);
         assert!(!b.is_resident(7));
         // Appending it back at a new leaf makes it readable again.
@@ -437,10 +475,7 @@ mod tests {
         );
         assert_eq!(b.stats().path_accesses, 4000);
         // Every access moved exactly one path in each direction.
-        assert_eq!(
-            b.stats().bytes_read,
-            4000 * b.params().path_bytes()
-        );
+        assert_eq!(b.stats().bytes_read, 4000 * b.params().path_bytes());
         assert_eq!(b.stats().bytes_written, b.stats().bytes_read);
     }
 
@@ -460,7 +495,9 @@ mod tests {
         }
         let result = b.access(AccessOp::Read, 1, 1, 2, None);
         match result {
-            Ok(_) | Err(OramError::MalformedBucket { .. }) | Err(OramError::BlockNotFound { .. }) => {}
+            Ok(_)
+            | Err(OramError::MalformedBucket { .. })
+            | Err(OramError::BlockNotFound { .. }) => {}
             other => panic!("unexpected result {other:?}"),
         }
     }
@@ -468,7 +505,7 @@ mod tests {
     #[test]
     fn stats_track_appends_separately() {
         let mut b = backend(256, 32);
-        b.access(AccessOp::Append, 1, 0, 1, Some(&vec![0u8; 32]))
+        b.access(AccessOp::Append, 1, 0, 1, Some(&[0u8; 32]))
             .unwrap();
         assert_eq!(b.stats().appends, 1);
         assert_eq!(b.stats().path_accesses, 0);

@@ -211,10 +211,7 @@ mod tests {
         ct_b[..8].copy_from_slice(&0u64.to_le_bytes());
         cipher.seal(3, &mut ct_b);
         // Same pad: XOR of ciphertexts equals XOR of plaintexts.
-        assert_eq!(
-            ct_a[50] ^ ct_b[50],
-            plaintext_a[50] ^ plaintext_b[50]
-        );
+        assert_eq!(ct_a[50] ^ ct_b[50], plaintext_a[50] ^ plaintext_b[50]);
     }
 
     #[test]

@@ -73,18 +73,30 @@ impl std::fmt::Display for OramError {
             OramError::StashOverflow {
                 occupancy,
                 capacity,
-            } => write!(f, "stash overflow: {occupancy} blocks exceeds capacity {capacity}"),
+            } => write!(
+                f,
+                "stash overflow: {occupancy} blocks exceeds capacity {capacity}"
+            ),
             OramError::AddressOutOfRange { addr, capacity } => {
-                write!(f, "block address {addr} out of range for capacity {capacity}")
+                write!(
+                    f,
+                    "block address {addr} out of range for capacity {capacity}"
+                )
             }
             OramError::LeafOutOfRange { leaf, num_leaves } => {
                 write!(f, "leaf {leaf} out of range for {num_leaves} leaves")
             }
             OramError::BlockSizeMismatch { expected, actual } => {
-                write!(f, "block data length {actual} does not match block size {expected}")
+                write!(
+                    f,
+                    "block data length {actual} does not match block size {expected}"
+                )
             }
             OramError::DuplicateAppend { addr } => {
-                write!(f, "append of block {addr} which is already present in the ORAM")
+                write!(
+                    f,
+                    "append of block {addr} which is already present in the ORAM"
+                )
             }
             OramError::BlockNotFound { addr } => {
                 write!(f, "block {addr} was not found on its path or in the stash")

@@ -1,0 +1,195 @@
+//! An *insecure* flat-memory backend: the `Insecure` scheme point of the
+//! evaluation, and a fast functional stand-in for the Path ORAM machinery.
+//!
+//! [`InsecureBackend`] implements [`OramBackend`] over a plain hash map: no
+//! tree, no stash, no encryption, no obliviousness — an adversary observing
+//! it learns the full access pattern.  It exists for two purposes:
+//!
+//! 1. it is the "no ORAM" baseline every slowdown in the paper is measured
+//!    against (the denominator of Figures 6 and 8), and
+//! 2. it proves the frontends really are backend-generic: a
+//!    `FreecursiveOram<InsecureBackend>` runs the complete PLB / compressed
+//!    PosMap / PMMAC logic at hash-map speed, which makes large functional
+//!    test workloads cheap.
+//!
+//! Leaf arguments are accepted and ignored: correctness of this backend never
+//! depends on the caller's position map, which also makes it useful for
+//! isolating frontend bugs (a wrong leaf that would surface as
+//! [`OramError::BlockNotFound`] on the real backend is invisible here).
+
+use crate::backend::OramBackend;
+use crate::encryption::EncryptionMode;
+use crate::error::OramError;
+use crate::params::OramParams;
+use crate::stats::BackendStats;
+use crate::types::{AccessOp, BlockData, BlockId, Leaf};
+use std::collections::HashMap;
+
+/// A flat, unencrypted, non-oblivious [`OramBackend`] implementation.
+#[derive(Debug, Clone)]
+pub struct InsecureBackend {
+    params: OramParams,
+    blocks: HashMap<BlockId, BlockData>,
+    stats: BackendStats,
+}
+
+impl InsecureBackend {
+    /// Creates an empty flat backend for the given geometry (only
+    /// `block_bytes` and the byte-accounting figures of `params` are used).
+    pub fn new(params: OramParams) -> Self {
+        Self {
+            params,
+            blocks: HashMap::new(),
+            stats: BackendStats::default(),
+        }
+    }
+
+    /// Number of blocks currently stored.
+    pub fn resident_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether a block address is currently stored.
+    pub fn is_resident(&self, addr: BlockId) -> bool {
+        self.blocks.contains_key(&addr)
+    }
+}
+
+impl OramBackend for InsecureBackend {
+    fn new_backend(
+        params: OramParams,
+        _encryption: EncryptionMode,
+        _key: [u8; 16],
+        _seed: u64,
+    ) -> Result<Self, OramError> {
+        Ok(Self::new(params))
+    }
+
+    fn params(&self) -> &OramParams {
+        &self.params
+    }
+
+    fn access(
+        &mut self,
+        op: AccessOp,
+        addr: BlockId,
+        _leaf: Leaf,
+        _new_leaf: Leaf,
+        data: Option<&[u8]>,
+    ) -> Result<Option<BlockData>, OramError> {
+        if let Some(d) = data {
+            if d.len() != self.params.block_bytes {
+                return Err(OramError::BlockSizeMismatch {
+                    expected: self.params.block_bytes,
+                    actual: d.len(),
+                });
+            }
+        }
+        let block_bytes = self.params.block_bytes as u64;
+        let result = match op {
+            AccessOp::Read => {
+                self.stats.path_accesses += 1;
+                self.stats.bytes_read += block_bytes;
+                Some(
+                    self.blocks
+                        .get(&addr)
+                        .cloned()
+                        .unwrap_or_else(|| vec![0u8; self.params.block_bytes]),
+                )
+            }
+            AccessOp::Write => {
+                let payload = data.ok_or(OramError::MissingWriteData)?.to_vec();
+                self.stats.path_accesses += 1;
+                self.stats.bytes_written += block_bytes;
+                self.blocks.insert(addr, payload);
+                None
+            }
+            AccessOp::ReadRmv => {
+                self.stats.path_accesses += 1;
+                self.stats.bytes_read += block_bytes;
+                Some(
+                    self.blocks
+                        .remove(&addr)
+                        .unwrap_or_else(|| vec![0u8; self.params.block_bytes]),
+                )
+            }
+            AccessOp::Append => {
+                if self.blocks.contains_key(&addr) {
+                    return Err(OramError::DuplicateAppend { addr });
+                }
+                let payload = data.ok_or(OramError::MissingWriteData)?.to_vec();
+                self.stats.appends += 1;
+                self.stats.bytes_written += block_bytes;
+                self.blocks.insert(addr, payload);
+                None
+            }
+        };
+        Ok(result)
+    }
+
+    fn stats(&self) -> &BackendStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = BackendStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backend() -> InsecureBackend {
+        InsecureBackend::new(OramParams::new(256, 32, 4))
+    }
+
+    #[test]
+    fn flat_semantics_match_the_backend_contract() {
+        let mut b = backend();
+        // Never-written blocks read as zero.
+        let out = b.access(AccessOp::Read, 9, 0, 0, None).unwrap().unwrap();
+        assert_eq!(out, vec![0u8; 32]);
+        // Write then read, leaves irrelevant.
+        b.access(AccessOp::Write, 9, 3, 7, Some(&[5u8; 32]))
+            .unwrap();
+        let out = b.access(AccessOp::Read, 9, 99, 1, None).unwrap().unwrap();
+        assert_eq!(out, vec![5u8; 32]);
+        // ReadRmv removes; Append restores; duplicate append rejected.
+        let out = b.access(AccessOp::ReadRmv, 9, 0, 0, None).unwrap().unwrap();
+        assert_eq!(out, vec![5u8; 32]);
+        assert!(!b.is_resident(9));
+        b.access(AccessOp::Append, 9, 0, 0, Some(&out)).unwrap();
+        assert_eq!(
+            b.access(AccessOp::Append, 9, 0, 0, Some(&out)),
+            Err(OramError::DuplicateAppend { addr: 9 })
+        );
+    }
+
+    #[test]
+    fn size_mismatch_is_rejected() {
+        let mut b = backend();
+        assert_eq!(
+            b.access(AccessOp::Write, 0, 0, 0, Some(&[1u8; 31])),
+            Err(OramError::BlockSizeMismatch {
+                expected: 32,
+                actual: 31
+            })
+        );
+    }
+
+    #[test]
+    fn stats_count_accesses_and_appends() {
+        let mut b = backend();
+        b.access(AccessOp::Write, 1, 0, 0, Some(&[0u8; 32]))
+            .unwrap();
+        b.access(AccessOp::Read, 1, 0, 0, None).unwrap();
+        b.access(AccessOp::ReadRmv, 1, 0, 0, None).unwrap();
+        b.access(AccessOp::Append, 1, 0, 0, Some(&[0u8; 32]))
+            .unwrap();
+        assert_eq!(b.stats().path_accesses, 3);
+        assert_eq!(b.stats().appends, 1);
+        b.reset_stats();
+        assert_eq!(b.stats(), &BackendStats::default());
+    }
+}

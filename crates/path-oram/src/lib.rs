@@ -19,6 +19,9 @@
 //! * [`backend::PathOramBackend`] — the access algorithm (path read, stash
 //!   update, greedy write-back) supporting `read`, `write`, `readrmv` and
 //!   `append` operations (§4.2.2).
+//! * [`insecure::InsecureBackend`] — a flat, non-oblivious implementation of
+//!   the same [`backend::OramBackend`] trait: the paper's `Insecure` baseline
+//!   and a fast substrate for functional tests.
 //!
 //! The Backend never sees program addresses in the clear beyond the block
 //! address tags required by Path ORAM itself, and is oblivious by
@@ -51,6 +54,7 @@ pub mod backend;
 pub mod bucket;
 pub mod encryption;
 pub mod error;
+pub mod insecure;
 pub mod params;
 pub mod stash;
 pub mod stats;
@@ -61,6 +65,7 @@ pub mod types;
 pub use backend::{OramBackend, PathOramBackend};
 pub use encryption::EncryptionMode;
 pub use error::OramError;
+pub use insecure::InsecureBackend;
 pub use params::OramParams;
 pub use stash::Stash;
 pub use stats::BackendStats;

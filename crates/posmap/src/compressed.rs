@@ -267,7 +267,10 @@ mod tests {
         for _ in 0..100 {
             block.increment(2);
             let now = block.counter_of(2);
-            assert!(now > last, "counter must strictly increase: {last} -> {now}");
+            assert!(
+                now > last,
+                "counter must strictly increase: {last} -> {now}"
+            );
             last = now;
         }
     }

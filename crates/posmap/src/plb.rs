@@ -84,7 +84,7 @@ impl<V> Plb<V> {
         assert!(capacity_blocks > 0, "PLB must have at least one entry");
         assert!(associativity > 0, "associativity must be at least 1");
         assert!(
-            capacity_blocks % associativity == 0,
+            capacity_blocks.is_multiple_of(associativity),
             "capacity must be a multiple of associativity"
         );
         let num_sets = capacity_blocks / associativity;
@@ -188,7 +188,10 @@ impl<V> Plb<V> {
         let set_idx = self.set_index(entry.unified_addr);
         let assoc = self.associativity;
         let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|e| e.unified_addr == entry.unified_addr) {
+        if let Some(pos) = set
+            .iter()
+            .position(|e| e.unified_addr == entry.unified_addr)
+        {
             set.remove(pos);
             set.push(entry);
             return None;

@@ -20,9 +20,7 @@ pub struct UncompressedPosMapBlock {
 impl UncompressedPosMapBlock {
     /// Creates a block of `x` entries, all initialised to leaf 0.
     pub fn new(x: usize) -> Self {
-        Self {
-            leaves: vec![0; x],
-        }
+        Self { leaves: vec![0; x] }
     }
 
     /// Number of entries (X).

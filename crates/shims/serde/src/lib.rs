@@ -1,0 +1,11 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize` / `Deserialize` derive macros so that
+//! `use serde::{Deserialize, Serialize};` and `#[derive(Serialize,
+//! Deserialize)]` compile unchanged in an environment without crates.io
+//! access.  No runtime serialisation is provided (none is used in this
+//! repository).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

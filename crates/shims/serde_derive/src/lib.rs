@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this proc-macro crate
+//! supplies `#[derive(Serialize)]` / `#[derive(Deserialize)]` that expand to
+//! nothing.  Nothing in this repository serialises at runtime (the derives
+//! only mark config/result types as *serialisable in principle*), so empty
+//! expansions keep every annotated type compiling without pulling in the real
+//! serde machinery.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

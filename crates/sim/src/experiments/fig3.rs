@@ -175,7 +175,10 @@ mod tests {
         let (_, pm8) = posmap_byte_percent(4 << 30, 64, 8 << 10, 4);
         let (_, pm256) = posmap_byte_percent(4 << 30, 64, 256 << 10, 4);
         assert!(pm256 < pm8);
-        assert!(pm8 - pm256 < 20.0, "the dampening is modest: {pm8} vs {pm256}");
+        assert!(
+            pm8 - pm256 < 20.0,
+            "the dampening is modest: {pm8} vs {pm256}"
+        );
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub struct Fig6Result {
 pub fn run(scale: ExperimentScale) -> Fig6Result {
     let cfg = SimulationConfig {
         memory_accesses: scale.memory_accesses(),
-                warmup_accesses: scale.warmup_accesses(),
+        warmup_accesses: scale.warmup_accesses(),
         latency_samples: scale.latency_samples(),
         ..SimulationConfig::paper_default()
     };

@@ -63,7 +63,7 @@ pub fn run(scale: ExperimentScale) -> Fig7Result {
                 let cfg = SimulationConfig {
                     data_capacity_bytes: capacity,
                     memory_accesses: scale.memory_accesses(),
-                warmup_accesses: scale.warmup_accesses(),
+                    warmup_accesses: scale.warmup_accesses(),
                     latency_samples: scale.latency_samples(),
                     ..SimulationConfig::paper_default()
                 };

@@ -38,7 +38,7 @@ pub const SCHEMES: [SchemePoint; 3] = [SchemePoint::RX8, SchemePoint::PcX64, Sch
 fn config_for(scheme: SchemePoint, scale: ExperimentScale) -> SimulationConfig {
     let mut cfg = SimulationConfig {
         memory_accesses: scale.memory_accesses(),
-                warmup_accesses: scale.warmup_accesses(),
+        warmup_accesses: scale.warmup_accesses(),
         latency_samples: scale.latency_samples(),
         ..SimulationConfig::isca13_params()
     };
@@ -61,10 +61,7 @@ pub fn run(scale: ExperimentScale) -> Fig8Result {
             let (p, d) = run.bytes_per_access();
             entries.push((scheme, run.slowdown, p / 1024.0, d / 1024.0));
         }
-        rows.push(Fig8Row {
-            benchmark,
-            entries,
-        });
+        rows.push(Fig8Row { benchmark, entries });
     }
     let geomeans = SCHEMES
         .iter()
@@ -104,7 +101,12 @@ impl Fig8Result {
     /// Renders the figure as a table.
     pub fn render(&self) -> String {
         let headers = [
-            "bench", "R_X8", "PC_X64", "PC_X32", "R_X8 pm/dat KB", "PC_X64 pm/dat KB",
+            "bench",
+            "R_X8",
+            "PC_X64",
+            "PC_X32",
+            "R_X8 pm/dat KB",
+            "PC_X64 pm/dat KB",
         ];
         let mut rows = Vec::new();
         for row in &self.rows {

@@ -41,13 +41,13 @@ pub fn run(scale: ExperimentScale) -> Fig9Result {
     let phantom_cfg = SimulationConfig {
         block_bytes: 128,
         memory_accesses: scale.memory_accesses(),
-                warmup_accesses: scale.warmup_accesses(),
+        warmup_accesses: scale.warmup_accesses(),
         latency_samples: scale.latency_samples(),
         ..SimulationConfig::paper_default()
     };
     let pc_cfg = SimulationConfig {
         memory_accesses: scale.memory_accesses(),
-                warmup_accesses: scale.warmup_accesses(),
+        warmup_accesses: scale.warmup_accesses(),
         latency_samples: scale.latency_samples(),
         ..SimulationConfig::paper_default()
     };
@@ -72,7 +72,12 @@ pub fn run(scale: ExperimentScale) -> Fig9Result {
 impl Fig9Result {
     /// Renders the figure as a table.
     pub fn render(&self) -> String {
-        let headers = ["bench", "Phantom-4KB slowdown", "PC_X32 slowdown", "speedup"];
+        let headers = [
+            "bench",
+            "Phantom-4KB slowdown",
+            "PC_X32 slowdown",
+            "speedup",
+        ];
         let mut rows: Vec<Vec<String>> = self
             .rows
             .iter()

@@ -8,7 +8,7 @@
 //! a measured ratio from running the functional PIC controller.
 
 use crate::report::{f2, format_table};
-use freecursive::{FreecursiveConfig, FreecursiveOram, Oram};
+use freecursive::{Oram, OramBuilder, SchemePoint};
 use path_oram::OramBackend as _;
 use serde::{Deserialize, Serialize};
 
@@ -59,8 +59,12 @@ pub fn run(functional_accesses: u64) -> HashBandwidthResult {
         .collect();
 
     // Functional measurement on a small PIC_X32 instance.
-    let config = FreecursiveConfig::pic_x32(1 << 12, 64).with_onchip_entries(64);
-    let mut oram = FreecursiveOram::new(config).expect("functional ORAM");
+    let mut oram = OramBuilder::for_scheme(SchemePoint::PicX32)
+        .num_blocks(1 << 12)
+        .block_bytes(64)
+        .onchip_entries(64)
+        .build_freecursive()
+        .expect("functional ORAM");
     let leaf_level = oram.backend().params().leaf_level();
     for i in 0..functional_accesses {
         let addr = (i * 13) % (1 << 12);
@@ -97,7 +101,15 @@ impl HashBandwidthResult {
              Measured on a functional PIC_X32 instance (L={}): {:.1}x\n\
              (the measured figure includes PosMap-block and group-remap hashing,\n\
               so it is somewhat below the per-access analytic bound)\n",
-            format_table(&["L", "Merkle blocks/access", "PMMAC blocks/access", "reduction"], &rows),
+            format_table(
+                &[
+                    "L",
+                    "Merkle blocks/access",
+                    "PMMAC blocks/access",
+                    "reduction"
+                ],
+                &rows
+            ),
             self.measured_leaf_level,
             self.measured_reduction
         )

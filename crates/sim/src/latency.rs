@@ -173,11 +173,8 @@ mod tests {
 
     #[test]
     fn pmmac_adds_only_the_sha3_pipeline_latency() {
-        let model = OramLatencyModel::new(
-            OramParams::new(1 << 20, 64, 4),
-            DramConfig::default(),
-            10,
-        );
+        let model =
+            OramLatencyModel::new(OramParams::new(1 << 20, 64, 4), DramConfig::default(), 10);
         assert_eq!(
             model.backend_access_cycles(true) - model.backend_access_cycles(false),
             model.pipeline.sha3
@@ -188,8 +185,11 @@ mod tests {
     fn larger_blocks_cost_proportionally_more() {
         let dram = DramConfig::default();
         let small = OramLatencyModel::new(OramParams::new(1 << 20, 64, 4), dram.clone(), 20);
-        let large =
-            OramLatencyModel::new(OramParams::new(1 << 14, 4096, 4).with_leaf_level(19), dram, 20);
+        let large = OramLatencyModel::new(
+            OramParams::new(1 << 14, 4096, 4).with_leaf_level(19),
+            dram,
+            20,
+        );
         // Phantom-style 4 KB blocks move ~40x the bytes per access.
         let ratio = large.tree_latency_cycles() as f64 / small.tree_latency_cycles() as f64;
         assert!(ratio > 10.0, "ratio {ratio}");

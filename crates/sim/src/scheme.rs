@@ -1,158 +1,7 @@
-//! The named design points of the evaluation (§7.1.4 naming: P = PLB,
-//! I = integrity/PMMAC, C = compressed PosMap, followed by X).
+//! The named design points of the evaluation.
+//!
+//! `SchemePoint` now lives in the `freecursive` core crate (it is the key of
+//! [`freecursive::OramBuilder`]); this module re-exports it so existing
+//! `oram_sim::scheme::SchemePoint` paths keep working.
 
-use serde::{Deserialize, Serialize};
-
-/// A design point that can be attached to the secure processor model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum SchemePoint {
-    /// No ORAM at all: flat-latency DRAM (the denominator of every slowdown).
-    Insecure,
-    /// Baseline Recursive ORAM with 32-byte PosMap ORAM blocks (X = 8),
-    /// separate trees, no PLB ([26]).
-    RX8,
-    /// PLB + unified tree with uncompressed PosMap blocks (X = 16 at 64 B).
-    PX16,
-    /// PLB + compressed PosMap (X = 32 at 64 B) — the headline PC_X32 point.
-    PcX32,
-    /// PC with 128-byte blocks (X = 64), used in the Figure 8 comparison.
-    PcX64,
-    /// PLB + PMMAC with flat 64-bit counters (X = 8).
-    PiX8,
-    /// PLB + compressed PosMap + PMMAC (X = 32) — complete Freecursive ORAM.
-    PicX32,
-    /// Phantom-style non-recursive ORAM with 4 KB blocks and an on-chip
-    /// block buffer (Figure 9).
-    Phantom4K,
-}
-
-impl SchemePoint {
-    /// All ORAM design points (excluding the insecure baseline and Phantom).
-    pub fn freecursive_points() -> [SchemePoint; 5] {
-        [
-            SchemePoint::RX8,
-            SchemePoint::PX16,
-            SchemePoint::PcX32,
-            SchemePoint::PiX8,
-            SchemePoint::PicX32,
-        ]
-    }
-
-    /// The label used in the figures.
-    pub fn label(&self) -> &'static str {
-        match self {
-            SchemePoint::Insecure => "insecure",
-            SchemePoint::RX8 => "R_X8",
-            SchemePoint::PX16 => "P_X16",
-            SchemePoint::PcX32 => "PC_X32",
-            SchemePoint::PcX64 => "PC_X64",
-            SchemePoint::PiX8 => "PI_X8",
-            SchemePoint::PicX32 => "PIC_X32",
-            SchemePoint::Phantom4K => "Phantom_4KB",
-        }
-    }
-
-    /// Whether this point uses the PLB + unified-tree frontend.
-    pub fn uses_plb(&self) -> bool {
-        matches!(
-            self,
-            SchemePoint::PX16
-                | SchemePoint::PcX32
-                | SchemePoint::PcX64
-                | SchemePoint::PiX8
-                | SchemePoint::PicX32
-        )
-    }
-
-    /// Whether PMMAC integrity verification is enabled.
-    pub fn pmmac(&self) -> bool {
-        matches!(self, SchemePoint::PiX8 | SchemePoint::PicX32)
-    }
-
-    /// Whether the compressed PosMap format is used.
-    pub fn compressed(&self) -> bool {
-        matches!(
-            self,
-            SchemePoint::PcX32 | SchemePoint::PcX64 | SchemePoint::PicX32
-        )
-    }
-
-    /// The PosMap fan-out X for a given ORAM block size in bytes.
-    pub fn x(&self, block_bytes: usize) -> u64 {
-        let bits = block_bytes * 8;
-        let raw = match self {
-            SchemePoint::Insecure | SchemePoint::Phantom4K => return 1,
-            SchemePoint::RX8 => 8,
-            // Uncompressed: 32-bit leaves.
-            SchemePoint::PX16 => block_bytes / 4,
-            // Compressed: alpha = 64, beta = 14 (§5.3).
-            SchemePoint::PcX32 | SchemePoint::PcX64 | SchemePoint::PicX32 => (bits - 64) / 14,
-            // Flat 64-bit counters.
-            SchemePoint::PiX8 => block_bytes / 8,
-        } as u64;
-        // Power-of-two restriction (§5.3).
-        if raw == 0 {
-            1
-        } else {
-            1u64 << (63 - raw.leading_zeros())
-        }
-    }
-
-    /// The ORAM-block payload size including the PMMAC MAC field.
-    pub fn payload_bytes(&self, block_bytes: usize) -> usize {
-        block_bytes + if self.pmmac() { oram_crypto::mac::MAC_BYTES } else { 0 }
-    }
-
-    /// PosMap-ORAM block size for the baseline separate-tree design
-    /// (32 bytes following [26]); unified designs use the data block size.
-    pub fn posmap_block_bytes(&self, block_bytes: usize) -> usize {
-        match self {
-            SchemePoint::RX8 => 32,
-            _ => block_bytes,
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn x_values_match_paper_names_at_64_bytes() {
-        assert_eq!(SchemePoint::RX8.x(64), 8);
-        assert_eq!(SchemePoint::PX16.x(64), 16);
-        assert_eq!(SchemePoint::PcX32.x(64), 32);
-        assert_eq!(SchemePoint::PiX8.x(64), 8);
-        assert_eq!(SchemePoint::PicX32.x(64), 32);
-        // And at 128 bytes the compressed X doubles (PC_X64).
-        assert_eq!(SchemePoint::PcX64.x(128), 64);
-    }
-
-    #[test]
-    fn pmmac_flags_and_payloads() {
-        assert!(!SchemePoint::PcX32.pmmac());
-        assert!(SchemePoint::PicX32.pmmac());
-        assert_eq!(SchemePoint::PcX32.payload_bytes(64), 64);
-        assert_eq!(
-            SchemePoint::PicX32.payload_bytes(64),
-            64 + oram_crypto::mac::MAC_BYTES
-        );
-    }
-
-    #[test]
-    fn baseline_uses_small_posmap_blocks() {
-        assert_eq!(SchemePoint::RX8.posmap_block_bytes(64), 32);
-        assert_eq!(SchemePoint::PcX32.posmap_block_bytes(64), 64);
-    }
-
-    #[test]
-    fn labels_are_unique_and_stable() {
-        let mut labels: Vec<_> = SchemePoint::freecursive_points()
-            .iter()
-            .map(|s| s.label())
-            .collect();
-        labels.sort_unstable();
-        labels.dedup();
-        assert_eq!(labels.len(), 5);
-    }
-}
+pub use freecursive::scheme::SchemePoint;

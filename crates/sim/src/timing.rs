@@ -167,7 +167,10 @@ impl TimingOram {
     /// [`SchemePoint::Phantom4K`] (those are modelled elsewhere).
     pub fn new(config: TimingOramConfig) -> Self {
         assert!(
-            !matches!(config.scheme, SchemePoint::Insecure | SchemePoint::Phantom4K),
+            !matches!(
+                config.scheme,
+                SchemePoint::Insecure | SchemePoint::Phantom4K
+            ),
             "use FlatLatencyMemory / PhantomOram for this scheme"
         );
         let x = config.scheme.x(config.block_bytes);
@@ -178,8 +181,8 @@ impl TimingOram {
             let params = OramParams::new(rec.unified_total_blocks(), payload, config.z);
             let data_latency =
                 OramLatencyModel::new(params, config.dram.clone(), config.latency_samples);
-            let plb_blocks = (config.plb_capacity_bytes / config.block_bytes)
-                .max(config.plb_associativity * 4);
+            let plb_blocks =
+                (config.plb_capacity_bytes / config.block_bytes).max(config.plb_associativity * 4);
             let plb = Plb::new(
                 plb_blocks - plb_blocks % config.plb_associativity,
                 config.plb_associativity,
@@ -194,8 +197,7 @@ impl TimingOram {
             }
         } else {
             // Baseline: one tree per level.
-            let data_params =
-                OramParams::new(rec.blocks_at_level(0), config.block_bytes, config.z);
+            let data_params = OramParams::new(rec.blocks_at_level(0), config.block_bytes, config.z);
             let data_latency =
                 OramLatencyModel::new(data_params, config.dram.clone(), config.latency_samples);
             let mut baseline_levels = Vec::new();
@@ -376,7 +378,10 @@ mod tests {
             total_posmap += oram.access(addr).posmap_accesses;
         }
         let per_request = total_posmap as f64 / 1000.0;
-        assert!(per_request < 0.5, "posmap accesses per request {per_request}");
+        assert!(
+            per_request < 0.5,
+            "posmap accesses per request {per_request}"
+        );
     }
 
     #[test]
@@ -421,7 +426,10 @@ mod tests {
         let oram = TimingOram::new(small_config(SchemePoint::PcX32));
         let mut mem = OramMemory::new(oram);
         let lat = cache_sim::MainMemory::access(&mut mem, 0x1000, false);
-        assert!(lat > 100, "an ORAM access takes hundreds of cycles, got {lat}");
+        assert!(
+            lat > 100,
+            "an ORAM access takes hundreds of cycles, got {lat}"
+        );
         assert_eq!(mem.oram().stats().requests, 1);
     }
 }

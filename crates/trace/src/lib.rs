@@ -163,7 +163,9 @@ mod tests {
     #[test]
     fn gap_roughly_matches_memory_fraction() {
         let profile = SpecBenchmark::Sjeng.profile();
-        let accesses: Vec<_> = TraceGenerator::new(profile.clone(), 3).take(20_000).collect();
+        let accesses: Vec<_> = TraceGenerator::new(profile.clone(), 3)
+            .take(20_000)
+            .collect();
         let total_instr: u64 = accesses.iter().map(|a| a.gap + 1).sum();
         let measured_fraction = accesses.len() as f64 / total_instr as f64;
         assert!(
@@ -176,7 +178,9 @@ mod tests {
     #[test]
     fn write_fraction_is_respected() {
         let profile = SpecBenchmark::Bzip2.profile();
-        let accesses: Vec<_> = TraceGenerator::new(profile.clone(), 5).take(20_000).collect();
+        let accesses: Vec<_> = TraceGenerator::new(profile.clone(), 5)
+            .take(20_000)
+            .collect();
         let writes = accesses.iter().filter(|a| a.is_write).count() as f64;
         let measured = writes / accesses.len() as f64;
         assert!((measured - profile.write_fraction).abs() < 0.05);

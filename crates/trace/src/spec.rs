@@ -86,10 +86,12 @@ impl SpecBenchmark {
                 .seq(0.015, 32 << 20, 8),
             // Burrows-Wheeler compression: multi-megabyte working set with
             // heavy reuse — the PLB-capacity-sensitive benchmark of Figure 5.
-            SpecBenchmark::Bzip2 => builder
-                .hot(0.960, 320 << 10)
-                .random(0.030, 3 << 20)
-                .seq(0.010, 64 << 20, 8),
+            SpecBenchmark::Bzip2 => {
+                builder
+                    .hot(0.960, 320 << 10)
+                    .random(0.030, 3 << 20)
+                    .seq(0.010, 64 << 20, 8)
+            }
             // Compiler: moderately memory-bound, mixed locality.
             SpecBenchmark::Gcc => builder
                 .hot(0.965, 512 << 10)
@@ -97,10 +99,12 @@ impl SpecBenchmark {
                 .seq(0.015, 16 << 20, 8)
                 .chase(0.005, 32 << 20, 64),
             // Go engine: almost entirely cache resident.
-            SpecBenchmark::Gobmk => builder
-                .hot(0.990, 448 << 10)
-                .random(0.007, 4 << 20)
-                .seq(0.003, 8 << 20, 8),
+            SpecBenchmark::Gobmk => {
+                builder
+                    .hot(0.990, 448 << 10)
+                    .random(0.007, 4 << 20)
+                    .seq(0.003, 8 << 20, 8)
+            }
             // Video encoder: streaming reference frames with good locality.
             SpecBenchmark::H264ref => builder
                 .hot(0.980, 384 << 10)
@@ -108,14 +112,10 @@ impl SpecBenchmark {
                 .random(0.010, 2 << 20),
             // Profile HMM search: small tables plus streaming scores; likes
             // large ORAM blocks (Figure 8).
-            SpecBenchmark::Hmmer => builder
-                .hot(0.970, 256 << 10)
-                .seq(0.030, 4 << 20, 8),
+            SpecBenchmark::Hmmer => builder.hot(0.970, 256 << 10).seq(0.030, 4 << 20, 8),
             // Quantum simulation: a pure stream over a large amplitude vector;
             // the most memory-bound benchmark (≈17× slowdown under ORAM).
-            SpecBenchmark::Libquantum => builder
-                .hot(0.550, 64 << 10)
-                .seq(0.450, 32 << 20, 16),
+            SpecBenchmark::Libquantum => builder.hot(0.550, 64 << 10).seq(0.450, 32 << 20, 16),
             // Network-flow solver: pointer chasing over multi-megabyte arcs;
             // high miss rate and strong PLB-capacity sensitivity.
             SpecBenchmark::Mcf => builder
@@ -134,10 +134,12 @@ impl SpecBenchmark {
                 .chase(0.006, 16 << 20, 64)
                 .seq(0.004, 8 << 20, 8),
             // Chess engine: tiny working set, compute bound.
-            SpecBenchmark::Sjeng => builder
-                .hot(0.996, 320 << 10)
-                .random(0.002, 4 << 20)
-                .chase(0.002, 8 << 20, 64),
+            SpecBenchmark::Sjeng => {
+                builder
+                    .hot(0.996, 320 << 10)
+                    .random(0.002, 4 << 20)
+                    .chase(0.002, 8 << 20, 64)
+            }
         }
         .build()
     }

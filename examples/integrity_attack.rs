@@ -7,18 +7,24 @@
 //! cargo run --release -p bench --example integrity_attack
 //! ```
 
-use freecursive::{Adversary, FreecursiveConfig, FreecursiveOram, Oram, OramError};
+use freecursive::{Adversary, FreecursiveError, Oram, OramBuilder, SchemePoint};
 use path_oram::encryption::{BucketCipher, EncryptionMode};
 use path_oram::OramParams;
 
-fn pmmac_detects_corruption() -> Result<(), OramError> {
+fn pic_oram() -> Result<freecursive::FreecursiveOram, FreecursiveError> {
+    OramBuilder::for_scheme(SchemePoint::PicX32)
+        .num_blocks(1 << 12)
+        .onchip_entries(64)
+        .build_freecursive()
+}
+
+fn pmmac_detects_corruption() -> Result<(), FreecursiveError> {
     println!("== 1. PMMAC detects data corruption ==");
-    let mut oram =
-        FreecursiveOram::new(FreecursiveConfig::pic_x32(1 << 12, 64).with_onchip_entries(64))?;
+    let mut oram = pic_oram()?;
     let mut adversary = Adversary::new(7);
 
     for addr in 0..64u64 {
-        oram.write(addr, &vec![addr as u8; 64])?;
+        oram.write(addr, &[addr as u8; 64])?;
     }
     let corrupted = adversary.corrupt_all_buckets(&mut oram, 120);
     println!("   adversary flipped one byte in {corrupted} ORAM tree buckets");
@@ -39,13 +45,12 @@ fn pmmac_detects_corruption() -> Result<(), OramError> {
     Ok(())
 }
 
-fn pmmac_detects_replay() -> Result<(), OramError> {
+fn pmmac_detects_replay() -> Result<(), FreecursiveError> {
     println!("== 2. PMMAC detects replay of stale memory ==");
-    let mut oram =
-        FreecursiveOram::new(FreecursiveConfig::pic_x32(1 << 12, 64).with_onchip_entries(64))?;
+    let mut oram = pic_oram()?;
     let adversary = Adversary::new(8);
 
-    oram.write(5, &vec![0x01; 64])?;
+    oram.write(5, &[0x01; 64])?;
     // Push the block out to the tree by touching other addresses.
     for addr in 100..400u64 {
         oram.read(addr)?;
@@ -54,7 +59,7 @@ fn pmmac_detects_replay() -> Result<(), OramError> {
     println!("   adversary snapshotted {} buckets", snapshot.len());
 
     for _ in 0..4 {
-        oram.write(5, &vec![0x02; 64])?;
+        oram.write(5, &[0x02; 64])?;
     }
     for addr in 400..700u64 {
         oram.read(addr)?;
@@ -117,7 +122,7 @@ fn one_time_pad_replay() {
     println!("   => the global-seed scheme never reuses a pad\n");
 }
 
-fn main() -> Result<(), OramError> {
+fn main() -> Result<(), FreecursiveError> {
     pmmac_detects_corruption()?;
     pmmac_detects_replay()?;
     one_time_pad_replay();

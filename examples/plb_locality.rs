@@ -7,20 +7,21 @@
 //! cargo run --release -p bench --example plb_locality
 //! ```
 
-use freecursive::{FreecursiveConfig, FreecursiveOram, Oram};
+use freecursive::{Oram, OramBuilder, SchemePoint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn run_pattern(name: &str, addresses: &[u64]) -> Result<(), freecursive::OramError> {
-    let config = FreecursiveConfig::pc_x32(1 << 14, 64).with_onchip_entries(64);
-    let mut oram = FreecursiveOram::new(config)?;
+fn run_pattern(name: &str, addresses: &[u64]) -> Result<(), freecursive::FreecursiveError> {
+    let mut oram = OramBuilder::for_scheme(SchemePoint::PcX32)
+        .num_blocks(1 << 14)
+        .onchip_entries(64)
+        .build_freecursive()?;
     let x = oram.config().x();
     for &addr in addresses {
         oram.read(addr)?;
     }
     let stats = oram.stats();
-    let per_request =
-        stats.posmap_backend_accesses as f64 / stats.frontend_requests as f64;
+    let per_request = stats.posmap_backend_accesses as f64 / stats.frontend_requests as f64;
     println!(
         "{name:<28} posmap accesses/request = {per_request:.3}   plb hit rate = {:.2}   (H-1 = {})",
         stats.plb.hit_rate().unwrap_or(0.0),
@@ -33,7 +34,7 @@ fn run_pattern(name: &str, addresses: &[u64]) -> Result<(), freecursive::OramErr
     Ok(())
 }
 
-fn main() -> Result<(), freecursive::OramError> {
+fn main() -> Result<(), freecursive::FreecursiveError> {
     println!("== PLB effectiveness vs program address locality (PC_X32, X = 32) ==\n");
 
     // Program A of §4.1.2: a unit-stride scan.

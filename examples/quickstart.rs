@@ -1,20 +1,22 @@
 //! Quickstart: build the full Freecursive ORAM controller (PLB + compressed
-//! PosMap + PMMAC), store and retrieve data, and inspect the statistics the
-//! paper's evaluation is built from.
+//! PosMap + PMMAC) through the `OramBuilder`, store and retrieve data, batch
+//! requests, and inspect the statistics the paper's evaluation is built from.
 //!
 //! Run with:
 //! ```text
-//! cargo run --release -p bench --example quickstart
+//! cargo run --release --example quickstart
 //! ```
 
-use freecursive::{FreecursiveConfig, FreecursiveOram, Oram};
+use freecursive::{Oram, OramBuilder, Request, SchemePoint};
 use path_oram::OramBackend as _;
 
-fn main() -> Result<(), freecursive::OramError> {
+fn main() -> Result<(), freecursive::FreecursiveError> {
     // A 1 MB ORAM (2^14 blocks of 64 bytes) with the complete PIC_X32 design:
     // PosMap Lookaside Buffer, compressed PosMap, and PMMAC integrity.
-    let config = FreecursiveConfig::pic_x32(1 << 14, 64).with_onchip_entries(128);
-    let mut oram = FreecursiveOram::new(config)?;
+    let mut oram = OramBuilder::for_scheme(SchemePoint::PicX32)
+        .num_blocks(1 << 14)
+        .onchip_entries(128)
+        .build_freecursive()?;
 
     println!("== Freecursive ORAM quickstart ==");
     println!(
@@ -42,6 +44,24 @@ fn main() -> Result<(), freecursive::OramError> {
     }
     println!("\n32 blocks written and read back correctly (MACs verified).");
 
+    // The batched path serves a mixed request stream in one call.
+    let batch: Vec<Request> = (0..64u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                Request::Read {
+                    addr: i * 100 % (1 << 14),
+                }
+            } else {
+                Request::Write {
+                    addr: i,
+                    data: vec![0xB0 | (i as u8 & 0xF); 64],
+                }
+            }
+        })
+        .collect();
+    let responses = oram.access_batch(&batch)?;
+    println!("access_batch served {} requests in order.", responses.len());
+
     // A sequential scan shows the PLB at work: almost no PosMap accesses.
     for addr in 0..2000u64 {
         oram.read(addr)?;
@@ -49,8 +69,14 @@ fn main() -> Result<(), freecursive::OramError> {
     let stats = oram.stats();
     println!("\nAfter a 2000-block sequential scan:");
     println!("  frontend requests        : {}", stats.frontend_requests);
-    println!("  data backend accesses    : {}", stats.data_backend_accesses);
-    println!("  posmap backend accesses  : {}", stats.posmap_backend_accesses);
+    println!(
+        "  data backend accesses    : {}",
+        stats.data_backend_accesses
+    );
+    println!(
+        "  posmap backend accesses  : {}",
+        stats.posmap_backend_accesses
+    );
     println!(
         "  posmap accesses / request: {:.3} (a PLB-less Recursive ORAM would need {})",
         stats.posmap_backend_accesses as f64 / stats.frontend_requests as f64,

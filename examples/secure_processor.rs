@@ -25,11 +25,7 @@ fn main() {
         SpecBenchmark::Bzip2,
         SpecBenchmark::Sjeng,
     ];
-    let schemes = [
-        SchemePoint::RX8,
-        SchemePoint::PcX32,
-        SchemePoint::PicX32,
-    ];
+    let schemes = [SchemePoint::RX8, SchemePoint::PcX32, SchemePoint::PicX32];
 
     println!("== Secure processor with Freecursive ORAM main memory ==");
     println!(

@@ -1,0 +1,23 @@
+//! Workspace-root crate for the Freecursive ORAM reproduction.
+//!
+//! This package exists to own the cross-crate integration tests (`tests/`)
+//! and the runnable examples (`examples/`); the functionality lives in the
+//! member crates:
+//!
+//! * [`freecursive`] — the ORAM frontend, the [`freecursive::Oram`] trait,
+//!   and the [`freecursive::OramBuilder`] entry point;
+//! * [`path_oram`] — the Path ORAM backend substrate behind the
+//!   [`path_oram::OramBackend`] seam (plus the insecure test backend);
+//! * [`posmap`], [`oram_crypto`] — PosMap structures and crypto primitives;
+//! * [`oram_sim`], [`cache_sim`], [`trace_gen`] — the trace-driven timing
+//!   simulator stack used to regenerate the paper's figures.
+
+#![forbid(unsafe_code)]
+
+pub use cache_sim;
+pub use freecursive;
+pub use oram_crypto;
+pub use oram_sim;
+pub use path_oram;
+pub use posmap;
+pub use trace_gen;

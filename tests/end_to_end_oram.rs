@@ -2,10 +2,8 @@
 //! against the baseline Recursive ORAM, the cache hierarchy, and synthetic
 //! traces — exercising the whole stack the way the evaluation does.
 
-use cache_sim::{MainMemory, ProcessorConfig, SecureProcessor};
-use freecursive::{
-    FreecursiveConfig, FreecursiveOram, Oram, RecursiveOram, RecursiveOramConfig,
-};
+use cache_sim::{FunctionalOramMemory, MainMemory, ProcessorConfig, SecureProcessor};
+use freecursive::{Oram, OramBuilder, SchemePoint};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use trace_gen::{SpecBenchmark, TraceGenerator};
@@ -17,14 +15,18 @@ const BLOCK: usize = 64;
 /// same request sequence and check they produce identical contents.
 #[test]
 fn freecursive_and_recursive_agree_on_contents() {
-    let mut reference = RecursiveOram::new(
-        RecursiveOramConfig::r_x8(N, BLOCK).with_onchip_entries(64),
-    )
-    .unwrap();
-    let mut freecursive = FreecursiveOram::new(
-        FreecursiveConfig::pic_x32(N, BLOCK).with_onchip_entries(64),
-    )
-    .unwrap();
+    let mut reference = OramBuilder::for_scheme(SchemePoint::RX8)
+        .num_blocks(N)
+        .block_bytes(BLOCK)
+        .onchip_entries(64)
+        .build_recursive()
+        .unwrap();
+    let mut freecursive = OramBuilder::for_scheme(SchemePoint::PicX32)
+        .num_blocks(N)
+        .block_bytes(BLOCK)
+        .onchip_entries(64)
+        .build_freecursive()
+        .unwrap();
 
     let mut rng = StdRng::seed_from_u64(99);
     for i in 0..1200u32 {
@@ -45,8 +47,7 @@ fn freecursive_and_recursive_agree_on_contents() {
     let h = u64::from(freecursive.num_levels());
     assert!(h >= 2);
     assert!(
-        freecursive.stats().posmap_backend_accesses
-            < reference.stats().posmap_backend_accesses,
+        freecursive.stats().posmap_backend_accesses < reference.stats().posmap_backend_accesses,
         "freecursive {} vs recursive {}",
         freecursive.stats().posmap_backend_accesses,
         reference.stats().posmap_backend_accesses
@@ -54,43 +55,33 @@ fn freecursive_and_recursive_agree_on_contents() {
 }
 
 /// A functional ORAM plugged in as the main memory of the cache-simulator
-/// processor: the full secure-processor stack at small scale.
+/// processor: the full secure-processor stack at small scale, through the
+/// `cache_sim::FunctionalOramMemory` adapter.
 #[test]
 fn functional_oram_behind_the_cache_hierarchy() {
-    struct FunctionalOramMemory {
-        oram: FreecursiveOram,
-    }
-    impl MainMemory for FunctionalOramMemory {
-        fn access(&mut self, line_addr: u64, is_write: bool) -> u64 {
-            let block = (line_addr / 64) % self.oram.num_blocks();
-            if is_write {
-                self.oram.write(block, &vec![0u8; 64]).unwrap();
-            } else {
-                self.oram.read(block).unwrap();
-            }
-            // Return a nominal latency; the timing model is exercised in the
-            // oram-sim crate.
-            1200
-        }
-    }
-
-    let oram = FreecursiveOram::new(
-        FreecursiveConfig::pc_x32(N, BLOCK).with_onchip_entries(64),
-    )
-    .unwrap();
+    let oram = OramBuilder::for_scheme(SchemePoint::PcX32)
+        .num_blocks(N)
+        .block_bytes(BLOCK)
+        .onchip_entries(64)
+        .build_freecursive()
+        .unwrap();
     let mut cpu = SecureProcessor::new(
         ProcessorConfig::default(),
-        FunctionalOramMemory { oram },
+        FunctionalOramMemory::new(oram, 1200),
     );
     let trace = TraceGenerator::new(SpecBenchmark::Gcc.profile(), 5);
     for access in trace.take(4000) {
         // Map the synthetic footprint onto the small ORAM.
-        cpu.step(access.gap, access.addr % (N * BLOCK as u64), access.is_write);
+        cpu.step(
+            access.gap,
+            access.addr % (N * BLOCK as u64),
+            access.is_write,
+        );
     }
     let result = cpu.result();
     assert!(result.llc_misses > 0, "the workload must miss the LLC");
     assert_eq!(
-        cpu.memory().oram.stats().frontend_requests,
+        cpu.memory().oram().stats().frontend_requests,
         result.llc_misses + result.llc_writebacks,
         "every LLC miss and writeback becomes exactly one ORAM request"
     );
@@ -115,14 +106,20 @@ fn dirty_eviction_path_reaches_the_oram() {
     }
     let mut cpu = SecureProcessor::new(
         ProcessorConfig::default(),
-        CountingMemory { reads: 0, writes: 0 },
+        CountingMemory {
+            reads: 0,
+            writes: 0,
+        },
     );
     // Store to far more lines than the LLC holds.
     let llc_lines = (1u64 << 20) / 64;
     for i in 0..(llc_lines * 3) {
         cpu.step(0, i * 64, true);
     }
-    assert!(cpu.memory().writes > 0, "dirty LLC lines must be written back");
+    assert!(
+        cpu.memory().writes > 0,
+        "dirty LLC lines must be written back"
+    );
     assert_eq!(cpu.result().llc_writebacks, cpu.memory().writes);
     assert_eq!(cpu.result().llc_misses, cpu.memory().reads);
 }
@@ -131,15 +128,17 @@ fn dirty_eviction_path_reaches_the_oram() {
 /// across a mixed workload on the full design.
 #[test]
 fn frontend_statistics_are_internally_consistent() {
-    let mut oram = FreecursiveOram::new(
-        FreecursiveConfig::pic_x32(N, BLOCK).with_onchip_entries(64),
-    )
-    .unwrap();
+    let mut oram = OramBuilder::for_scheme(SchemePoint::PicX32)
+        .num_blocks(N)
+        .block_bytes(BLOCK)
+        .onchip_entries(64)
+        .build_freecursive()
+        .unwrap();
     let mut rng = StdRng::seed_from_u64(3);
     for _ in 0..800 {
         let addr = rng.gen_range(0..N);
         if rng.gen_bool(0.5) {
-            oram.write(addr, &vec![1u8; BLOCK]).unwrap();
+            oram.write(addr, &[1u8; BLOCK]).unwrap();
         } else {
             oram.read(addr).unwrap();
         }
@@ -150,7 +149,10 @@ fn frontend_statistics_are_internally_consistent() {
     // Every backend access moved one full path in each direction.
     use path_oram::OramBackend as _;
     let per_access = oram.backend().params().access_bytes();
-    assert_eq!(s.total_bytes_moved(), s.total_backend_accesses() * per_access);
+    assert_eq!(
+        s.total_bytes_moved(),
+        s.total_backend_accesses() * per_access
+    );
     // PMMAC verified and recomputed a MAC for every block of interest.
     assert!(s.macs_verified >= s.total_backend_accesses());
     assert!(s.macs_computed >= s.appends);

@@ -46,7 +46,10 @@ fn table2_latency_scales_sublinearly_with_channels() {
     assert!(by_channels(2) > by_channels(4));
     assert!(by_channels(4) > by_channels(8));
     let scaling = by_channels(1) as f64 / by_channels(8) as f64;
-    assert!(scaling < 8.0, "channel scaling must be sub-linear: {scaling}");
+    assert!(
+        scaling < 8.0,
+        "channel scaling must be sub-linear: {scaling}"
+    );
 }
 
 #[test]

@@ -1,162 +1,210 @@
-//! Property-based tests (proptest) over the core data structures and the
+//! Randomised property tests over the core data structures and the
 //! functional ORAM: serialisation roundtrips, counter monotonicity, tree
 //! index arithmetic, and linearisability of the ORAM against a reference
 //! memory under arbitrary request sequences.
+//!
+//! The environment has no crates.io access, so instead of proptest these
+//! properties are driven by a seeded RNG over many randomly drawn cases —
+//! deterministic across runs, with the failing case identified by its index.
 
-use freecursive::{FreecursiveConfig, FreecursiveOram, Oram, PosMapFormat};
+use freecursive::{Oram, OramBuilder, SchemePoint};
 use oram_crypto::mac::MacKey;
 use oram_crypto::prf::{AesPrf, Prf};
 use path_oram::tree;
 use path_oram::OramParams;
 use posmap::addressing::{tag_address, untag_address, RecursionAddressing};
 use posmap::CompressedPosMapBlock;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Compressed PosMap blocks survive a serialise/parse roundtrip for any
-    /// counter state reachable by increments.
-    #[test]
-    fn compressed_posmap_roundtrip(increments in proptest::collection::vec(0usize..32, 0..200)) {
+/// Compressed PosMap blocks survive a serialise/parse roundtrip for any
+/// counter state reachable by increments.
+#[test]
+fn compressed_posmap_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE_0001);
+    for case in 0..64 {
         let mut block = CompressedPosMapBlock::with_defaults(32);
-        for j in increments {
-            block.increment(j);
+        let increments = rng.gen_range(0usize..200);
+        for _ in 0..increments {
+            block.increment(rng.gen_range(0usize..32));
         }
         let bytes = block.to_bytes(64);
-        prop_assert_eq!(
+        assert_eq!(
             CompressedPosMapBlock::from_bytes(&bytes, 32, 64, 14),
-            block
+            block,
+            "case {case}"
         );
     }
+}
 
-    /// The scalar counter GC‖IC of any entry never decreases, whatever the
-    /// interleaving of increments across entries.
-    #[test]
-    fn compressed_counters_are_monotonic(increments in proptest::collection::vec(0usize..8, 1..300)) {
+/// The scalar counter GC‖IC of any entry never decreases, whatever the
+/// interleaving of increments across entries.
+#[test]
+fn compressed_counters_are_monotonic() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE_0002);
+    for case in 0..64 {
         let mut block = CompressedPosMapBlock::new(8, 32, 4);
         let mut last: Vec<u64> = (0..8).map(|j| block.counter_of(j)).collect();
-        for j in increments {
-            block.increment(j);
+        let increments = rng.gen_range(1usize..300);
+        for _ in 0..increments {
+            block.increment(rng.gen_range(0usize..8));
             for (k, l) in last.iter_mut().enumerate() {
                 let now = block.counter_of(k);
-                prop_assert!(now >= *l, "entry {} went backwards: {} -> {}", k, *l, now);
+                assert!(
+                    now >= *l,
+                    "case {case}: entry {k} went backwards: {l} -> {now}"
+                );
                 *l = now;
             }
         }
     }
+}
 
-    /// Tree index arithmetic: every bucket on a path is an ancestor of the
-    /// leaf bucket, and the block-residency predicate agrees with the
-    /// deepest-common-level computation.
-    #[test]
-    fn path_indices_are_consistent(leaf_level in 1u32..20, leaf_bits in 0u64..u64::MAX) {
-        let leaf = leaf_bits & ((1u64 << leaf_level) - 1);
+/// Tree index arithmetic: every bucket on a path is an ancestor of the leaf
+/// bucket, and the block-residency predicate agrees with the
+/// deepest-common-level computation.
+#[test]
+fn path_indices_are_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE_0003);
+    for case in 0..64 {
+        let leaf_level = rng.gen_range(1u32..20);
+        let leaf = rng.gen::<u64>() & ((1u64 << leaf_level) - 1);
         let path = tree::path_linear_indices(leaf, leaf_level);
-        prop_assert_eq!(path.len() as u32, leaf_level + 1);
+        assert_eq!(path.len() as u32, leaf_level + 1, "case {case}");
         for (level, linear) in path.iter().enumerate() {
             let (lvl, idx) = tree::bucket_coordinates(*linear);
-            prop_assert_eq!(lvl, level as u32);
-            prop_assert_eq!(idx, leaf >> (leaf_level - level as u32));
+            assert_eq!(lvl, level as u32, "case {case}");
+            assert_eq!(idx, leaf >> (leaf_level - level as u32), "case {case}");
         }
         let other = (leaf ^ 1) & ((1u64 << leaf_level) - 1);
         let deepest = tree::deepest_common_level(leaf, other, leaf_level);
-        prop_assert!(tree::block_can_reside(leaf, other, deepest, leaf_level));
-    }
-
-    /// Unified address tagging is injective and reversible.
-    #[test]
-    fn unified_address_tagging_roundtrips(level in 0u32..8, index in 0u64..(1u64 << 40)) {
-        prop_assert_eq!(untag_address(tag_address(level, index)), (level, index));
-    }
-
-    /// Recursion addressing: the covering PosMap block at each level really
-    /// covers the data block (the entry index is within X), and the deepest
-    /// level fits the on-chip PosMap.
-    #[test]
-    fn recursion_addressing_covers_every_block(
-        n_exp in 8u32..22,
-        x_exp in 1u32..6,
-        addr_bits in 0u64..u64::MAX,
-    ) {
-        let n = 1u64 << n_exp;
-        let x = 1u64 << x_exp;
-        let rec = RecursionAddressing::new(n, x, 64);
-        let a0 = addr_bits % n;
-        for level in 1..rec.num_levels() {
-            let parent = rec.posmap_block_addr(level, a0);
-            let child = rec.posmap_block_addr(level - 1, a0);
-            prop_assert_eq!(parent, child / x);
-            prop_assert!(rec.entry_index(level, a0) < x as usize);
-        }
-        prop_assert!(rec.required_onchip_entries() <= 64.max(n));
-    }
-
-    /// OramParams always provides at least 2N slots and bucket sizes padded
-    /// to the configured alignment.
-    #[test]
-    fn oram_params_capacity_invariant(n in 1u64..(1 << 24), block in 16usize..256, z in 2usize..8) {
-        let p = OramParams::new(n, block, z);
-        let slots = p.z as u64 * (p.num_buckets() + 1);
-        prop_assert!(slots >= 2 * n);
-        prop_assert_eq!(p.bucket_bytes() % p.bucket_align, 0);
-        prop_assert!(p.path_bytes() >= p.bucket_bytes() as u64);
-    }
-
-    /// PRF leaves always fall inside the tree.
-    #[test]
-    fn prf_leaves_are_in_range(addr: u64, counter: u64, levels in 0u32..40) {
-        let prf = AesPrf::new([3u8; 16]);
-        let leaf = prf.leaf_for(addr, counter, levels);
-        prop_assert!(levels == 0 || leaf < (1u64 << levels));
-    }
-
-    /// MAC verification accepts exactly the tuple that was MACed.
-    #[test]
-    fn mac_detects_any_single_field_change(counter: u64, addr: u64, data in proptest::collection::vec(any::<u8>(), 1..64)) {
-        let key = MacKey::new([1u8; 16]);
-        let mac = key.compute(counter, addr, &data);
-        prop_assert!(key.verify(counter, addr, &data, &mac));
-        prop_assert!(!key.verify(counter.wrapping_add(1), addr, &data, &mac));
-        prop_assert!(!key.verify(counter, addr ^ 1, &data, &mac));
-        let mut tampered = data.clone();
-        tampered[0] ^= 0x80;
-        prop_assert!(!key.verify(counter, addr, &tampered, &mac));
+        assert!(
+            tree::block_can_reside(leaf, other, deepest, leaf_level),
+            "case {case}"
+        );
     }
 }
 
-proptest! {
-    // The full-ORAM linearisability property runs fewer, heavier cases.
-    #![proptest_config(ProptestConfig::with_cases(6))]
+/// Unified address tagging is injective and reversible.
+#[test]
+fn unified_address_tagging_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE_0004);
+    for _ in 0..256 {
+        let level = rng.gen_range(0u32..8);
+        let index = rng.gen_range(0u64..(1u64 << 40));
+        assert_eq!(untag_address(tag_address(level, index)), (level, index));
+    }
+}
 
-    /// The Freecursive ORAM behaves exactly like a flat array of blocks under
-    /// arbitrary (bounded) request sequences, for both the compressed and
-    /// flat-counter designs.
-    #[test]
-    fn oram_is_linearisable_against_reference_memory(
-        ops in proptest::collection::vec((0u64..256, any::<bool>(), any::<u8>()), 1..120),
-        compressed: bool,
-    ) {
-        let n: u64 = 256;
-        let block = 32usize;
-        let config = if compressed {
-            FreecursiveConfig::pic_x32(n, block)
-        } else {
-            FreecursiveConfig {
-                posmap_format: PosMapFormat::FlatCounters,
-                ..FreecursiveConfig::pi_x8(n, block)
-            }
+/// Recursion addressing: the covering PosMap block at each level really
+/// covers the data block (the entry index is within X), and the deepest level
+/// fits the on-chip PosMap.
+#[test]
+fn recursion_addressing_covers_every_block() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE_0005);
+    for case in 0..64 {
+        let n = 1u64 << rng.gen_range(8u32..22);
+        let x = 1u64 << rng.gen_range(1u32..6);
+        let rec = RecursionAddressing::new(n, x, 64);
+        let a0 = rng.gen::<u64>() % n;
+        for level in 1..rec.num_levels() {
+            let parent = rec.posmap_block_addr(level, a0);
+            let child = rec.posmap_block_addr(level - 1, a0);
+            assert_eq!(parent, child / x, "case {case}");
+            assert!(rec.entry_index(level, a0) < x as usize, "case {case}");
         }
-        .with_onchip_entries(32);
-        let mut oram = FreecursiveOram::new(config).unwrap();
+        assert!(rec.required_onchip_entries() <= 64.max(n), "case {case}");
+    }
+}
+
+/// OramParams always provides at least 2N slots and bucket sizes padded to
+/// the configured alignment.
+#[test]
+fn oram_params_capacity_invariant() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE_0006);
+    for case in 0..128 {
+        let n = rng.gen_range(1u64..(1 << 24));
+        let block = rng.gen_range(16usize..256);
+        let z = rng.gen_range(2usize..8);
+        let p = OramParams::new(n, block, z);
+        let slots = p.z as u64 * (p.num_buckets() + 1);
+        assert!(slots >= 2 * n, "case {case}: n={n} block={block} z={z}");
+        assert_eq!(p.bucket_bytes() % p.bucket_align, 0, "case {case}");
+        assert!(p.path_bytes() >= p.bucket_bytes() as u64, "case {case}");
+    }
+}
+
+/// PRF leaves always fall inside the tree.
+#[test]
+fn prf_leaves_are_in_range() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE_0007);
+    let prf = AesPrf::new([3u8; 16]);
+    for _ in 0..256 {
+        let addr = rng.gen::<u64>();
+        let counter = rng.gen::<u64>();
+        let levels = rng.gen_range(0u32..40);
+        let leaf = prf.leaf_for(addr, counter, levels);
+        assert!(levels == 0 || leaf < (1u64 << levels));
+    }
+}
+
+/// MAC verification accepts exactly the tuple that was MACed.
+#[test]
+fn mac_detects_any_single_field_change() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE_0008);
+    let key = MacKey::new([1u8; 16]);
+    for case in 0..64 {
+        let counter = rng.gen::<u64>();
+        let addr = rng.gen::<u64>();
+        let mut data = vec![0u8; rng.gen_range(1usize..64)];
+        rng.fill(&mut data[..]);
+        let mac = key.compute(counter, addr, &data);
+        assert!(key.verify(counter, addr, &data, &mac), "case {case}");
+        assert!(
+            !key.verify(counter.wrapping_add(1), addr, &data, &mac),
+            "case {case}"
+        );
+        assert!(!key.verify(counter, addr ^ 1, &data, &mac), "case {case}");
+        let mut tampered = data.clone();
+        tampered[0] ^= 0x80;
+        assert!(!key.verify(counter, addr, &tampered, &mac), "case {case}");
+    }
+}
+
+/// The Freecursive ORAM behaves exactly like a flat array of blocks under
+/// arbitrary (bounded) request sequences, for both the compressed and
+/// flat-counter designs.
+#[test]
+fn oram_is_linearisable_against_reference_memory() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE_0009);
+    let n: u64 = 256;
+    let block = 32usize;
+    for case in 0..6 {
+        let scheme = if case % 2 == 0 {
+            SchemePoint::PicX32
+        } else {
+            SchemePoint::PiX8
+        };
+        let mut oram = OramBuilder::for_scheme(scheme)
+            .num_blocks(n)
+            .block_bytes(block)
+            .onchip_entries(32)
+            .build_freecursive()
+            .unwrap();
         let mut reference: Vec<Vec<u8>> = vec![vec![0u8; block]; n as usize];
-        for (addr, is_write, fill) in ops {
-            if is_write {
-                let data = vec![fill; block];
+        let ops = rng.gen_range(1usize..120);
+        for op in 0..ops {
+            let addr = rng.gen_range(0u64..n);
+            if rng.gen_bool(0.5) {
+                let data = vec![rng.gen::<u8>(); block];
                 oram.write(addr, &data).unwrap();
                 reference[addr as usize] = data;
             } else {
-                prop_assert_eq!(&oram.read(addr).unwrap(), &reference[addr as usize]);
+                assert_eq!(
+                    oram.read(addr).unwrap(),
+                    reference[addr as usize],
+                    "case {case} op {op} addr {addr}"
+                );
             }
         }
     }

@@ -3,7 +3,7 @@
 //! tree (§4.3), and PMMAC's integrity guarantees under an active adversary
 //! (§6.5).
 
-use freecursive::{Adversary, FreecursiveConfig, FreecursiveOram, Oram, OramError};
+use freecursive::{Adversary, FreecursiveError, Oram, OramBuilder, OramError, SchemePoint};
 use path_oram::{AccessOp, EncryptionMode, OramBackend, OramParams, PathOramBackend};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -17,10 +17,12 @@ fn backend_path_distribution_is_independent_of_the_program() {
     // how many backend accesses hit each half of the leaf space.  Any
     // program-dependent skew would be a leak.
     let observe = |addresses: &[u64]| -> (u64, u64) {
-        let mut oram = FreecursiveOram::new(
-            FreecursiveConfig::pc_x32(1 << 12, 64).with_onchip_entries(64),
-        )
-        .unwrap();
+        let mut oram = OramBuilder::for_scheme(SchemePoint::PcX32)
+            .num_blocks(1 << 12)
+            .block_bytes(64)
+            .onchip_entries(64)
+            .build_freecursive()
+            .unwrap();
         for &a in addresses {
             oram.read(a).unwrap();
         }
@@ -33,11 +35,14 @@ fn backend_path_distribution_is_independent_of_the_program() {
         // Stronger: use the dummy/real write counts, which are identical per
         // access regardless of the program.
         let stats = oram.backend().stats();
-        (stats.path_accesses, stats.bytes_written / stats.path_accesses.max(1))
+        (
+            stats.path_accesses,
+            stats.bytes_written / stats.path_accesses.max(1),
+        )
     };
 
     let seq: Vec<u64> = (0..1000u64).collect();
-    let same: Vec<u64> = std::iter::repeat(7u64).take(1000).collect();
+    let same: Vec<u64> = std::iter::repeat_n(7u64, 1000).collect();
     let (seq_accesses, seq_bytes) = observe(&seq);
     let (same_accesses, same_bytes) = observe(&same);
     // Both traces have the same length; the per-access bytes written to
@@ -52,18 +57,21 @@ fn backend_path_distribution_is_independent_of_the_program() {
 /// total number of backend accesses — not by *which* structure is accessed.
 #[test]
 fn unified_tree_hides_which_posmap_level_is_needed() {
+    let builder = || {
+        OramBuilder::for_scheme(SchemePoint::PcX32)
+            .num_blocks(1 << 14)
+            .block_bytes(64)
+            .onchip_entries(64)
+    };
     let run = |stride: u64| -> (u64, u64) {
-        let mut oram = FreecursiveOram::new(
-            FreecursiveConfig::pc_x32(1 << 14, 64).with_onchip_entries(64),
-        )
-        .unwrap();
+        let mut oram = builder().build_freecursive().unwrap();
         for i in 0..2000u64 {
             oram.read((i * stride) % (1 << 14)).unwrap();
         }
         let s = oram.stats();
         (s.total_backend_accesses(), s.data_backend_accesses)
     };
-    let x = FreecursiveConfig::pc_x32(1 << 14, 64).x();
+    let x = builder().freecursive_config().unwrap().x();
     let (a_total, a_data) = run(1);
     let (b_total, b_data) = run(x);
     // Program B needs more total accesses (PLB misses)…
@@ -104,15 +112,16 @@ fn random_tampering_never_yields_silently_wrong_data() {
     let mut detected = 0;
     let trials = 12;
     for trial in 0..trials {
-        let mut oram = FreecursiveOram::new(
-            FreecursiveConfig::pic_x32(1 << 10, 64)
-                .with_onchip_entries(32)
-                .with_seed(trial),
-        )
-        .unwrap();
+        let mut oram = OramBuilder::for_scheme(SchemePoint::PicX32)
+            .num_blocks(1 << 10)
+            .block_bytes(64)
+            .onchip_entries(32)
+            .seed(trial)
+            .build_freecursive()
+            .unwrap();
         let mut adversary = Adversary::new(trial * 7 + 1);
         for addr in 0..32u64 {
-            oram.write(addr, &vec![(addr as u8) ^ 0x5A; 64]).unwrap();
+            oram.write(addr, &[(addr as u8) ^ 0x5A; 64]).unwrap();
         }
         // Flip a few random bytes.
         for _ in 0..8 {
@@ -126,9 +135,10 @@ fn random_tampering_never_yields_silently_wrong_data() {
                     "trial {trial}: silently wrong data for block {addr}"
                 ),
                 Err(
-                    OramError::IntegrityViolation { .. }
-                    | OramError::MalformedBucket { .. }
-                    | OramError::BlockNotFound { .. },
+                    FreecursiveError::Integrity { .. }
+                    | FreecursiveError::Backend(
+                        OramError::MalformedBucket { .. } | OramError::BlockNotFound { .. },
+                    ),
                 ) => {
                     detected += 1;
                     break;
@@ -148,18 +158,20 @@ fn random_tampering_never_yields_silently_wrong_data() {
 /// actually lives in untrusted memory.
 #[test]
 fn whole_memory_rollback_is_not_silently_accepted() {
-    let mut oram = FreecursiveOram::new(
-        FreecursiveConfig::pic_x32(1 << 10, 64).with_onchip_entries(32),
-    )
-    .unwrap();
+    let mut oram = OramBuilder::for_scheme(SchemePoint::PicX32)
+        .num_blocks(1 << 10)
+        .block_bytes(64)
+        .onchip_entries(32)
+        .build_freecursive()
+        .unwrap();
     let adversary = Adversary::new(123);
-    oram.write(3, &vec![1u8; 64]).unwrap();
+    oram.write(3, &[1u8; 64]).unwrap();
     for a in 100..500u64 {
         oram.read(a).unwrap();
     }
     let snapshot = adversary.snapshot(&oram);
     for _ in 0..3 {
-        oram.write(3, &vec![2u8; 64]).unwrap();
+        oram.write(3, &[2u8; 64]).unwrap();
     }
     for a in 500..900u64 {
         oram.read(a).unwrap();
@@ -168,9 +180,10 @@ fn whole_memory_rollback_is_not_silently_accepted() {
     match oram.read(3) {
         Ok(data) => assert_eq!(data, vec![2u8; 64], "stale value accepted"),
         Err(
-            OramError::IntegrityViolation { .. }
-            | OramError::BlockNotFound { .. }
-            | OramError::MalformedBucket { .. },
+            FreecursiveError::Integrity { .. }
+            | FreecursiveError::Backend(
+                OramError::BlockNotFound { .. } | OramError::MalformedBucket { .. },
+            ),
         ) => {}
         Err(e) => panic!("unexpected error {e}"),
     }
