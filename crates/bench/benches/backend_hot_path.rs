@@ -1,0 +1,160 @@
+//! Hot-path micro-benchmark: the optimised `PathOramBackend` against the
+//! frozen pre-arena baseline (`bench::baseline::LegacyPathOramBackend`),
+//! driven by the same seeded random read/write workload.
+//!
+//! Run with `cargo bench -p bench --bench backend_hot_path`.  Pass
+//! `-- --smoke` (the CI mode) to shrink the geometry and iteration counts so
+//! the whole run finishes in seconds while still exercising every code path.
+
+use bench::baseline::LegacyPathOramBackend;
+use path_oram::{AccessOp, EncryptionMode, OramBackend, OramParams, PathOramBackend};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// One benchmark configuration: a tree geometry plus an encryption mode.
+struct Config {
+    label: &'static str,
+    num_blocks: u64,
+    block_bytes: usize,
+    mode: EncryptionMode,
+    warmup: u64,
+    measure: u64,
+}
+
+/// Drives `accesses` mixed read/write operations through a backend, playing
+/// the frontend's role (tracking the position map).  Returns elapsed time.
+fn run_workload<B: OramBackend>(
+    backend: &mut B,
+    accesses: u64,
+    posmap: &mut [u64],
+    rng: &mut StdRng,
+    out: &mut Vec<u8>,
+    write_data: &[u8],
+) -> Duration {
+    let n = posmap.len() as u64;
+    let leaves = backend.params().num_leaves();
+    let start = Instant::now();
+    for i in 0..accesses {
+        let addr = rng.gen_range(0..n);
+        let new_leaf = rng.gen_range(0..leaves);
+        let old_leaf = posmap[addr as usize];
+        posmap[addr as usize] = new_leaf;
+        let op = if i % 2 == 0 {
+            AccessOp::Read
+        } else {
+            AccessOp::Write
+        };
+        let data = (op == AccessOp::Write).then_some(write_data);
+        backend
+            .access_into(op, addr, old_leaf, new_leaf, data, out)
+            .expect("benchmark access");
+    }
+    start.elapsed()
+}
+
+fn bench_config(config: &Config) {
+    let params = OramParams::new(config.num_blocks, config.block_bytes, 4);
+    let write_data = vec![0xB5u8; config.block_bytes];
+
+    let mut results: Vec<(&str, Duration)> = Vec::new();
+    // Same seeds for both backends: identical request streams.
+    for which in ["baseline", "optimized"] {
+        let mut rng = StdRng::seed_from_u64(0xBEAC4);
+        let mut posmap: Vec<u64> = {
+            let leaves = params.num_leaves();
+            (0..config.num_blocks)
+                .map(|_| rng.gen_range(0..leaves))
+                .collect()
+        };
+        let mut out = Vec::new();
+        let elapsed = if which == "baseline" {
+            let mut backend = LegacyPathOramBackend::new(params, config.mode, [1u8; 16]);
+            run_workload(
+                &mut backend,
+                config.warmup,
+                &mut posmap,
+                &mut rng,
+                &mut out,
+                &write_data,
+            );
+            run_workload(
+                &mut backend,
+                config.measure,
+                &mut posmap,
+                &mut rng,
+                &mut out,
+                &write_data,
+            )
+        } else {
+            let mut backend = PathOramBackend::new(params, config.mode, [1u8; 16], 0).unwrap();
+            run_workload(
+                &mut backend,
+                config.warmup,
+                &mut posmap,
+                &mut rng,
+                &mut out,
+                &write_data,
+            );
+            run_workload(
+                &mut backend,
+                config.measure,
+                &mut posmap,
+                &mut rng,
+                &mut out,
+                &write_data,
+            )
+        };
+        let per_access = elapsed / config.measure as u32;
+        let per_sec = config.measure as f64 / elapsed.as_secs_f64();
+        println!(
+            "bench: backend_hot_path/{}/{which:<9} {per_access:>10.2?}/access  {per_sec:>12.0} acc/s",
+            config.label
+        );
+        results.push((which, elapsed));
+    }
+    let baseline = results[0].1.as_secs_f64();
+    let optimized = results[1].1.as_secs_f64();
+    println!(
+        "bench: backend_hot_path/{}/speedup    {:.2}x",
+        config.label,
+        baseline / optimized
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    // `cargo bench` passes `--bench`; a test runner passes `--test`.  Both
+    // are harness flags, not ours — ignore everything except --smoke.
+    let (warmup, measure) = if smoke { (500, 2_000) } else { (5_000, 20_000) };
+    let n_large = if smoke { 1 << 14 } else { 1 << 20 };
+    let configs = [
+        Config {
+            label: "64B/plaintext",
+            num_blocks: n_large,
+            block_bytes: 64,
+            mode: EncryptionMode::None,
+            warmup,
+            measure,
+        },
+        Config {
+            label: "64B/aes_global_seed",
+            num_blocks: n_large,
+            block_bytes: 64,
+            mode: EncryptionMode::GlobalSeed,
+            warmup,
+            measure: measure / 4,
+        },
+        Config {
+            label: "4KB/plaintext",
+            num_blocks: if smoke { 1 << 8 } else { 1 << 12 },
+            block_bytes: 4096,
+            mode: EncryptionMode::None,
+            warmup: warmup / 10,
+            measure: measure / 10,
+        },
+    ];
+    for config in &configs {
+        bench_config(config);
+    }
+}

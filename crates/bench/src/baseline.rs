@@ -1,0 +1,308 @@
+//! A frozen copy of the pre-arena Path ORAM backend hot path, kept solely as
+//! the measurement baseline for `benches/backend_hot_path.rs` and the
+//! `backend_hot_path` binary.
+//!
+//! This reproduces the allocation behaviour the optimised backend replaced:
+//! per-bucket `Vec<Vec<u8>>` storage with a `to_vec()` copy on every path
+//! read, owned `Bucket`/`OramBlock` deserialisation (one `Vec` per block), a
+//! hash-map stash with an O(stash × levels) `take_matching` eviction scan,
+//! and a freshly allocated serialised image per evicted bucket.  Keeping it
+//! compilable lets every benchmark run measure the speedup against the same
+//! commit it reports numbers for, instead of trusting historical JSON.
+//!
+//! Do **not** use this for anything but benchmarking: it is functionally
+//! equivalent but deliberately unoptimised.
+
+use path_oram::bucket::Bucket;
+use path_oram::encryption::{BucketCipher, EncryptionMode};
+use path_oram::tree::{block_can_reside, path_linear_indices};
+use path_oram::types::{AccessOp, BlockData, BlockId, Leaf, OramBlock};
+use path_oram::{OramBackend, OramError, OramParams};
+use std::collections::{HashMap, HashSet};
+
+/// Pre-arena untrusted storage: one heap vector per bucket.
+#[derive(Debug, Clone)]
+struct LegacyStorage {
+    buckets: Vec<Vec<u8>>,
+}
+
+impl LegacyStorage {
+    fn new(params: &OramParams) -> Self {
+        Self {
+            buckets: vec![Vec::new(); params.num_buckets() as usize],
+        }
+    }
+
+    fn is_initialized(&self, index: u64) -> bool {
+        !self.buckets[index as usize].is_empty()
+    }
+
+    fn read_bucket(&self, index: u64) -> &[u8] {
+        &self.buckets[index as usize]
+    }
+
+    fn write_bucket(&mut self, index: u64, image: Vec<u8>) {
+        self.buckets[index as usize] = image;
+    }
+}
+
+/// Pre-slab stash: a hash map owning one payload vector per block.
+#[derive(Debug, Clone, Default)]
+struct LegacyStash {
+    blocks: HashMap<BlockId, (Leaf, BlockData)>,
+    capacity: usize,
+}
+
+impl LegacyStash {
+    fn take_matching<F>(&mut self, max: usize, mut predicate: F) -> Vec<OramBlock>
+    where
+        F: FnMut(BlockId, Leaf) -> bool,
+    {
+        let selected: Vec<BlockId> = self
+            .blocks
+            .iter()
+            .filter(|(addr, (leaf, _))| predicate(**addr, *leaf))
+            .map(|(addr, _)| *addr)
+            .take(max)
+            .collect();
+        selected
+            .into_iter()
+            .map(|addr| {
+                let (leaf, data) = self.blocks.remove(&addr).expect("selected block present");
+                OramBlock { addr, leaf, data }
+            })
+            .collect()
+    }
+
+    fn check_overflow(&self) -> Result<(), OramError> {
+        if self.blocks.len() > self.capacity {
+            Err(OramError::StashOverflow {
+                occupancy: self.blocks.len(),
+                capacity: self.capacity,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The pre-PR backend: same contract as `path_oram::PathOramBackend`, old
+/// data structures and allocation profile.
+#[derive(Debug, Clone)]
+pub struct LegacyPathOramBackend {
+    params: OramParams,
+    storage: LegacyStorage,
+    cipher: BucketCipher,
+    stash: LegacyStash,
+    stats: path_oram::BackendStats,
+    resident: HashSet<BlockId>,
+}
+
+impl LegacyPathOramBackend {
+    /// Creates a baseline backend with an empty tree.
+    pub fn new(params: OramParams, encryption: EncryptionMode, key: [u8; 16]) -> Self {
+        Self {
+            storage: LegacyStorage::new(&params),
+            cipher: BucketCipher::new(encryption, key),
+            stash: LegacyStash {
+                blocks: HashMap::new(),
+                capacity: params.stash_capacity,
+            },
+            stats: path_oram::BackendStats::default(),
+            resident: HashSet::new(),
+            params,
+        }
+    }
+
+    fn read_path_into_stash(&mut self, path: &[u64]) -> Result<(), OramError> {
+        for &bucket_idx in path {
+            self.stats.bytes_read += self.params.bucket_bytes() as u64;
+            if !self.storage.is_initialized(bucket_idx) {
+                continue;
+            }
+            let mut image = self.storage.read_bucket(bucket_idx).to_vec();
+            self.cipher.open(bucket_idx, &mut image);
+            let bucket = Bucket::deserialize(&image, &self.params, bucket_idx)?;
+            for block in bucket.blocks {
+                self.stats.real_blocks_fetched += 1;
+                self.stash
+                    .blocks
+                    .insert(block.addr, (block.leaf, block.data));
+            }
+        }
+        Ok(())
+    }
+
+    fn evict_path(&mut self, leaf: Leaf, path: &[u64]) {
+        let leaf_level = self.params.leaf_level();
+        for (level, &bucket_idx) in path.iter().enumerate().rev() {
+            let level = level as u32;
+            let taken = self.stash.take_matching(self.params.z, |_, block_leaf| {
+                block_can_reside(block_leaf, leaf, level, leaf_level)
+            });
+            let mut bucket = Bucket::empty(&self.params);
+            if self.storage.is_initialized(bucket_idx) {
+                let raw = self.storage.read_bucket(bucket_idx);
+                bucket.seed = u64::from_le_bytes(raw[..8].try_into().expect("seed header"));
+            }
+            self.stats.blocks_evicted += taken.len() as u64;
+            self.stats.dummies_written += (self.params.z - taken.len()) as u64;
+            for block in taken {
+                bucket.push(block);
+            }
+            let mut image = bucket.serialize(&self.params);
+            self.cipher.seal(bucket_idx, &mut image);
+            self.storage.write_bucket(bucket_idx, image);
+            self.stats.bytes_written += self.params.bucket_bytes() as u64;
+        }
+    }
+}
+
+impl OramBackend for LegacyPathOramBackend {
+    fn new_backend(
+        params: OramParams,
+        encryption: EncryptionMode,
+        key: [u8; 16],
+        _seed: u64,
+    ) -> Result<Self, OramError> {
+        Ok(Self::new(params, encryption, key))
+    }
+
+    fn params(&self) -> &OramParams {
+        &self.params
+    }
+
+    fn stats(&self) -> &path_oram::BackendStats {
+        &self.stats
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = path_oram::BackendStats::default();
+    }
+
+    fn access_into(
+        &mut self,
+        op: AccessOp,
+        addr: BlockId,
+        leaf: Leaf,
+        new_leaf: Leaf,
+        data: Option<&[u8]>,
+        out: &mut Vec<u8>,
+    ) -> Result<bool, OramError> {
+        out.clear();
+        if let Some(d) = data {
+            if d.len() != self.params.block_bytes {
+                return Err(OramError::BlockSizeMismatch {
+                    expected: self.params.block_bytes,
+                    actual: d.len(),
+                });
+            }
+        }
+
+        if op == AccessOp::Append {
+            if self.resident.contains(&addr) {
+                return Err(OramError::DuplicateAppend { addr });
+            }
+            let payload = data.ok_or(OramError::MissingWriteData)?.to_vec();
+            self.stash.blocks.insert(addr, (new_leaf, payload));
+            self.resident.insert(addr);
+            self.stats.appends += 1;
+            self.stats.max_stash_occupancy =
+                self.stats.max_stash_occupancy.max(self.stash.blocks.len());
+            self.stash.check_overflow()?;
+            return Ok(false);
+        }
+
+        if leaf >= self.params.num_leaves() {
+            return Err(OramError::LeafOutOfRange {
+                leaf,
+                num_leaves: self.params.num_leaves(),
+            });
+        }
+
+        let path = path_linear_indices(leaf, self.params.leaf_level());
+        self.read_path_into_stash(&path)?;
+
+        let was_resident = self.resident.contains(&addr);
+        if was_resident && !self.stash.blocks.contains_key(&addr) {
+            return Err(OramError::BlockNotFound { addr });
+        }
+        if !was_resident {
+            self.stash.blocks.insert(
+                addr,
+                (
+                    new_leaf.min(self.params.num_leaves() - 1),
+                    vec![0u8; self.params.block_bytes],
+                ),
+            );
+            self.resident.insert(addr);
+        }
+
+        let has_data = match op {
+            AccessOp::Read => {
+                let entry = self.stash.blocks.get_mut(&addr).expect("block present");
+                out.extend_from_slice(&entry.1.clone());
+                entry.0 = new_leaf;
+                true
+            }
+            AccessOp::Write => {
+                let payload = data.ok_or(OramError::MissingWriteData)?.to_vec();
+                let entry = self.stash.blocks.get_mut(&addr).expect("block present");
+                entry.1 = payload;
+                entry.0 = new_leaf;
+                false
+            }
+            AccessOp::ReadRmv => {
+                let (_, payload) = self.stash.blocks.remove(&addr).expect("block present");
+                self.resident.remove(&addr);
+                out.extend_from_slice(&payload);
+                true
+            }
+            AccessOp::Append => unreachable!("handled above"),
+        };
+
+        self.evict_path(leaf, &path);
+        self.stats.path_accesses += 1;
+        self.stats.max_stash_occupancy =
+            self.stats.max_stash_occupancy.max(self.stash.blocks.len());
+        self.stash.check_overflow()?;
+        Ok(has_data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_functionally_equivalent_to_the_optimised_backend() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let params = OramParams::new(512, 32, 4);
+        let mut legacy = LegacyPathOramBackend::new(params, EncryptionMode::GlobalSeed, [9u8; 16]);
+        let mut current =
+            path_oram::PathOramBackend::new(params, EncryptionMode::GlobalSeed, [9u8; 16], 0)
+                .unwrap();
+        let leaves = params.num_leaves();
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut posmap: Vec<u64> = (0..512).map(|_| rng.gen_range(0..leaves)).collect();
+        for i in 0..1500u64 {
+            let addr = rng.gen_range(0..512u64);
+            let new_leaf = rng.gen_range(0..leaves);
+            let old_leaf = posmap[addr as usize];
+            posmap[addr as usize] = new_leaf;
+            if rng.gen_bool(0.5) {
+                let data = vec![(i % 251) as u8; 32];
+                let a = legacy.access(AccessOp::Write, addr, old_leaf, new_leaf, Some(&data));
+                let b = current.access(AccessOp::Write, addr, old_leaf, new_leaf, Some(&data));
+                assert_eq!(a, b, "access {i}");
+            } else {
+                let a = legacy.access(AccessOp::Read, addr, old_leaf, new_leaf, None);
+                let b = current.access(AccessOp::Read, addr, old_leaf, new_leaf, None);
+                assert_eq!(a, b, "access {i}");
+            }
+        }
+        assert_eq!(legacy.stats().bytes_read, current.stats().bytes_read);
+        assert_eq!(legacy.stats().bytes_written, current.stats().bytes_written);
+    }
+}

@@ -1,0 +1,301 @@
+//! Produces `BENCH_backend.json`: the recorded perf trajectory of the Path
+//! ORAM backend hot path.
+//!
+//! Two sections:
+//!
+//! * `backend_comparison` — the optimised `PathOramBackend` against the
+//!   frozen pre-arena baseline (`bench::baseline`), both measured **in the
+//!   same run** on the 1M-block / 64-byte design point, in plaintext and
+//!   AES-global-seed modes.  The `speedup` field is the headline number the
+//!   perf acceptance gate reads.
+//! * `scheme_grid` — functional throughput of every buildable scheme point
+//!   through the `Oram` trait, with the backend byte/crypto counters that
+//!   `FrontendStats::backend` now surfaces.
+//!
+//! Usage: `cargo run --release -p bench --bin backend_hot_path`
+//! (add `--quick` for a fast low-fidelity run, `--out <path>` to redirect).
+
+use bench::baseline::LegacyPathOramBackend;
+use freecursive::{Oram, OramBuilder, SchemePoint};
+use path_oram::{AccessOp, EncryptionMode, OramBackend, OramParams, PathOramBackend};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Result of one measured workload (rate taken from the best of the
+/// measurement windows, byte/crypto counters normalised per access over the
+/// whole measured run).
+struct Measurement {
+    accesses: u64,
+    accesses_per_sec: f64,
+    bytes_per_access: f64,
+    max_stash_occupancy: usize,
+    buckets_decrypted_per_access: f64,
+    buckets_encrypted_per_access: f64,
+}
+
+impl Measurement {
+    fn ns_per_access(&self) -> f64 {
+        1e9 / self.accesses_per_sec
+    }
+
+    fn json(&self, indent: &str) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\n{indent}  \"accesses\": {},\n{indent}  \"accesses_per_sec\": {:.1},\n\
+             {indent}  \"ns_per_access\": {:.1},\n{indent}  \"bytes_moved_per_access\": {:.1},\n\
+             {indent}  \"max_stash_occupancy\": {},\n{indent}  \"buckets_decrypted_per_access\": {:.2},\n\
+             {indent}  \"buckets_encrypted_per_access\": {:.2}\n{indent}}}",
+            self.accesses,
+            self.accesses_per_sec,
+            self.ns_per_access(),
+            self.bytes_per_access,
+            self.max_stash_occupancy,
+            self.buckets_decrypted_per_access,
+            self.buckets_encrypted_per_access,
+        );
+        s
+    }
+}
+
+/// Runs the standard mixed read/write workload for `windows` measurement
+/// windows of at least `min_accesses` accesses and `min_secs` seconds each
+/// (in chunks, so slow configurations still get a bounded run).  The
+/// reported rate is the best window — the least-interfered-with estimate on
+/// a shared machine; counters are normalised over the full run.
+fn measure_backend<B: OramBackend>(
+    backend: &mut B,
+    warmup: u64,
+    min_accesses: u64,
+    min_secs: f64,
+    max_accesses: u64,
+    windows: u32,
+) -> Measurement {
+    let n = backend.params().num_blocks;
+    let leaves = backend.params().num_leaves();
+    let block_bytes = backend.params().block_bytes;
+    let mut rng = StdRng::seed_from_u64(0xBEAC4);
+    let mut posmap: Vec<u64> = (0..n).map(|_| rng.gen_range(0..leaves)).collect();
+    let mut out = Vec::new();
+    let write_data = vec![0xB5u8; block_bytes];
+
+    let one = |backend: &mut B, i: u64, posmap: &mut [u64], rng: &mut StdRng, out: &mut Vec<u8>| {
+        let addr = rng.gen_range(0..n);
+        let new_leaf = rng.gen_range(0..leaves);
+        let old_leaf = posmap[addr as usize];
+        posmap[addr as usize] = new_leaf;
+        let op = if i.is_multiple_of(2) {
+            AccessOp::Read
+        } else {
+            AccessOp::Write
+        };
+        let data = (op == AccessOp::Write).then_some(&write_data[..]);
+        backend
+            .access_into(op, addr, old_leaf, new_leaf, data, out)
+            .expect("benchmark access");
+    };
+
+    for i in 0..warmup {
+        one(backend, i, &mut posmap, &mut rng, &mut out);
+    }
+    backend.reset_stats();
+
+    let mut total = 0u64;
+    let mut best_rate = 0f64;
+    for _ in 0..windows {
+        let start = Instant::now();
+        let mut done = 0u64;
+        loop {
+            for i in 0..512 {
+                one(backend, done + i, &mut posmap, &mut rng, &mut out);
+            }
+            done += 512;
+            let secs = start.elapsed().as_secs_f64();
+            if done >= max_accesses || (done >= min_accesses && secs >= min_secs) {
+                break;
+            }
+        }
+        let rate = done as f64 / start.elapsed().as_secs_f64();
+        best_rate = best_rate.max(rate);
+        total += done;
+    }
+    let stats = backend.stats();
+    Measurement {
+        accesses: total,
+        accesses_per_sec: best_rate,
+        bytes_per_access: (stats.bytes_read + stats.bytes_written) as f64 / total as f64,
+        max_stash_occupancy: stats.max_stash_occupancy,
+        buckets_decrypted_per_access: stats.buckets_decrypted as f64 / total as f64,
+        buckets_encrypted_per_access: stats.buckets_encrypted as f64 / total as f64,
+    }
+}
+
+/// Measures one `Oram` scheme point with a mixed read/write request stream.
+fn measure_scheme(
+    oram: &mut Box<dyn Oram>,
+    warmup: u64,
+    min_accesses: u64,
+    min_secs: f64,
+    max_accesses: u64,
+) -> Measurement {
+    let n = oram.num_blocks();
+    let block_bytes = oram.block_bytes();
+    let mut rng = StdRng::seed_from_u64(0x0005_CEEE);
+    let mut out = Vec::new();
+    let write_data = vec![0x7Eu8; block_bytes];
+
+    let one = |oram: &mut Box<dyn Oram>, i: u64, rng: &mut StdRng, out: &mut Vec<u8>| {
+        let addr = rng.gen_range(0..n);
+        if i.is_multiple_of(2) {
+            oram.read_into(addr, out).expect("benchmark read");
+        } else {
+            oram.write(addr, &write_data).expect("benchmark write");
+        }
+    };
+
+    for i in 0..warmup {
+        one(oram, i, &mut rng, &mut out);
+    }
+    oram.reset_stats();
+
+    let start = Instant::now();
+    let mut done = 0u64;
+    loop {
+        for i in 0..64 {
+            one(oram, done + i, &mut rng, &mut out);
+        }
+        done += 64;
+        let secs = start.elapsed().as_secs_f64();
+        if done >= max_accesses || (done >= min_accesses && secs >= min_secs) {
+            break;
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let backend = &oram.stats().backend;
+    Measurement {
+        accesses: done,
+        accesses_per_sec: done as f64 / secs,
+        bytes_per_access: (backend.bytes_read + backend.bytes_written) as f64 / done as f64,
+        max_stash_occupancy: backend.max_stash_occupancy,
+        buckets_decrypted_per_access: backend.buckets_decrypted as f64 / done as f64,
+        buckets_encrypted_per_access: backend.buckets_encrypted as f64 / done as f64,
+    }
+}
+
+fn mode_label(mode: EncryptionMode) -> &'static str {
+    match mode {
+        EncryptionMode::None => "plaintext",
+        EncryptionMode::PerBucketSeed => "aes_per_bucket_seed",
+        EncryptionMode::GlobalSeed => "aes_global_seed",
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_backend.json", |s| s.as_str());
+
+    let num_blocks: u64 = if quick { 1 << 16 } else { 1 << 20 };
+    let block_bytes = 64usize;
+    let params = OramParams::new(num_blocks, block_bytes, 4);
+    let (warmup, min_accesses, min_secs, max_accesses, windows) = if quick {
+        (1_000, 2_000, 0.2, 50_000, 2)
+    } else {
+        (10_000, 20_000, 1.5, 2_000_000, 3)
+    };
+
+    let mut comparison_json = String::new();
+    for (i, mode) in [EncryptionMode::None, EncryptionMode::GlobalSeed]
+        .into_iter()
+        .enumerate()
+    {
+        eprintln!("measuring backend comparison: {} ...", mode_label(mode));
+        let mut legacy = LegacyPathOramBackend::new(params, mode, [1u8; 16]);
+        let base = measure_backend(
+            &mut legacy,
+            warmup,
+            min_accesses,
+            min_secs,
+            max_accesses,
+            windows,
+        );
+        drop(legacy);
+        let mut current = PathOramBackend::new(params, mode, [1u8; 16], 0).expect("backend");
+        let opt = measure_backend(
+            &mut current,
+            warmup,
+            min_accesses,
+            min_secs,
+            max_accesses,
+            windows,
+        );
+        let speedup = opt.accesses_per_sec / base.accesses_per_sec;
+        eprintln!(
+            "  baseline {:>10.0} acc/s   optimized {:>10.0} acc/s   speedup {speedup:.2}x",
+            base.accesses_per_sec, opt.accesses_per_sec
+        );
+        if i > 0 {
+            comparison_json.push_str(",\n");
+        }
+        let _ = write!(
+            comparison_json,
+            "    {{\n      \"mode\": \"{}\",\n      \"baseline\": {},\n      \"optimized\": {},\n      \"speedup\": {:.2}\n    }}",
+            mode_label(mode),
+            base.json("      "),
+            opt.json("      "),
+            speedup,
+        );
+    }
+
+    let grid_n: u64 = if quick { 1 << 12 } else { 1 << 14 };
+    let (g_warm, g_min, g_secs, g_max) = if quick {
+        (200, 500, 0.1, 20_000)
+    } else {
+        (1_000, 2_000, 1.0, 500_000)
+    };
+    let mut grid_json = String::new();
+    let mut first = true;
+    for scheme in SchemePoint::all_points() {
+        // Phantom's defining 4 KB blocks at grid scale would dwarf the other
+        // rows' runtime; the backend comparison above already covers large
+        // blocks.
+        if scheme == SchemePoint::Phantom4K {
+            continue;
+        }
+        eprintln!("measuring scheme grid: {} ...", scheme.label());
+        let mut oram = OramBuilder::for_scheme(scheme)
+            .num_blocks(grid_n)
+            .block_bytes(block_bytes)
+            .build()
+            .expect("scheme point builds");
+        let m = measure_scheme(&mut oram, g_warm, g_min, g_secs, g_max);
+        if !first {
+            grid_json.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            grid_json,
+            "    {{\n      \"scheme\": \"{}\",\n      \"num_blocks\": {grid_n},\n      \"block_bytes\": {block_bytes},\n      \"result\": {}\n    }}",
+            scheme.label(),
+            m.json("      "),
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"backend_hot_path\",\n  \"quick\": {quick},\n  \
+         \"design_point\": {{\n    \"num_blocks\": {num_blocks},\n    \"block_bytes\": {block_bytes},\n    \
+         \"z\": 4,\n    \"levels\": {},\n    \"bucket_bytes\": {},\n    \"stash_capacity\": {}\n  }},\n  \
+         \"backend_comparison\": [\n{comparison_json}\n  ],\n  \"scheme_grid\": [\n{grid_json}\n  ]\n}}\n",
+        params.levels(),
+        params.bucket_bytes(),
+        params.stash_capacity,
+    );
+    std::fs::write(out_path, &json).expect("write BENCH_backend.json");
+    eprintln!("wrote {out_path}");
+}

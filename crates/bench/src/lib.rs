@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+
 use oram_sim::experiments::ExperimentScale;
 
 /// Parses the common `--quick` flag used by every experiment binary: by

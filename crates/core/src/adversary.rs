@@ -88,9 +88,7 @@ impl Adversary {
     /// rolling the ORAM tree back to an earlier state.
     pub fn replay(&self, oram: &mut FreecursiveOram, snapshot: &[(u64, Vec<u8>)]) {
         for (idx, image) in snapshot {
-            oram.backend_mut()
-                .storage_mut()
-                .replay_bucket(*idx, image.clone());
+            oram.backend_mut().storage_mut().replay_bucket(*idx, image);
         }
     }
 

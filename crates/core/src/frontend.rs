@@ -82,8 +82,17 @@ pub struct FreecursiveOram<B: OramBackend = PathOramBackend> {
     stats: FrontendStats,
     /// Leaf level L of the unified tree.
     leaf_level: u32,
-    /// Backend payload size: block bytes plus the MAC field when PMMAC is on.
-    payload_bytes: usize,
+    /// Scratch: payloads fetched from the backend land here (capacity reused
+    /// across requests, so the fetch path does not allocate).  Its length
+    /// after a fetch is the backend payload size: block bytes plus the MAC
+    /// field when PMMAC is on.
+    payload_buf: Vec<u8>,
+    /// Scratch: sealed (data ‖ MAC) payloads for write-back.
+    sealed_buf: Vec<u8>,
+    /// Scratch: discarded pre-images of write requests.
+    result_buf: Vec<u8>,
+    /// An all-zero data block, the write-back image of `read_remove`.
+    zero_block: Vec<u8>,
 }
 
 impl<B: OramBackend> FreecursiveOram<B> {
@@ -136,6 +145,7 @@ impl<B: OramBackend> FreecursiveOram<B> {
                 onchip.set(i, rng.gen_range(0..(1u64 << leaf_level)));
             }
         }
+        let zero_block = vec![0u8; config.block_bytes];
         Ok(Self {
             rng,
             prf: AesPrf::new(prf_key),
@@ -147,7 +157,10 @@ impl<B: OramBackend> FreecursiveOram<B> {
             onchip,
             stats: FrontendStats::default(),
             leaf_level,
-            payload_bytes,
+            payload_buf: Vec::with_capacity(payload_bytes),
+            sealed_buf: Vec::with_capacity(payload_bytes),
+            result_buf: Vec::new(),
+            zero_block,
         })
     }
 
@@ -186,52 +199,64 @@ impl<B: OramBackend> FreecursiveOram<B> {
     // PMMAC helpers
     // ------------------------------------------------------------------
 
-    /// Splits a backend payload into data and (if PMMAC) verifies the MAC
-    /// against the expected counter.  A counter of zero means the block has
+    /// Verifies a fetched backend payload in place: with PMMAC, the MAC
+    /// trailer is checked against the expected counter (the data portion is
+    /// `payload[..block_bytes]`).  A counter of zero means the block has
     /// never been written back by this controller, so the backend's implicit
     /// zero block is accepted without verification (a real deployment writes
     /// MACs during initialisation instead).
+    ///
+    /// Takes its fields individually (instead of `&mut self`) so callers can
+    /// keep `self.payload_buf` borrowed across the call — this is what lets
+    /// the fetch path run without copying the payload out first.
     fn verify_payload(
-        &mut self,
+        config: &FreecursiveConfig,
+        mac_key: &MacKey,
+        stats: &mut FrontendStats,
         unified_addr: u64,
         counter: Option<u64>,
         payload: &[u8],
-    ) -> Result<Vec<u8>, OramError> {
-        if !self.config.pmmac {
-            return Ok(payload.to_vec());
+    ) -> Result<(), OramError> {
+        if !config.pmmac {
+            return Ok(());
         }
-        let data = payload[..self.config.block_bytes].to_vec();
-        let mac_bytes = &payload[self.config.block_bytes..];
+        let data = &payload[..config.block_bytes];
+        let mac_bytes = &payload[config.block_bytes..];
         let counter = counter.expect("pmmac requires counters");
-        self.stats.macs_verified += 1;
+        stats.macs_verified += 1;
         if counter == 0 {
-            return Ok(data);
+            return Ok(());
         }
         let mut mac = [0u8; MAC_BYTES];
         mac.copy_from_slice(mac_bytes);
-        if !self
-            .mac_key
-            .verify(counter, unified_addr, &data, &oram_crypto::mac::Mac(mac))
-        {
-            self.stats.integrity_violations += 1;
+        if !mac_key.verify(counter, unified_addr, data, &oram_crypto::mac::Mac(mac)) {
+            stats.integrity_violations += 1;
             return Err(OramError::IntegrityViolation { addr: unified_addr });
         }
-        Ok(data)
+        Ok(())
     }
 
-    /// Assembles the backend payload for a write-back: data plus (if PMMAC)
-    /// the MAC under the block's new counter.
-    fn seal_payload(&mut self, unified_addr: u64, counter: Option<u64>, data: &[u8]) -> Vec<u8> {
-        if !self.config.pmmac {
-            return data.to_vec();
+    /// Assembles the backend payload for a write-back into `out` (cleared
+    /// first): data plus (if PMMAC) the MAC under the block's new counter.
+    /// Field-wise for the same reason as [`Self::verify_payload`].
+    fn seal_payload(
+        config: &FreecursiveConfig,
+        mac_key: &MacKey,
+        stats: &mut FrontendStats,
+        unified_addr: u64,
+        counter: Option<u64>,
+        data: &[u8],
+        out: &mut Vec<u8>,
+    ) {
+        out.clear();
+        out.extend_from_slice(data);
+        if !config.pmmac {
+            return;
         }
         let counter = counter.expect("pmmac requires counters");
-        let mac = self.mac_key.compute(counter, unified_addr, data);
-        self.stats.macs_computed += 1;
-        let mut payload = Vec::with_capacity(self.payload_bytes);
-        payload.extend_from_slice(data);
-        payload.extend_from_slice(mac.as_bytes());
-        payload
+        let mac = mac_key.compute(counter, unified_addr, data);
+        stats.macs_computed += 1;
+        out.extend_from_slice(mac.as_bytes());
     }
 
     fn count_path_access(&mut self, is_posmap: bool) {
@@ -371,22 +396,42 @@ impl<B: OramBackend> FreecursiveOram<B> {
             let old_leaf = self
                 .prf
                 .leaf_for(sibling_unified, old_counter, self.leaf_level);
-            let payload = self
-                .backend
-                .access(AccessOp::ReadRmv, sibling_unified, old_leaf, 0, None)?
-                .expect("readrmv returns data");
+            let fetched = self.backend.access_into(
+                AccessOp::ReadRmv,
+                sibling_unified,
+                old_leaf,
+                0,
+                None,
+                &mut self.payload_buf,
+            )?;
+            assert!(fetched, "backend readrmv returned no data");
             self.stats.group_remap_accesses += 1;
             self.stats.posmap_bytes_moved += self.backend.params().access_bytes();
             self.stats.merkle_equivalent_hashes +=
                 2 * u64::from(self.backend.params().levels()) * self.backend.params().z as u64;
-            let data = self.verify_payload(sibling_unified, Some(old_counter), &payload)?;
-            let sealed = self.seal_payload(sibling_unified, Some(new_counter), &data);
+            Self::verify_payload(
+                &self.config,
+                &self.mac_key,
+                &mut self.stats,
+                sibling_unified,
+                Some(old_counter),
+                &self.payload_buf,
+            )?;
+            Self::seal_payload(
+                &self.config,
+                &self.mac_key,
+                &mut self.stats,
+                sibling_unified,
+                Some(new_counter),
+                &self.payload_buf[..self.config.block_bytes],
+                &mut self.sealed_buf,
+            );
             self.backend.access(
                 AccessOp::Append,
                 sibling_unified,
                 0,
                 new_leaf,
-                Some(&sealed),
+                Some(&self.sealed_buf),
             )?;
             self.stats.appends += 1;
         }
@@ -420,19 +465,29 @@ impl<B: OramBackend> FreecursiveOram<B> {
     /// tree (§4.2.4 step 2).
     fn append_evicted(&mut self, victim: PlbEntry<PlbPayload>) -> Result<(), OramError> {
         let data = victim.payload.block.to_bytes(self.config.block_bytes);
-        let sealed = self.seal_payload(victim.unified_addr, victim.payload.counter, &data);
+        Self::seal_payload(
+            &self.config,
+            &self.mac_key,
+            &mut self.stats,
+            victim.unified_addr,
+            victim.payload.counter,
+            &data,
+            &mut self.sealed_buf,
+        );
         self.backend.access(
             AccessOp::Append,
             victim.unified_addr,
             0,
             victim.leaf,
-            Some(&sealed),
+            Some(&self.sealed_buf),
         )?;
         self.stats.appends += 1;
         Ok(())
     }
 
-    /// Performs one full ORAM access for data block `a0` (§4.2.4).
+    /// Performs one full ORAM access for data block `a0` (§4.2.4), writing
+    /// the block's previous contents into `out` (cleared first; capacity is
+    /// reused by callers that pass a long-lived buffer).
     ///
     /// `remove` implements the frontend-level read-remove: the old contents
     /// are returned and a zero block is written back under a fresh counter,
@@ -443,7 +498,9 @@ impl<B: OramBackend> FreecursiveOram<B> {
         a0: u64,
         write_data: Option<&[u8]>,
         remove: bool,
-    ) -> Result<Vec<u8>, OramError> {
+        out: &mut Vec<u8>,
+    ) -> Result<(), OramError> {
+        out.clear();
         if a0 >= self.config.num_blocks {
             return Err(OramError::AddressOutOfRange {
                 addr: a0,
@@ -485,20 +542,27 @@ impl<B: OramBackend> FreecursiveOram<B> {
 
             if level >= 1 {
                 // PosMap block fetch (readrmv) and PLB refill.
-                let payload = self
-                    .backend
-                    .access(
-                        AccessOp::ReadRmv,
-                        child_unified,
-                        resolved.current_leaf,
-                        0,
-                        None,
-                    )?
-                    .expect("readrmv returns data");
+                let fetched = self.backend.access_into(
+                    AccessOp::ReadRmv,
+                    child_unified,
+                    resolved.current_leaf,
+                    0,
+                    None,
+                    &mut self.payload_buf,
+                )?;
+                assert!(fetched, "backend readrmv returned no data");
                 self.count_path_access(true);
-                let data =
-                    self.verify_payload(child_unified, resolved.current_counter, &payload)?;
-                let block = self.parse_posmap_block(&data);
+                Self::verify_payload(
+                    &self.config,
+                    &self.mac_key,
+                    &mut self.stats,
+                    child_unified,
+                    resolved.current_counter,
+                    &self.payload_buf,
+                )?;
+                let payload = std::mem::take(&mut self.payload_buf);
+                let block = self.parse_posmap_block(&payload[..self.config.block_bytes]);
+                self.payload_buf = payload;
                 let entry = PlbEntry {
                     unified_addr: child_unified,
                     leaf: resolved.advance.new_leaf,
@@ -513,35 +577,51 @@ impl<B: OramBackend> FreecursiveOram<B> {
                 self.stats.plb = self.plb.stats();
             } else {
                 // Data block access.
-                let payload = self
-                    .backend
-                    .access(
-                        AccessOp::ReadRmv,
-                        child_unified,
-                        resolved.current_leaf,
-                        0,
-                        None,
-                    )?
-                    .expect("readrmv returns data");
+                let fetched = self.backend.access_into(
+                    AccessOp::ReadRmv,
+                    child_unified,
+                    resolved.current_leaf,
+                    0,
+                    None,
+                    &mut self.payload_buf,
+                )?;
+                assert!(fetched, "backend readrmv returned no data");
                 self.count_path_access(false);
-                let mut data =
-                    self.verify_payload(child_unified, resolved.current_counter, &payload)?;
-                let result = data.clone();
-                if remove {
-                    data = vec![0u8; self.config.block_bytes];
+                Self::verify_payload(
+                    &self.config,
+                    &self.mac_key,
+                    &mut self.stats,
+                    child_unified,
+                    resolved.current_counter,
+                    &self.payload_buf,
+                )?;
+                out.extend_from_slice(&self.payload_buf[..self.config.block_bytes]);
+                let write_back: &[u8] = if remove {
+                    &self.zero_block
                 } else if let Some(new_data) = write_data {
-                    data = new_data.to_vec();
-                }
-                let sealed = self.seal_payload(child_unified, resolved.advance.new_counter, &data);
+                    new_data
+                } else {
+                    &self.payload_buf[..self.config.block_bytes]
+                };
+                Self::seal_payload(
+                    &self.config,
+                    &self.mac_key,
+                    &mut self.stats,
+                    child_unified,
+                    resolved.advance.new_counter,
+                    write_back,
+                    &mut self.sealed_buf,
+                );
                 self.backend.access(
                     AccessOp::Append,
                     child_unified,
                     0,
                     resolved.advance.new_leaf,
-                    Some(&sealed),
+                    Some(&self.sealed_buf),
                 )?;
                 self.stats.appends += 1;
-                return Ok(result);
+                self.stats.backend = self.backend.stats().clone();
+                return Ok(());
             }
         }
         unreachable!("the walk always terminates with the data-level access")
@@ -552,21 +632,32 @@ impl<B: OramBackend> FreecursiveOram<B> {
     /// cannot diverge.
     fn access_ref(&mut self, request: &Request) -> Result<Response, FreecursiveError> {
         let response = match request {
-            Request::Read { addr } => Response {
-                addr: *addr,
-                data: Some(self.access_inner(*addr, None, false)?),
-            },
+            Request::Read { addr } => {
+                let mut data = Vec::new();
+                self.access_inner(*addr, None, false, &mut data)?;
+                Response {
+                    addr: *addr,
+                    data: Some(data),
+                }
+            }
             Request::Write { addr, data } => {
-                self.access_inner(*addr, Some(data), false)?;
+                let mut discard = std::mem::take(&mut self.result_buf);
+                let result = self.access_inner(*addr, Some(data), false, &mut discard);
+                self.result_buf = discard;
+                result?;
                 Response {
                     addr: *addr,
                     data: None,
                 }
             }
-            Request::ReadRemove { addr } => Response {
-                addr: *addr,
-                data: Some(self.access_inner(*addr, None, true)?),
-            },
+            Request::ReadRemove { addr } => {
+                let mut data = Vec::new();
+                self.access_inner(*addr, None, true, &mut data)?;
+                Response {
+                    addr: *addr,
+                    data: Some(data),
+                }
+            }
         };
         Ok(response)
     }
@@ -597,16 +688,28 @@ impl<B: OramBackend> Oram for FreecursiveOram<B> {
     }
 
     fn read(&mut self, addr: u64) -> Result<Vec<u8>, FreecursiveError> {
-        Ok(self.access_inner(addr, None, false)?)
+        let mut out = Vec::new();
+        self.access_inner(addr, None, false, &mut out)?;
+        Ok(out)
+    }
+
+    fn read_into(&mut self, addr: u64, out: &mut Vec<u8>) -> Result<(), FreecursiveError> {
+        // Zero-copy override: the pre-image lands straight in the caller's
+        // buffer instead of a per-request allocation.
+        Ok(self.access_inner(addr, None, false, out)?)
     }
 
     fn write(&mut self, addr: u64, data: &[u8]) -> Result<(), FreecursiveError> {
-        self.access_inner(addr, Some(data), false)?;
-        Ok(())
+        let mut discard = std::mem::take(&mut self.result_buf);
+        let result = self.access_inner(addr, Some(data), false, &mut discard);
+        self.result_buf = discard;
+        Ok(result?)
     }
 
     fn read_remove(&mut self, addr: u64) -> Result<Vec<u8>, FreecursiveError> {
-        Ok(self.access_inner(addr, None, true)?)
+        let mut out = Vec::new();
+        self.access_inner(addr, None, true, &mut out)?;
+        Ok(out)
     }
 
     fn stats(&self) -> &FrontendStats {

@@ -60,6 +60,7 @@ impl InsecureOram {
         self.stats.frontend_requests += 1;
         self.stats.data_backend_accesses += 1;
         self.stats.data_bytes_moved += self.block_bytes as u64;
+        self.stats.backend = self.backend.stats().clone();
     }
 }
 

@@ -100,6 +100,9 @@ pub struct RecursiveOram<B: OramBackend = PathOramBackend> {
     onchip: OnChipPosMap,
     rng: StdRng,
     stats: FrontendStats,
+    /// Scratch: PosMap block payloads fetched during the walk (capacity
+    /// reused across requests).
+    posmap_buf: Vec<u8>,
 }
 
 impl<B: OramBackend> RecursiveOram<B> {
@@ -135,6 +138,7 @@ impl<B: OramBackend> RecursiveOram<B> {
         for i in 0..onchip.len() as u64 {
             onchip.set(i, rng.gen_range(0..top_leaves));
         }
+        let posmap_buf = Vec::with_capacity(config.posmap_block_bytes);
         Ok(Self {
             rng,
             config,
@@ -142,6 +146,7 @@ impl<B: OramBackend> RecursiveOram<B> {
             backends,
             onchip,
             stats: FrontendStats::default(),
+            posmap_buf,
         })
     }
 
@@ -192,9 +197,16 @@ impl<B: OramBackend> RecursiveOram<B> {
         // Walk PosMap ORAMs H-1 .. 1 (a "page table walk", §3.2).
         for level in (1..=top).rev() {
             let a_i = self.rec.posmap_block_addr(level, addr);
-            let bytes = self.backends[level as usize]
-                .access(AccessOp::ReadRmv, a_i, cur_leaf, 0, None)?
-                .expect("readrmv returns data");
+            let fetched = self.backends[level as usize].access_into(
+                AccessOp::ReadRmv,
+                a_i,
+                cur_leaf,
+                0,
+                None,
+                &mut self.posmap_buf,
+            )?;
+            assert!(fetched, "backend readrmv returned no data");
+            let bytes = &self.posmap_buf;
             let mut block = if bytes.iter().all(|&b| b == 0) {
                 // A never-written PosMap block: in a deployed system its
                 // entries would have been initialised to random leaves; do
@@ -206,7 +218,7 @@ impl<B: OramBackend> RecursiveOram<B> {
                 }
                 fresh
             } else {
-                UncompressedPosMapBlock::from_bytes(&bytes, x as usize)
+                UncompressedPosMapBlock::from_bytes(bytes, x as usize)
             };
             let entry = self.rec.entry_index(level, addr);
             let child_cur_leaf = block.leaf(entry);
@@ -232,6 +244,11 @@ impl<B: OramBackend> RecursiveOram<B> {
         let result = self.backends[0].access(op, addr, cur_leaf, new_leaf, data)?;
         self.stats.data_backend_accesses += 1;
         self.stats.data_bytes_moved += self.backends[0].params().access_bytes();
+        let mut backend_totals = path_oram::BackendStats::default();
+        for backend in &self.backends {
+            backend_totals.accumulate(backend.stats());
+        }
+        self.stats.backend = backend_totals;
         Ok(result)
     }
 

@@ -1,5 +1,6 @@
 //! Frontend statistics: the quantities the paper's figures are built from.
 
+use path_oram::BackendStats;
 use posmap::PlbStats;
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +42,12 @@ pub struct FrontendStats {
     pub integrity_violations: u64,
     /// PLB statistics (zero for the baseline design).
     pub plb: PlbStats,
+    /// Backend counters mirrored after every request, so callers holding an
+    /// `Oram` trait object can see the tree machinery's work — including the
+    /// `buckets_decrypted`/`buckets_encrypted` crypto counters — without
+    /// reaching through to a concrete backend.  For frontends owning several
+    /// trees (the recursive baseline) this is the sum over all of them.
+    pub backend: BackendStats,
 }
 
 impl FrontendStats {

@@ -1,14 +1,21 @@
 //! The Path ORAM backend: path read, stash maintenance, and greedy eviction.
+//!
+//! The access loop is engineered to be **allocation-free in steady state**:
+//! the path's bucket indices, the decrypted path image, the eviction
+//! classifier's worklists and the result payload all live in scratch buffers
+//! owned by the backend (or passed in by the caller) and are reused across
+//! accesses.  See `tests/backend_zero_alloc.rs` at the workspace root for
+//! the allocator-counter proof.
 
-use crate::bucket::Bucket;
+use crate::bucket::{BucketView, BucketWriter};
 use crate::encryption::{BucketCipher, EncryptionMode};
 use crate::error::OramError;
 use crate::params::OramParams;
-use crate::stash::Stash;
+use crate::stash::{BlockIdBuildHasher, Stash};
 use crate::stats::BackendStats;
 use crate::storage::TreeStorage;
-use crate::tree::{block_can_reside, path_linear_indices};
-use crate::types::{AccessOp, BlockData, BlockId, Leaf, OramBlock};
+use crate::tree::{deepest_common_level, path_linear_indices_into};
+use crate::types::{AccessOp, BlockData, BlockId, Leaf};
 use std::collections::HashSet;
 
 /// The interface the Freecursive frontends program against (the paper's
@@ -43,16 +50,19 @@ pub trait OramBackend {
     /// The tree geometry this backend serves.
     fn params(&self) -> &OramParams;
 
-    /// Performs one backend access.
+    /// Performs one backend access, writing any returned payload into `out`
+    /// (cleared first; its capacity is reused across calls, which is the
+    /// frontends' allocation-free read path).  Returns `true` when `out`
+    /// carries data.
     ///
     /// * `Read` — fetch the block mapped to `leaf`, remap it to `new_leaf`,
     ///   and return its data.
     /// * `Write` — fetch the block, overwrite its contents with `data`, remap
-    ///   to `new_leaf`; returns `None`.
+    ///   to `new_leaf`; returns no data.
     /// * `ReadRmv` — fetch the block and remove it from the ORAM entirely,
     ///   returning its data (`new_leaf` is ignored).
     /// * `Append` — insert `data` as a new block mapped to `new_leaf`
-    ///   without touching the tree (`leaf` is ignored); returns `None`.
+    ///   without touching the tree (`leaf` is ignored); returns no data.
     ///
     /// Blocks that have never been written are implicitly created filled with
     /// zero bytes, which mirrors how a secure processor would see untouched
@@ -63,6 +73,23 @@ pub trait OramBackend {
     /// Returns an error on stash overflow, malformed buckets (tampering),
     /// leaf out of range, size-mismatched write data, or appending a block
     /// that is already resident.
+    fn access_into(
+        &mut self,
+        op: AccessOp,
+        addr: BlockId,
+        leaf: Leaf,
+        new_leaf: Leaf,
+        data: Option<&[u8]>,
+        out: &mut Vec<u8>,
+    ) -> Result<bool, OramError>;
+
+    /// Owned-payload convenience wrapper over [`OramBackend::access_into`]
+    /// (allocates the returned payload; hot paths should prefer
+    /// `access_into` with a reused buffer).
+    ///
+    /// # Errors
+    ///
+    /// As for [`OramBackend::access_into`].
     fn access(
         &mut self,
         op: AccessOp,
@@ -70,7 +97,11 @@ pub trait OramBackend {
         leaf: Leaf,
         new_leaf: Leaf,
         data: Option<&[u8]>,
-    ) -> Result<Option<BlockData>, OramError>;
+    ) -> Result<Option<BlockData>, OramError> {
+        let mut out = Vec::new();
+        let has_data = self.access_into(op, addr, leaf, new_leaf, data, &mut out)?;
+        Ok(has_data.then_some(out))
+    }
 
     /// Accumulated backend statistics.
     fn stats(&self) -> &BackendStats;
@@ -81,8 +112,9 @@ pub trait OramBackend {
 
 /// The functional Path ORAM backend.
 ///
-/// Holds the encrypted tree in a [`TreeStorage`], a bounded [`Stash`], and a
-/// [`BucketCipher`].  See the crate-level example for usage.
+/// Holds the encrypted tree in a [`TreeStorage`] arena, a bounded slab
+/// [`Stash`], a [`BucketCipher`], and the reusable scratch buffers of the
+/// hot path.  See the crate-level example for usage.
 #[derive(Debug, Clone)]
 pub struct PathOramBackend {
     params: OramParams,
@@ -93,7 +125,80 @@ pub struct PathOramBackend {
     /// Addresses of blocks currently stored in the ORAM (stash or tree);
     /// used to detect duplicate appends and to implement implicit
     /// zero-initialisation.
-    resident: HashSet<BlockId>,
+    resident: HashSet<BlockId, BlockIdBuildHasher>,
+    /// Scratch: linear bucket indices of the path being processed.
+    path_idx: Vec<u64>,
+    /// Scratch: the decrypted plaintext path, one bucket image per level.
+    path_buf: Vec<u8>,
+    /// Scratch: real blocks found on the path that are *not* the block of
+    /// interest.  They bypass the stash entirely — classified straight out
+    /// of `path_buf` and written back from there — so the stash only ever
+    /// holds the block of interest, appends, and eviction leftovers.
+    path_blocks: Vec<PathBlockRef>,
+    /// Scratch: eviction classifier worklists, one per tree level — list `d`
+    /// holds the eviction candidates whose deepest legal level on the
+    /// current path is `d`.  Entries tag [`PATH_ENTRY_BIT`] to distinguish
+    /// `path_blocks` indices from stash slots.
+    evict_depth: Vec<Vec<u32>>,
+    /// Scratch: classifier entries still eligible as the eviction walks from
+    /// the leaf towards the root.
+    evict_carry: Vec<u32>,
+}
+
+/// High bit of an eviction-classifier entry: set for `path_blocks` indices,
+/// clear for stash slab slots.
+const PATH_ENTRY_BIT: u32 = 1 << 31;
+
+/// A real block sitting in the decrypted path scratch buffer.
+#[derive(Debug, Clone, Copy)]
+struct PathBlockRef {
+    addr: BlockId,
+    leaf: Leaf,
+    /// Byte offset of the block's payload within `path_buf`.
+    offset: u32,
+}
+
+/// Routes one parsed bucket's real blocks during the path read: the block
+/// of interest goes into the stash, every other block becomes a
+/// [`PathBlockRef`] classified into the eviction worklists.  When `scratch`
+/// is given (plaintext mode, where the view aliases the arena) the payloads
+/// are copied into it at their canonical path offsets; otherwise the view
+/// already reads from the scratch.  Free function over the individual
+/// fields so the caller can hold the bucket image borrowed from either the
+/// arena or the scratch.
+#[allow(clippy::too_many_arguments)]
+fn classify_bucket(
+    view: BucketView<'_>,
+    of_interest: BlockId,
+    path_leaf: Leaf,
+    bucket_base: usize,
+    params: &OramParams,
+    mut scratch: Option<&mut [u8]>,
+    stash: &mut Stash,
+    path_blocks: &mut Vec<PathBlockRef>,
+    evict_depth: &mut [Vec<u32>],
+    stats: &mut BackendStats,
+) {
+    let data_base = params.bucket_data_base();
+    for slot in view.occupied() {
+        stats.real_blocks_fetched += 1;
+        if slot.addr == of_interest {
+            stash.insert_from_parts(slot.addr, slot.leaf, slot.data);
+            continue;
+        }
+        let offset = bucket_base + data_base + slot.slot * params.block_bytes;
+        if let Some(buf) = scratch.as_deref_mut() {
+            buf[offset..offset + params.block_bytes].copy_from_slice(slot.data);
+        }
+        let entry = path_blocks.len() as u32 | PATH_ENTRY_BIT;
+        path_blocks.push(PathBlockRef {
+            addr: slot.addr,
+            leaf: slot.leaf,
+            offset: offset as u32,
+        });
+        let depth = deepest_common_level(slot.leaf, path_leaf, params.leaf_level());
+        evict_depth[depth as usize].push(entry);
+    }
 }
 
 impl PathOramBackend {
@@ -114,14 +219,32 @@ impl PathOramBackend {
     ) -> Result<Self, OramError> {
         let storage = TreeStorage::new(&params);
         let cipher = BucketCipher::new(encryption, key);
-        let stash = Stash::new(params.stash_capacity);
+        let levels = params.levels() as usize;
+        // Transient headroom: a full path of real blocks plus the implicit
+        // zero-initialised block of the access in flight.
+        let stash = Stash::new(
+            params.stash_capacity,
+            params.block_bytes,
+            levels * params.z + 1,
+        );
+        // Worst-case eviction candidates in one pass: the whole stash plus
+        // every real block on the path.  Pre-reserving the classifier lists
+        // at that bound keeps the steady state free of reallocations.
+        let max_candidates = params.stash_capacity + levels * params.z + 1;
         Ok(Self {
             params,
             storage,
             cipher,
             stash,
             stats: BackendStats::default(),
-            resident: HashSet::new(),
+            resident: HashSet::default(),
+            path_idx: Vec::with_capacity(levels),
+            path_buf: vec![0u8; levels * params.bucket_bytes()],
+            path_blocks: Vec::with_capacity(levels * params.z),
+            evict_depth: (0..levels)
+                .map(|_| Vec::with_capacity(max_candidates))
+                .collect(),
+            evict_carry: Vec::with_capacity(max_candidates),
         })
     }
 
@@ -168,46 +291,167 @@ impl PathOramBackend {
         self.resident.len()
     }
 
-    fn read_path_into_stash(&mut self, path: &[u64]) -> Result<(), OramError> {
-        for &bucket_idx in path {
-            self.stats.bytes_read += self.params.bucket_bytes() as u64;
+    /// Slab slot capacity of the stash (diagnostics for the
+    /// capacity-stability tests).
+    pub fn stash_slot_capacity(&self) -> usize {
+        self.stash.slot_capacity()
+    }
+
+    /// Reads the path's buckets: each initialised bucket is decrypted into
+    /// the path scratch buffer (or, when the mode is plaintext, parsed
+    /// straight out of the arena) and its real blocks classified for the
+    /// upcoming eviction in the same pass.  The block of interest (`addr`)
+    /// is copied into the stash; every other real block only gets a
+    /// [`PathBlockRef`] into the scratch plus a classifier entry — it is
+    /// written back straight from there.  No per-bucket or per-block
+    /// allocation, and dummy-slot payloads are never copied.
+    fn read_path(&mut self, addr: BlockId, leaf: Leaf) -> Result<(), OramError> {
+        let bucket_bytes = self.params.bucket_bytes();
+        let plaintext = self.cipher.mode() == EncryptionMode::None;
+        self.path_blocks.clear();
+        for list in &mut self.evict_depth {
+            list.clear();
+        }
+        for (level, &bucket_idx) in self.path_idx.iter().enumerate() {
+            self.stats.bytes_read += bucket_bytes as u64;
             if !self.storage.is_initialized(bucket_idx) {
                 continue;
             }
-            let mut image = self.storage.read_bucket(bucket_idx).to_vec();
-            self.cipher.open(bucket_idx, &mut image);
-            let bucket = Bucket::deserialize(&image, &self.params, bucket_idx)?;
-            for block in bucket.blocks {
-                self.stats.real_blocks_fetched += 1;
-                self.stash.insert(block);
+            let bucket_base = level * bucket_bytes;
+            if plaintext {
+                // The arena already holds the plaintext: parse it in place
+                // and copy only the real payloads into the scratch
+                // (eviction rewrites the arena slots before it consumes the
+                // scratch, so sources must not alias them).  Dummy slots
+                // are never copied.
+                let view = BucketView::parse(
+                    self.storage.read_bucket(bucket_idx),
+                    &self.params,
+                    bucket_idx,
+                )?;
+                classify_bucket(
+                    view,
+                    addr,
+                    leaf,
+                    bucket_base,
+                    &self.params,
+                    Some(&mut self.path_buf[..]),
+                    &mut self.stash,
+                    &mut self.path_blocks,
+                    &mut self.evict_depth,
+                    &mut self.stats,
+                );
+            } else {
+                let scratch = &mut self.path_buf[bucket_base..bucket_base + bucket_bytes];
+                scratch.copy_from_slice(self.storage.read_bucket(bucket_idx));
+                self.cipher.open(bucket_idx, scratch);
+                self.stats.buckets_decrypted += 1;
+                let image = &self.path_buf[bucket_base..bucket_base + bucket_bytes];
+                let view = BucketView::parse(image, &self.params, bucket_idx)?;
+                classify_bucket(
+                    view,
+                    addr,
+                    leaf,
+                    bucket_base,
+                    &self.params,
+                    None,
+                    &mut self.stash,
+                    &mut self.path_blocks,
+                    &mut self.evict_depth,
+                    &mut self.stats,
+                );
             }
         }
         Ok(())
     }
 
-    fn evict_path(&mut self, leaf: Leaf, path: &[u64]) {
+    /// Writes the path back: the candidates were already classified by the
+    /// deepest level they may legally occupy on the current path — path
+    /// blocks during [`PathOramBackend::read_path`], stash slots in one
+    /// O(stash) pass here — then buckets are filled deepest-first and
+    /// serialised/sealed directly into their arena slots.  Path blocks that
+    /// find no room (possible once the accessed block stole a slot) are
+    /// spilled into the stash at the end.
+    fn evict_path(&mut self, leaf: Leaf) {
         let leaf_level = self.params.leaf_level();
-        for (level, &bucket_idx) in path.iter().enumerate().rev() {
-            let level = level as u32;
-            let taken = self.stash.take_matching(self.params.z, |_, block_leaf| {
-                block_can_reside(block_leaf, leaf, level, leaf_level)
-            });
-            let mut bucket = Bucket::empty(&self.params);
+        let block_bytes = self.params.block_bytes;
+
+        // Stash blocks join the path blocks classified during the read
+        // (the stash mutated since then: the access inserted, remapped or
+        // removed the block of interest, so it classifies here).
+        for (slot, _, block_leaf) in self.stash.occupied_slots() {
+            let depth = deepest_common_level(block_leaf, leaf, leaf_level);
+            self.evict_depth[depth as usize].push(slot);
+        }
+
+        // Deepest-first fills: walking the path leaf → root, candidates that
+        // became eligible at a deeper level but found no room remain
+        // eligible at every shallower level, so they carry over.
+        self.evict_carry.clear();
+        let mut carry_pos = 0usize;
+        for level in (0..=leaf_level).rev() {
+            let bucket_idx = self.path_idx[level as usize];
+            self.evict_carry
+                .extend(self.evict_depth[level as usize].iter().copied());
+            let take = self.params.z.min(self.evict_carry.len() - carry_pos);
+
             // Preserve the old seed so the per-bucket-seed discipline can
             // increment it (§6.4); for a never-written bucket it starts at 0.
-            if self.storage.is_initialized(bucket_idx) {
-                let raw = self.storage.read_bucket(bucket_idx);
-                bucket.seed = u64::from_le_bytes(raw[..8].try_into().expect("seed header"));
+            let old_seed = if self.storage.is_initialized(bucket_idx) {
+                u64::from_le_bytes(
+                    self.storage.read_bucket(bucket_idx)[..8]
+                        .try_into()
+                        .expect("seed header"),
+                )
+            } else {
+                0
+            };
+
+            let image = self.storage.bucket_slot_mut(bucket_idx);
+            let mut writer = BucketWriter::begin(image, &self.params, old_seed);
+            for _ in 0..take {
+                let entry = self.evict_carry[carry_pos];
+                carry_pos += 1;
+                if entry & PATH_ENTRY_BIT != 0 {
+                    let path_block = self.path_blocks[(entry & !PATH_ENTRY_BIT) as usize];
+                    let offset = path_block.offset as usize;
+                    writer.push(
+                        path_block.addr,
+                        path_block.leaf,
+                        &self.path_buf[offset..offset + block_bytes],
+                    );
+                } else {
+                    let (addr, block_leaf, data) = self.stash.slot_payload(entry);
+                    writer.push(addr, block_leaf, data);
+                    self.stash.release_slot(entry);
+                }
             }
-            self.stats.blocks_evicted += taken.len() as u64;
-            self.stats.dummies_written += (self.params.z - taken.len()) as u64;
-            for block in taken {
-                bucket.push(block);
+            writer.finish();
+            self.cipher
+                .seal(bucket_idx, self.storage.bucket_slot_mut(bucket_idx));
+            if self.cipher.mode() != EncryptionMode::None {
+                self.stats.buckets_encrypted += 1;
             }
-            let mut image = bucket.serialize(&self.params);
-            self.cipher.seal(bucket_idx, &mut image);
-            self.storage.write_bucket(bucket_idx, image);
+
+            self.stats.blocks_evicted += take as u64;
+            self.stats.dummies_written += (self.params.z - take) as u64;
             self.stats.bytes_written += self.params.bucket_bytes() as u64;
+        }
+
+        // Spill unplaced path blocks into the stash; they join the next
+        // eviction's candidates like any other stash block.
+        while carry_pos < self.evict_carry.len() {
+            let entry = self.evict_carry[carry_pos];
+            carry_pos += 1;
+            if entry & PATH_ENTRY_BIT != 0 {
+                let path_block = self.path_blocks[(entry & !PATH_ENTRY_BIT) as usize];
+                let offset = path_block.offset as usize;
+                self.stash.insert_from_parts(
+                    path_block.addr,
+                    path_block.leaf,
+                    &self.path_buf[offset..offset + block_bytes],
+                );
+            }
         }
     }
 }
@@ -234,14 +478,16 @@ impl OramBackend for PathOramBackend {
         self.stats = BackendStats::default();
     }
 
-    fn access(
+    fn access_into(
         &mut self,
         op: AccessOp,
         addr: BlockId,
         leaf: Leaf,
         new_leaf: Leaf,
         data: Option<&[u8]>,
-    ) -> Result<Option<BlockData>, OramError> {
+        out: &mut Vec<u8>,
+    ) -> Result<bool, OramError> {
+        out.clear();
         if let Some(d) = data {
             if d.len() != self.params.block_bytes {
                 return Err(OramError::BlockSizeMismatch {
@@ -261,17 +507,13 @@ impl OramBackend for PathOramBackend {
                     num_leaves: self.params.num_leaves(),
                 });
             }
-            let payload = data.ok_or(OramError::MissingWriteData)?.to_vec();
-            self.stash.insert(OramBlock {
-                addr,
-                leaf: new_leaf,
-                data: payload,
-            });
+            let payload = data.ok_or(OramError::MissingWriteData)?;
+            self.stash.insert_from_parts(addr, new_leaf, payload);
             self.resident.insert(addr);
             self.stats.appends += 1;
             self.stats.max_stash_occupancy = self.stats.max_stash_occupancy.max(self.stash.len());
             self.stash.check_overflow()?;
-            return Ok(None);
+            return Ok(false);
         }
 
         if leaf >= self.params.num_leaves() {
@@ -287,8 +529,9 @@ impl OramBackend for PathOramBackend {
             });
         }
 
-        let path = path_linear_indices(leaf, self.params.leaf_level());
-        self.read_path_into_stash(&path)?;
+        let leaf_level = self.params.leaf_level();
+        path_linear_indices_into(leaf, leaf_level, &mut self.path_idx);
+        self.read_path(addr, leaf)?;
 
         let was_resident = self.resident.contains(&addr);
         if was_resident && !self.stash.contains(addr) {
@@ -298,39 +541,45 @@ impl OramBackend for PathOramBackend {
         }
         if !was_resident {
             // Implicit zero-initialisation of never-written blocks.
-            self.stash.insert(OramBlock {
-                addr,
-                leaf: new_leaf.min(self.params.num_leaves() - 1),
-                data: vec![0u8; self.params.block_bytes],
-            });
+            // `new_leaf` is range-checked above for Read/Write; ReadRmv
+            // ignores it by contract (the block is removed below before it
+            // could ever be evicted), so the zero block is created on the
+            // path just fetched rather than clamping a possibly-invalid
+            // caller value into range.
+            let assigned_leaf = if op == AccessOp::ReadRmv {
+                leaf
+            } else {
+                new_leaf
+            };
+            self.stash.insert_zeroed(addr, assigned_leaf);
             self.resident.insert(addr);
         }
 
-        let result = match op {
+        let has_data = match op {
             AccessOp::Read => {
-                let out = self.stash.data_of(addr).expect("block present");
+                out.extend_from_slice(self.stash.data_of(addr).expect("block present"));
                 self.stash.remap(addr, new_leaf);
-                Some(out)
+                true
             }
             AccessOp::Write => {
-                let payload = data.ok_or(OramError::MissingWriteData)?.to_vec();
+                let payload = data.ok_or(OramError::MissingWriteData)?;
                 self.stash.update_data(addr, payload);
                 self.stash.remap(addr, new_leaf);
-                None
+                false
             }
             AccessOp::ReadRmv => {
-                let block = self.stash.remove(addr).expect("block present");
+                self.stash.remove_into(addr, out).expect("block present");
                 self.resident.remove(&addr);
-                Some(block.data)
+                true
             }
             AccessOp::Append => unreachable!("handled above"),
         };
 
-        self.evict_path(leaf, &path);
+        self.evict_path(leaf);
         self.stats.path_accesses += 1;
         self.stats.max_stash_occupancy = self.stats.max_stash_occupancy.max(self.stash.len());
         self.stash.check_overflow()?;
-        Ok(result)
+        Ok(has_data)
     }
 }
 
@@ -378,6 +627,28 @@ mod tests {
         b.access(AccessOp::Append, 7, 0, 12, Some(&out)).unwrap();
         let again = b.access(AccessOp::Read, 7, 12, 3, None).unwrap().unwrap();
         assert_eq!(again, data);
+    }
+
+    #[test]
+    fn readrmv_of_unwritten_block_ignores_new_leaf() {
+        // ReadRmv's contract says `new_leaf` is ignored; an out-of-range
+        // value must neither error nor corrupt state (the old code silently
+        // clamped it instead).
+        let mut b = backend(256, 32);
+        let leaves = b.params().num_leaves();
+        let out = b
+            .access(AccessOp::ReadRmv, 42, 3, leaves + 1000, None)
+            .unwrap()
+            .unwrap();
+        assert_eq!(out, vec![0u8; 32]);
+        assert!(!b.is_resident(42));
+        // The backend remains fully functional afterwards.
+        b.access(AccessOp::Write, 1, 0, 2, Some(&[8u8; 32]))
+            .unwrap();
+        assert_eq!(
+            b.access(AccessOp::Read, 1, 2, 0, None).unwrap().unwrap(),
+            vec![8u8; 32]
+        );
     }
 
     #[test]
@@ -477,6 +748,12 @@ mod tests {
         // Every access moved exactly one path in each direction.
         assert_eq!(b.stats().bytes_read, 4000 * b.params().path_bytes());
         assert_eq!(b.stats().bytes_written, b.stats().bytes_read);
+        // Every initialised bucket on every path went through the cipher.
+        assert!(b.stats().buckets_decrypted > 0);
+        assert_eq!(
+            b.stats().buckets_encrypted,
+            4000 * u64::from(b.params().levels())
+        );
     }
 
     #[test]
@@ -503,6 +780,37 @@ mod tests {
     }
 
     #[test]
+    fn tampered_leaf_field_is_rejected_not_panicking() {
+        // Regression test: a corrupted slot leaf used to drive
+        // `deepest_common_level` into a u32 underflow and an out-of-bounds
+        // classifier index.  Plaintext mode makes the corruption byte-exact.
+        let mut b = PathOramBackend::new(
+            OramParams::new(256, 32, 4),
+            EncryptionMode::None,
+            [0u8; 16],
+            0,
+        )
+        .unwrap();
+        b.access(AccessOp::Write, 1, 0, 1, Some(&[3u8; 32]))
+            .unwrap();
+        // Flip the high byte of slot 0's leaf field in every initialised
+        // bucket (offset 20 = 8B header + valid + 8B addr + 3).
+        for idx in 0..b.storage().num_buckets() as u64 {
+            if b.storage().is_initialized(idx) {
+                b.storage_mut().tamper_xor(idx, 20, 0xFF);
+            }
+        }
+        for leaf in 0..b.params().num_leaves() {
+            match b.access(AccessOp::Read, 1, leaf, 0, None) {
+                Ok(_)
+                | Err(OramError::MalformedBucket { .. })
+                | Err(OramError::BlockNotFound { .. }) => {}
+                other => panic!("unexpected result {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn stats_track_appends_separately() {
         let mut b = backend(256, 32);
         b.access(AccessOp::Append, 1, 0, 1, Some(&[0u8; 32]))
@@ -510,5 +818,38 @@ mod tests {
         assert_eq!(b.stats().appends, 1);
         assert_eq!(b.stats().path_accesses, 0);
         assert_eq!(b.stats().bytes_read, 0);
+        assert_eq!(b.stats().buckets_encrypted, 0);
+    }
+
+    #[test]
+    fn identical_histories_produce_identical_stats_and_storage() {
+        // The indexed eviction is deterministic (unlike the previous
+        // hash-map-ordered take), so two backends fed the same operations
+        // agree byte-for-byte on stats and on every initialised bucket.
+        let run = || {
+            let mut b = backend(512, 16);
+            let mut rng = StdRng::seed_from_u64(7);
+            let leaves = b.params().num_leaves();
+            let mut posmap: Vec<u64> = (0..512).map(|_| rng.gen_range(0..leaves)).collect();
+            for _ in 0..1000 {
+                let addr = rng.gen_range(0..512u64);
+                let new_leaf = rng.gen_range(0..leaves);
+                let old_leaf = posmap[addr as usize];
+                posmap[addr as usize] = new_leaf;
+                b.access(AccessOp::Write, addr, old_leaf, new_leaf, Some(&[1u8; 16]))
+                    .unwrap();
+            }
+            b
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.stats(), b.stats());
+        for idx in 0..a.storage().num_buckets() as u64 {
+            assert_eq!(
+                a.storage().read_bucket(idx),
+                b.storage().read_bucket(idx),
+                "bucket {idx}"
+            );
+        }
     }
 }

@@ -69,14 +69,16 @@ impl OramBackend for InsecureBackend {
         &self.params
     }
 
-    fn access(
+    fn access_into(
         &mut self,
         op: AccessOp,
         addr: BlockId,
         _leaf: Leaf,
         _new_leaf: Leaf,
         data: Option<&[u8]>,
-    ) -> Result<Option<BlockData>, OramError> {
+        out: &mut Vec<u8>,
+    ) -> Result<bool, OramError> {
+        out.clear();
         if let Some(d) = data {
             if d.len() != self.params.block_bytes {
                 return Err(OramError::BlockSizeMismatch {
@@ -86,32 +88,31 @@ impl OramBackend for InsecureBackend {
             }
         }
         let block_bytes = self.params.block_bytes as u64;
-        let result = match op {
+        let has_data = match op {
             AccessOp::Read => {
                 self.stats.path_accesses += 1;
                 self.stats.bytes_read += block_bytes;
-                Some(
-                    self.blocks
-                        .get(&addr)
-                        .cloned()
-                        .unwrap_or_else(|| vec![0u8; self.params.block_bytes]),
-                )
+                match self.blocks.get(&addr) {
+                    Some(payload) => out.extend_from_slice(payload),
+                    None => out.resize(self.params.block_bytes, 0),
+                }
+                true
             }
             AccessOp::Write => {
                 let payload = data.ok_or(OramError::MissingWriteData)?.to_vec();
                 self.stats.path_accesses += 1;
                 self.stats.bytes_written += block_bytes;
                 self.blocks.insert(addr, payload);
-                None
+                false
             }
             AccessOp::ReadRmv => {
                 self.stats.path_accesses += 1;
                 self.stats.bytes_read += block_bytes;
-                Some(
-                    self.blocks
-                        .remove(&addr)
-                        .unwrap_or_else(|| vec![0u8; self.params.block_bytes]),
-                )
+                match self.blocks.remove(&addr) {
+                    Some(payload) => out.extend_from_slice(&payload),
+                    None => out.resize(self.params.block_bytes, 0),
+                }
+                true
             }
             AccessOp::Append => {
                 if self.blocks.contains_key(&addr) {
@@ -121,10 +122,10 @@ impl OramBackend for InsecureBackend {
                 self.stats.appends += 1;
                 self.stats.bytes_written += block_bytes;
                 self.blocks.insert(addr, payload);
-                None
+                false
             }
         };
-        Ok(result)
+        Ok(has_data)
     }
 
     fn stats(&self) -> &BackendStats {

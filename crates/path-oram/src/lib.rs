@@ -9,10 +9,14 @@
 //! * [`params::OramParams`] — tree geometry (N, Z, block size, levels) and the
 //!   bucket byte layout padded to DRAM bursts.
 //! * [`tree`] — path/bucket index arithmetic for the binary ORAM tree.
-//! * [`bucket::Bucket`] — Z-slot buckets with dummy blocks and serialisation.
-//! * [`stash::Stash`] — the bounded on-chip stash.
+//! * [`bucket::Bucket`] — Z-slot buckets with dummy blocks and
+//!   serialisation, plus the zero-copy [`bucket::BucketView`] /
+//!   [`bucket::BucketWriter`] codec the hot path uses.
+//! * [`stash::Stash`] — the bounded on-chip stash, a fixed-capacity slab of
+//!   block-sized slots.
 //! * [`storage::TreeStorage`] — untrusted external memory holding encrypted
-//!   buckets, with an explicit tampering API for the active-adversary model.
+//!   buckets in one flat arena, with an explicit tampering API for the
+//!   active-adversary model.
 //! * [`encryption::BucketCipher`] — probabilistic bucket encryption in the
 //!   per-bucket-seed style of [26] or the global-seed style the paper
 //!   introduces to defeat pad-replay attacks (§6.4).

@@ -6,11 +6,14 @@ use serde::{Deserialize, Serialize};
 /// 200 following [26]").  The capacity excludes the path being processed.
 pub const DEFAULT_STASH_CAPACITY: usize = 200;
 
-/// Per-slot metadata bytes in a serialised bucket: 1 valid byte + 4 address
-/// bytes + 4 leaf bytes.  Real hardware packs ~51 bits; a 9-byte encoding
-/// keeps the simulated bucket close to the paper's 320-byte bucket for
-/// Z = 4, 64-byte blocks.
-pub const SLOT_META_BYTES: usize = 9;
+/// Per-slot metadata bytes in a serialised bucket: 1 valid byte + 8 address
+/// bytes + 4 leaf bytes.  The address field is a full `u64` because unified
+/// `i‖a_i` addresses carry the recursion-level tag in bits 56+ and must
+/// round-trip through the tree unchanged; the leaf field is 4 bytes, which
+/// the [`OramParams::MAX_LEAF_LEVEL`] bound makes sufficient.  Real hardware
+/// packs ~51 bits; with bucket padding this encoding still lands on the
+/// paper's 320-byte bucket for Z = 4, 64-byte blocks.
+pub const SLOT_META_BYTES: usize = 13;
 
 /// Per-bucket header bytes: the 8-byte encryption seed stored in the clear.
 pub const BUCKET_HEADER_BYTES: usize = 8;
@@ -46,6 +49,13 @@ pub struct OramParams {
 }
 
 impl OramParams {
+    /// Largest supported leaf level.  Leaf labels are stored in a 4-byte
+    /// field of the serialised slot metadata (see [`SLOT_META_BYTES`]), so
+    /// `L ≤ 32` guarantees every leaf in `[0, 2^L)` fits the on-disk
+    /// encoding.  L = 32 with 64-byte blocks is a 1 TB ORAM, the largest
+    /// capacity the evaluation sweeps (Figure 3's 2^40-byte point).
+    pub const MAX_LEAF_LEVEL: u32 = 32;
+
     /// Creates parameters for `num_blocks` blocks of `block_bytes` bytes with
     /// `z` slots per bucket.
     ///
@@ -55,7 +65,8 @@ impl OramParams {
     ///
     /// # Panics
     ///
-    /// Panics if any argument is zero.
+    /// Panics if any argument is zero, or if the resulting leaf level would
+    /// exceed [`OramParams::MAX_LEAF_LEVEL`].
     pub fn new(num_blocks: u64, block_bytes: usize, z: usize) -> Self {
         assert!(num_blocks > 0, "ORAM must hold at least one block");
         assert!(block_bytes > 0, "blocks must be non-empty");
@@ -65,6 +76,11 @@ impl OramParams {
         while (z as u64) << (leaf_level + 1) < needed_slots {
             leaf_level += 1;
         }
+        assert!(
+            leaf_level <= Self::MAX_LEAF_LEVEL,
+            "leaf level {leaf_level} exceeds the supported maximum {}",
+            Self::MAX_LEAF_LEVEL
+        );
         Self {
             num_blocks,
             block_bytes,
@@ -77,7 +93,16 @@ impl OramParams {
 
     /// Overrides the leaf level (for experiments that fix L explicitly, e.g.
     /// the Phantom comparison with L = 19).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leaf_level` exceeds [`OramParams::MAX_LEAF_LEVEL`].
     pub fn with_leaf_level(mut self, leaf_level: u32) -> Self {
+        assert!(
+            leaf_level <= Self::MAX_LEAF_LEVEL,
+            "leaf level {leaf_level} exceeds the supported maximum {}",
+            Self::MAX_LEAF_LEVEL
+        );
         self.leaf_level = leaf_level;
         self
     }
@@ -119,6 +144,15 @@ impl OramParams {
     pub fn bucket_bytes(&self) -> usize {
         let raw = BUCKET_HEADER_BYTES + self.z * (SLOT_META_BYTES + self.block_bytes);
         raw.div_ceil(self.bucket_align) * self.bucket_align
+    }
+
+    /// Byte offset of the slot-data region within a serialised bucket image
+    /// (header plus all slot metadata); slot `s`'s payload starts at
+    /// `bucket_data_base() + s * block_bytes`.  The single source of truth
+    /// for the layout arithmetic shared by the bucket codec and the
+    /// backend's path scratch.
+    pub fn bucket_data_base(&self) -> usize {
+        BUCKET_HEADER_BYTES + self.z * SLOT_META_BYTES
     }
 
     /// Bytes read (or written) for one path access: `(L+1)` buckets.

@@ -1,39 +1,114 @@
 //! The on-chip stash: a small trusted buffer of blocks awaiting eviction.
+//!
+//! The stash is a fixed-capacity **slab**: one contiguous allocation of
+//! block-sized payload slots plus a parallel metadata array and an
+//! addr → slot index.  Inserting a block copies its payload into a free
+//! slot; removing one just returns the slot to the free list.  After the
+//! slab is built, steady-state operation performs no heap allocation —
+//! the property the backend's zero-allocation hot path rests on.
 
 use crate::error::OramError;
-use crate::types::{BlockData, BlockId, Leaf, OramBlock};
+use crate::types::{BlockId, Leaf, OramBlock};
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A multiplicative (Fibonacci) hasher for `u64` block addresses.
+///
+/// The stash index and the backend's residency set are keyed by block
+/// address and hit several times per bucket on the hot path; SipHash's
+/// flood-resistance buys nothing there (a mis-hashing *program* can only
+/// slow itself down, never break obliviousness — the memory trace stays one
+/// path read and one path write per access) and costs tens of nanoseconds
+/// per operation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BlockIdHasher(u64);
+
+/// `BuildHasher` for [`BlockIdHasher`]-keyed maps.
+pub type BlockIdBuildHasher = BuildHasherDefault<BlockIdHasher>;
+
+impl Hasher for BlockIdHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (FNV-1a); the key types used here go through
+        // `write_u64`.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, x: u64) {
+        let mut h = x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+}
+
+/// Metadata of one slab slot.
+#[derive(Debug, Clone, Copy)]
+struct SlotMeta {
+    addr: BlockId,
+    leaf: Leaf,
+    occupied: bool,
+}
+
+const EMPTY_SLOT: SlotMeta = SlotMeta {
+    addr: 0,
+    leaf: 0,
+    occupied: false,
+};
 
 /// The Path ORAM stash.
 ///
-/// Holds blocks that could not be evicted back to the tree (plus, logically,
-/// the path currently being processed).  The paper assumes a 200-block
-/// capacity (§3.1); exceeding it is a fatal [`OramError::StashOverflow`].
-#[derive(Debug, Clone, Default)]
+/// Holds blocks that could not be evicted back to the tree, plus — while an
+/// access is in flight — the blocks of the path currently being processed.
+/// The paper assumes a 200-block capacity (§3.1); exceeding it *after*
+/// eviction is a fatal [`OramError::StashOverflow`].  The slab is sized
+/// `capacity + transient_slots` so the in-flight path never forces a
+/// reallocation.
+#[derive(Debug, Clone)]
 pub struct Stash {
-    blocks: HashMap<BlockId, (Leaf, BlockData)>,
+    /// Contiguous payload slots, `block_bytes` apart.
+    slab: Vec<u8>,
+    meta: Vec<SlotMeta>,
+    free: Vec<u32>,
+    index: HashMap<BlockId, u32, BlockIdBuildHasher>,
     capacity: usize,
+    block_bytes: usize,
     max_occupancy: usize,
 }
 
 impl Stash {
-    /// Creates a stash with the given capacity (in blocks).
-    pub fn new(capacity: usize) -> Self {
+    /// Creates a stash with the given steady-state `capacity` (in blocks)
+    /// for `block_bytes`-byte payloads, with `transient_slots` extra slots
+    /// of headroom for the path being processed (typically `(L + 1) · Z + 1`).
+    pub fn new(capacity: usize, block_bytes: usize, transient_slots: usize) -> Self {
+        let slots = capacity + transient_slots;
         Self {
-            blocks: HashMap::new(),
+            slab: vec![0u8; slots * block_bytes],
+            meta: vec![EMPTY_SLOT; slots],
+            // Hand out low slot indices first (pop from the back).
+            free: (0..slots as u32).rev().collect(),
+            index: HashMap::with_capacity_and_hasher(slots, BlockIdBuildHasher::default()),
             capacity,
+            block_bytes,
             max_occupancy: 0,
         }
     }
 
     /// Number of blocks currently held.
     pub fn len(&self) -> usize {
-        self.blocks.len()
+        self.index.len()
     }
 
     /// Whether the stash is empty.
     pub fn is_empty(&self) -> bool {
-        self.blocks.is_empty()
+        self.index.is_empty()
     }
 
     /// High-water mark of occupancy observed so far.
@@ -41,36 +116,102 @@ impl Stash {
         self.max_occupancy
     }
 
-    /// Configured capacity.
+    /// Configured steady-state capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
     }
 
-    /// Inserts or replaces a block.
+    /// Total slots in the slab (capacity plus transient headroom);
+    /// diagnostics for the capacity-stability tests.
+    pub fn slot_capacity(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Payload bytes per slot.
+    pub fn block_bytes(&self) -> usize {
+        self.block_bytes
+    }
+
+    #[inline]
+    fn payload(&self, slot: u32) -> &[u8] {
+        let start = slot as usize * self.block_bytes;
+        &self.slab[start..start + self.block_bytes]
+    }
+
+    #[inline]
+    fn payload_mut(&mut self, slot: u32) -> &mut [u8] {
+        let start = slot as usize * self.block_bytes;
+        &mut self.slab[start..start + self.block_bytes]
+    }
+
+    /// Claims a slot for `addr`/`leaf`, reusing the existing slot when the
+    /// address is already present (replace semantics).  Growing only happens
+    /// if the transient headroom was undersized — never in steady state.
+    fn claim_slot(&mut self, addr: BlockId, leaf: Leaf) -> u32 {
+        if let Some(&slot) = self.index.get(&addr) {
+            self.meta[slot as usize].leaf = leaf;
+            return slot;
+        }
+        let slot = self.free.pop().unwrap_or_else(|| {
+            let slot = self.meta.len() as u32;
+            self.meta.push(EMPTY_SLOT);
+            self.slab.resize(self.slab.len() + self.block_bytes, 0);
+            slot
+        });
+        self.meta[slot as usize] = SlotMeta {
+            addr,
+            leaf,
+            occupied: true,
+        };
+        self.index.insert(addr, slot);
+        self.max_occupancy = self.max_occupancy.max(self.index.len());
+        slot
+    }
+
+    /// Inserts or replaces a block, copying `data` into the slab.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly `block_bytes` long.
+    pub fn insert_from_parts(&mut self, addr: BlockId, leaf: Leaf, data: &[u8]) {
+        assert_eq!(data.len(), self.block_bytes, "block size mismatch");
+        let slot = self.claim_slot(addr, leaf);
+        self.payload_mut(slot).copy_from_slice(data);
+    }
+
+    /// Inserts or replaces a block with an all-zero payload (the implicit
+    /// zero-initialisation of never-written blocks).
+    pub fn insert_zeroed(&mut self, addr: BlockId, leaf: Leaf) {
+        let slot = self.claim_slot(addr, leaf);
+        self.payload_mut(slot).fill(0);
+    }
+
+    /// Inserts or replaces a block (owned-payload convenience).
     pub fn insert(&mut self, block: OramBlock) {
-        self.blocks.insert(block.addr, (block.leaf, block.data));
-        self.max_occupancy = self.max_occupancy.max(self.blocks.len());
+        self.insert_from_parts(block.addr, block.leaf, &block.data);
     }
 
     /// Whether the stash currently holds `addr`.
     pub fn contains(&self, addr: BlockId) -> bool {
-        self.blocks.contains_key(&addr)
+        self.index.contains_key(&addr)
     }
 
-    /// Returns a copy of the block's data, if present.
-    pub fn data_of(&self, addr: BlockId) -> Option<BlockData> {
-        self.blocks.get(&addr).map(|(_, d)| d.clone())
+    /// Borrowed view of the block's payload, if present.
+    pub fn data_of(&self, addr: BlockId) -> Option<&[u8]> {
+        self.index.get(&addr).map(|&slot| self.payload(slot))
     }
 
     /// Returns the leaf the block is currently mapped to, if present.
     pub fn leaf_of(&self, addr: BlockId) -> Option<Leaf> {
-        self.blocks.get(&addr).map(|(l, _)| *l)
+        self.index
+            .get(&addr)
+            .map(|&slot| self.meta[slot as usize].leaf)
     }
 
     /// Updates the leaf of a resident block; returns `false` if absent.
     pub fn remap(&mut self, addr: BlockId, new_leaf: Leaf) -> bool {
-        if let Some(entry) = self.blocks.get_mut(&addr) {
-            entry.0 = new_leaf;
+        if let Some(&slot) = self.index.get(&addr) {
+            self.meta[slot as usize].leaf = new_leaf;
             true
         } else {
             false
@@ -78,48 +219,84 @@ impl Stash {
     }
 
     /// Replaces the data of a resident block; returns `false` if absent.
-    pub fn update_data(&mut self, addr: BlockId, data: BlockData) -> bool {
-        if let Some(entry) = self.blocks.get_mut(&addr) {
-            entry.1 = data;
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly `block_bytes` long.
+    pub fn update_data(&mut self, addr: BlockId, data: &[u8]) -> bool {
+        assert_eq!(data.len(), self.block_bytes, "block size mismatch");
+        if let Some(&slot) = self.index.get(&addr) {
+            self.payload_mut(slot).copy_from_slice(data);
             true
         } else {
             false
         }
     }
 
-    /// Removes and returns a block.
-    pub fn remove(&mut self, addr: BlockId) -> Option<OramBlock> {
-        self.blocks
-            .remove(&addr)
-            .map(|(leaf, data)| OramBlock { addr, leaf, data })
+    /// Removes a block, copying its payload into `out` (cleared first).
+    /// Returns the leaf it was mapped to, or `None` if absent.  This is the
+    /// allocation-free removal path: `out`'s capacity is reused across calls.
+    pub fn remove_into(&mut self, addr: BlockId, out: &mut Vec<u8>) -> Option<Leaf> {
+        let slot = self.index.remove(&addr)?;
+        out.clear();
+        out.extend_from_slice(self.payload(slot));
+        let leaf = self.meta[slot as usize].leaf;
+        self.meta[slot as usize] = EMPTY_SLOT;
+        self.free.push(slot);
+        Some(leaf)
     }
 
-    /// Collects up to `max` blocks satisfying `predicate` (on `(addr, leaf)`),
-    /// removing them from the stash.  Used by the eviction logic to fill a
-    /// bucket with blocks that may legally reside there.
-    pub fn take_matching<F>(&mut self, max: usize, mut predicate: F) -> Vec<OramBlock>
-    where
-        F: FnMut(BlockId, Leaf) -> bool,
-    {
-        let selected: Vec<BlockId> = self
-            .blocks
+    /// Removes and returns a block (owned-payload convenience).
+    pub fn remove(&mut self, addr: BlockId) -> Option<OramBlock> {
+        let mut data = Vec::new();
+        let leaf = self.remove_into(addr, &mut data)?;
+        Some(OramBlock { addr, leaf, data })
+    }
+
+    // ------------------------------------------------------------------
+    // Slot-level access for the eviction classifier.
+    // ------------------------------------------------------------------
+
+    /// Iterates over the occupied slots as `(slot, addr, leaf)`, in slab
+    /// order (deterministic for a deterministic operation history, unlike a
+    /// hash-map walk).
+    pub fn occupied_slots(&self) -> impl Iterator<Item = (u32, BlockId, Leaf)> + '_ {
+        self.meta
             .iter()
-            .filter(|(addr, (leaf, _))| predicate(**addr, *leaf))
-            .map(|(addr, _)| *addr)
-            .take(max)
-            .collect();
-        selected
-            .into_iter()
-            .map(|addr| self.remove(addr).expect("selected block present"))
-            .collect()
+            .enumerate()
+            .filter_map(|(slot, meta)| meta.occupied.then_some((slot as u32, meta.addr, meta.leaf)))
+    }
+
+    /// The payload of an occupied slot (eviction serialises from here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not occupied.
+    pub fn slot_payload(&self, slot: u32) -> (BlockId, Leaf, &[u8]) {
+        let meta = self.meta[slot as usize];
+        assert!(meta.occupied, "slot {slot} is vacant");
+        (meta.addr, meta.leaf, self.payload(slot))
+    }
+
+    /// Releases an occupied slot after its block was evicted into the tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is not occupied.
+    pub fn release_slot(&mut self, slot: u32) {
+        let meta = self.meta[slot as usize];
+        assert!(meta.occupied, "slot {slot} is vacant");
+        self.index.remove(&meta.addr);
+        self.meta[slot as usize] = EMPTY_SLOT;
+        self.free.push(slot);
     }
 
     /// Checks the occupancy against the capacity, returning an error if it is
     /// exceeded.  Called by the backend after each eviction pass.
     pub fn check_overflow(&self) -> Result<(), OramError> {
-        if self.blocks.len() > self.capacity {
+        if self.index.len() > self.capacity {
             Err(OramError::StashOverflow {
-                occupancy: self.blocks.len(),
+                occupancy: self.index.len(),
                 capacity: self.capacity,
             })
         } else {
@@ -130,13 +307,17 @@ impl Stash {
     /// Iterates over resident blocks as `(addr, leaf)` pairs (test/diagnostic
     /// use).
     pub fn iter_addrs(&self) -> impl Iterator<Item = (BlockId, Leaf)> + '_ {
-        self.blocks.iter().map(|(a, (l, _))| (*a, *l))
+        self.occupied_slots().map(|(_, addr, leaf)| (addr, leaf))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn stash(capacity: usize) -> Stash {
+        Stash::new(capacity, 4, 8)
+    }
 
     fn blk(addr: u64, leaf: u64) -> OramBlock {
         OramBlock {
@@ -148,11 +329,11 @@ mod tests {
 
     #[test]
     fn insert_query_remove_roundtrip() {
-        let mut stash = Stash::new(10);
+        let mut stash = stash(10);
         stash.insert(blk(5, 3));
         assert!(stash.contains(5));
         assert_eq!(stash.leaf_of(5), Some(3));
-        assert_eq!(stash.data_of(5), Some(vec![5u8; 4]));
+        assert_eq!(stash.data_of(5), Some(&[5u8; 4][..]));
         let removed = stash.remove(5).unwrap();
         assert_eq!(removed.leaf, 3);
         assert!(!stash.contains(5));
@@ -161,31 +342,73 @@ mod tests {
 
     #[test]
     fn remap_and_update_data() {
-        let mut stash = Stash::new(10);
+        let mut stash = stash(10);
         stash.insert(blk(1, 0));
         assert!(stash.remap(1, 9));
         assert_eq!(stash.leaf_of(1), Some(9));
-        assert!(stash.update_data(1, vec![7, 7, 7, 7]));
-        assert_eq!(stash.data_of(1), Some(vec![7, 7, 7, 7]));
+        assert!(stash.update_data(1, &[7, 7, 7, 7]));
+        assert_eq!(stash.data_of(1), Some(&[7u8, 7, 7, 7][..]));
         assert!(!stash.remap(2, 0));
-        assert!(!stash.update_data(2, vec![]));
+        assert!(!stash.update_data(2, &[0u8; 4]));
     }
 
     #[test]
-    fn take_matching_respects_limit_and_predicate() {
-        let mut stash = Stash::new(100);
-        for i in 0..10 {
-            stash.insert(blk(i, i % 2));
+    fn remove_into_reuses_the_output_buffer() {
+        let mut stash = stash(10);
+        stash.insert(blk(3, 2));
+        let mut out = Vec::new();
+        assert_eq!(stash.remove_into(3, &mut out), Some(2));
+        assert_eq!(out, vec![3u8; 4]);
+        let cap = out.capacity();
+        stash.insert(blk(4, 1));
+        assert_eq!(stash.remove_into(4, &mut out), Some(1));
+        assert_eq!(out, vec![4u8; 4]);
+        assert_eq!(out.capacity(), cap, "no reallocation on reuse");
+        assert_eq!(stash.remove_into(99, &mut out), None);
+    }
+
+    #[test]
+    fn slab_capacity_is_stable_within_headroom() {
+        let mut stash = stash(4);
+        let slots = stash.slot_capacity();
+        for round in 0..50u64 {
+            for i in 0..8 {
+                stash.insert(blk(round * 8 + i, i));
+            }
+            for i in 0..8 {
+                stash.remove(round * 8 + i).unwrap();
+            }
         }
-        let taken = stash.take_matching(3, |_, leaf| leaf == 0);
-        assert_eq!(taken.len(), 3);
-        assert!(taken.iter().all(|b| b.leaf == 0));
-        assert_eq!(stash.len(), 7);
+        assert_eq!(stash.slot_capacity(), slots, "slab never grew");
+    }
+
+    #[test]
+    fn occupied_slots_walks_in_slab_order() {
+        let mut stash = stash(10);
+        for addr in [9u64, 1, 5] {
+            stash.insert(blk(addr, addr));
+        }
+        // Slots are handed out low-first, so slab order is insertion order.
+        let addrs: Vec<u64> = stash.occupied_slots().map(|(_, a, _)| a).collect();
+        assert_eq!(addrs, vec![9, 1, 5]);
+        let (addr, leaf, data) = stash.slot_payload(0);
+        assert_eq!((addr, leaf), (9, 9));
+        assert_eq!(data, &[9u8; 4]);
+    }
+
+    #[test]
+    fn release_slot_frees_the_address() {
+        let mut stash = stash(10);
+        stash.insert(blk(7, 1));
+        let slot = stash.occupied_slots().next().unwrap().0;
+        stash.release_slot(slot);
+        assert!(!stash.contains(7));
+        assert!(stash.is_empty());
     }
 
     #[test]
     fn overflow_detection_and_high_water_mark() {
-        let mut stash = Stash::new(2);
+        let mut stash = stash(2);
         stash.insert(blk(1, 0));
         stash.insert(blk(2, 0));
         assert!(stash.check_overflow().is_ok());
@@ -202,7 +425,7 @@ mod tests {
 
     #[test]
     fn reinserting_same_address_replaces_not_duplicates() {
-        let mut stash = Stash::new(10);
+        let mut stash = stash(10);
         stash.insert(blk(1, 0));
         stash.insert(blk(1, 5));
         assert_eq!(stash.len(), 1);

@@ -15,6 +15,13 @@ pub struct BackendStats {
     pub bytes_written: u64,
     /// Real blocks encountered while reading paths.
     pub real_blocks_fetched: u64,
+    /// Buckets run through the cipher when reading paths (zero when the
+    /// encryption mode is `None`).  Together with `buckets_encrypted` this
+    /// makes the crypto work per access visible in benches and figures.
+    pub buckets_decrypted: u64,
+    /// Buckets run through the cipher when writing paths back (zero when
+    /// the encryption mode is `None`).
+    pub buckets_encrypted: u64,
     /// Real blocks evicted back into the tree.
     pub blocks_evicted: u64,
     /// Dummy blocks written during evictions.
@@ -37,6 +44,22 @@ impl BackendStats {
         } else {
             Some(self.total_bytes() as f64 / self.path_accesses as f64)
         }
+    }
+
+    /// Accumulates another backend's counters into this one (used by
+    /// frontends that own several backends, e.g. the recursive baseline's
+    /// one-tree-per-level layout).
+    pub fn accumulate(&mut self, other: &BackendStats) {
+        self.path_accesses += other.path_accesses;
+        self.appends += other.appends;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.real_blocks_fetched += other.real_blocks_fetched;
+        self.buckets_decrypted += other.buckets_decrypted;
+        self.buckets_encrypted += other.buckets_encrypted;
+        self.blocks_evicted += other.blocks_evicted;
+        self.dummies_written += other.dummies_written;
+        self.max_stash_occupancy = self.max_stash_occupancy.max(other.max_stash_occupancy);
     }
 }
 

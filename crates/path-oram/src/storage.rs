@@ -7,31 +7,49 @@
 
 use crate::params::OramParams;
 
-/// Untrusted memory: a flat array of encrypted bucket images.
+/// Untrusted memory: one flat, contiguous arena of encrypted bucket images.
 ///
 /// In a real system this is DRAM; the controller only ever exchanges
-/// ciphertext with it.  All adversarial capabilities (observe, corrupt,
-/// replay) are available through this type.
+/// ciphertext with it.  Bucket `i` occupies the byte range
+/// `[i * bucket_bytes, (i + 1) * bucket_bytes)` of the arena, so a path read
+/// is `L + 1` slice views into one allocation instead of `L + 1`
+/// pointer-chases through per-bucket heap objects.  A bitmap tracks which
+/// buckets have ever been written; never-written buckets read as zero bytes
+/// and are skipped by the backend.
+///
+/// The arena is allocated zeroed in one shot.  On the platforms we target the
+/// allocator services large zeroed requests with untouched copy-on-write
+/// pages, so a mostly-empty tree (e.g. a 4 GB-geometry ORAM in a short test)
+/// costs physical memory only for the buckets actually written.
+///
+/// All adversarial capabilities (observe, corrupt, replay) are available
+/// through this type.
 #[derive(Debug, Clone)]
 pub struct TreeStorage {
-    buckets: Vec<Vec<u8>>,
+    arena: Vec<u8>,
+    /// One bit per bucket: has this bucket ever been written?
+    initialized: Vec<u64>,
     bucket_bytes: usize,
+    num_buckets: usize,
 }
 
 impl TreeStorage {
-    /// Allocates storage for every bucket of the tree described by `params`,
-    /// initialised with `initial` (typically an encrypted empty bucket per
-    /// index, written by the backend during initialisation).
+    /// Allocates storage for every bucket of the tree described by `params`.
+    /// All buckets start uninitialised (and all-zero).
     pub fn new(params: &OramParams) -> Self {
+        let num_buckets = params.num_buckets() as usize;
+        let bucket_bytes = params.bucket_bytes();
         Self {
-            buckets: vec![Vec::new(); params.num_buckets() as usize],
-            bucket_bytes: params.bucket_bytes(),
+            arena: vec![0u8; num_buckets * bucket_bytes],
+            initialized: vec![0u64; num_buckets.div_ceil(64)],
+            bucket_bytes,
+            num_buckets,
         }
     }
 
     /// Number of buckets.
     pub fn num_buckets(&self) -> usize {
-        self.buckets.len()
+        self.num_buckets
     }
 
     /// Serialised bucket size in bytes.
@@ -39,34 +57,64 @@ impl TreeStorage {
         self.bucket_bytes
     }
 
-    /// Reads the raw (encrypted) image of a bucket.  Returns an empty slice
-    /// for a bucket that has never been written.
-    pub fn read_bucket(&self, index: u64) -> &[u8] {
-        &self.buckets[index as usize]
+    #[inline]
+    fn range(&self, index: u64) -> std::ops::Range<usize> {
+        let start = index as usize * self.bucket_bytes;
+        start..start + self.bucket_bytes
     }
 
-    /// Writes the raw (encrypted) image of a bucket.
+    /// Reads the raw (encrypted) image of a bucket: a `bucket_bytes`-long
+    /// view into the arena.  A bucket that has never been written reads as
+    /// all zero bytes; check [`TreeStorage::is_initialized`] to distinguish.
+    #[inline]
+    pub fn read_bucket(&self, index: u64) -> &[u8] {
+        &self.arena[self.range(index)]
+    }
+
+    /// Mutable view of a bucket's arena slot, marking the bucket
+    /// initialised.  This is the zero-copy write path: the backend
+    /// serialises and seals the eviction output directly into the slot.
+    #[inline]
+    pub fn bucket_slot_mut(&mut self, index: u64) -> &mut [u8] {
+        self.mark_initialized(index);
+        let range = self.range(index);
+        &mut self.arena[range]
+    }
+
+    /// Writes the raw (encrypted) image of a bucket by copying `image` into
+    /// its arena slot.
     ///
     /// # Panics
     ///
     /// Panics if the image length differs from the configured bucket size.
-    pub fn write_bucket(&mut self, index: u64, image: Vec<u8>) {
+    pub fn write_bucket(&mut self, index: u64, image: &[u8]) {
         assert_eq!(
             image.len(),
             self.bucket_bytes,
             "bucket image must be exactly bucket_bytes long"
         );
-        self.buckets[index as usize] = image;
+        self.bucket_slot_mut(index).copy_from_slice(image);
+    }
+
+    fn mark_initialized(&mut self, index: u64) {
+        self.initialized[index as usize / 64] |= 1u64 << (index % 64);
     }
 
     /// Whether a bucket has ever been written.
+    #[inline]
     pub fn is_initialized(&self, index: u64) -> bool {
-        !self.buckets[index as usize].is_empty()
+        self.initialized[index as usize / 64] >> (index % 64) & 1 == 1
     }
 
-    /// Total bytes currently resident (diagnostics).
+    /// Total bytes currently resident (diagnostics): initialised buckets
+    /// times the bucket size.
     pub fn resident_bytes(&self) -> u64 {
-        self.buckets.iter().map(|b| b.len() as u64).sum()
+        let buckets: u64 = self
+            .initialized
+            .iter()
+            .map(|word| u64::from(word.count_ones()))
+            .sum();
+        buckets * self.bucket_bytes as u64
     }
 
     // ------------------------------------------------------------------
@@ -78,44 +126,59 @@ impl TreeStorage {
     /// Returns `false` (and does nothing) if the bucket is uninitialised or
     /// the offset is out of range.
     pub fn tamper_xor(&mut self, index: u64, offset: usize, mask: u8) -> bool {
-        if let Some(bucket) = self.buckets.get_mut(index as usize) {
-            if let Some(byte) = bucket.get_mut(offset) {
-                *byte ^= mask;
-                return true;
-            }
+        if index as usize >= self.num_buckets
+            || offset >= self.bucket_bytes
+            || !self.is_initialized(index)
+        {
+            return false;
         }
-        false
+        let start = self.range(index).start;
+        self.arena[start + offset] ^= mask;
+        true
     }
 
-    /// Takes a snapshot of a bucket's current ciphertext (for replay attacks).
+    /// Takes a snapshot of a bucket's current ciphertext (for replay
+    /// attacks).  An uninitialised bucket snapshots as an empty vector,
+    /// mirroring how the adversary sees "never written".
     pub fn snapshot_bucket(&self, index: u64) -> Vec<u8> {
-        self.buckets[index as usize].clone()
+        if self.is_initialized(index) {
+            self.read_bucket(index).to_vec()
+        } else {
+            Vec::new()
+        }
     }
 
-    /// Replays a previously snapshotted ciphertext into a bucket.
+    /// Replays a previously snapshotted ciphertext into a bucket.  An empty
+    /// snapshot restores the bucket to its uninitialised (all-zero) state.
     ///
     /// # Panics
     ///
-    /// Panics if the snapshot length does not match the bucket size (a
-    /// zero-length snapshot of an uninitialised bucket is allowed).
-    pub fn replay_bucket(&mut self, index: u64, snapshot: Vec<u8>) {
+    /// Panics if the snapshot length is neither zero nor a full bucket image.
+    pub fn replay_bucket(&mut self, index: u64, snapshot: &[u8]) {
         assert!(
             snapshot.is_empty() || snapshot.len() == self.bucket_bytes,
             "snapshot must be a full bucket image"
         );
-        self.buckets[index as usize] = snapshot;
+        if snapshot.is_empty() {
+            let range = self.range(index);
+            self.arena[range].fill(0);
+            self.initialized[index as usize / 64] &= !(1u64 << (index % 64));
+        } else {
+            self.write_bucket(index, snapshot);
+        }
     }
 
     /// Rolls back the plaintext seed field in a bucket header by `delta`
     /// (the seed is stored in the clear, §6.4).  Returns `false` if the
     /// bucket is uninitialised.
     pub fn rollback_seed(&mut self, index: u64, delta: u64) -> bool {
-        let bucket = &mut self.buckets[index as usize];
-        if bucket.len() < 8 {
+        if !self.is_initialized(index) {
             return false;
         }
-        let seed = u64::from_le_bytes(bucket[..8].try_into().expect("8-byte header"));
-        bucket[..8].copy_from_slice(&seed.wrapping_sub(delta).to_le_bytes());
+        let start = self.range(index).start;
+        let header = &mut self.arena[start..start + 8];
+        let seed = u64::from_le_bytes(header.try_into().expect("8-byte header"));
+        header.copy_from_slice(&seed.wrapping_sub(delta).to_le_bytes());
         true
     }
 }
@@ -129,11 +192,12 @@ mod tests {
     }
 
     #[test]
-    fn starts_uninitialized() {
+    fn starts_uninitialized_and_zeroed() {
         let s = storage();
         assert!(s.num_buckets() > 0);
         assert!(!s.is_initialized(0));
-        assert!(s.read_bucket(0).is_empty());
+        assert!(s.read_bucket(0).iter().all(|&b| b == 0));
+        assert_eq!(s.read_bucket(0).len(), s.bucket_bytes());
         assert_eq!(s.resident_bytes(), 0);
     }
 
@@ -141,22 +205,51 @@ mod tests {
     fn write_then_read_roundtrip() {
         let mut s = storage();
         let image = vec![0xCD; s.bucket_bytes()];
-        s.write_bucket(3, image.clone());
+        s.write_bucket(3, &image);
         assert!(s.is_initialized(3));
+        assert!(!s.is_initialized(2));
+        assert!(!s.is_initialized(4));
         assert_eq!(s.read_bucket(3), &image[..]);
+        assert_eq!(s.resident_bytes(), s.bucket_bytes() as u64);
+    }
+
+    #[test]
+    fn buckets_are_contiguous_at_bucket_bytes_stride() {
+        let mut s = storage();
+        for idx in 0..s.num_buckets() as u64 {
+            let image = vec![idx as u8 + 1; s.bucket_bytes()];
+            s.write_bucket(idx, &image);
+        }
+        // Adjacent buckets sit back to back in the arena: writing one never
+        // disturbs its neighbours.
+        for idx in 0..s.num_buckets() as u64 {
+            assert!(s.read_bucket(idx).iter().all(|&b| b == idx as u8 + 1));
+        }
+        assert_eq!(
+            s.resident_bytes(),
+            (s.num_buckets() * s.bucket_bytes()) as u64
+        );
+    }
+
+    #[test]
+    fn bucket_slot_mut_marks_initialized() {
+        let mut s = storage();
+        s.bucket_slot_mut(5)[0] = 0xAB;
+        assert!(s.is_initialized(5));
+        assert_eq!(s.read_bucket(5)[0], 0xAB);
     }
 
     #[test]
     #[should_panic(expected = "bucket_bytes")]
     fn rejects_wrong_size_image() {
         let mut s = storage();
-        s.write_bucket(0, vec![0u8; 3]);
+        s.write_bucket(0, &[0u8; 3]);
     }
 
     #[test]
     fn tamper_flips_exactly_the_requested_bits() {
         let mut s = storage();
-        s.write_bucket(0, vec![0u8; s.bucket_bytes()]);
+        s.write_bucket(0, &vec![0u8; s.bucket_bytes()]);
         assert!(s.tamper_xor(0, 10, 0xFF));
         assert_eq!(s.read_bucket(0)[10], 0xFF);
         assert_eq!(s.read_bucket(0)[9], 0x00);
@@ -170,11 +263,22 @@ mod tests {
         let mut s = storage();
         let old = vec![1u8; s.bucket_bytes()];
         let new = vec![2u8; s.bucket_bytes()];
-        s.write_bucket(5, old.clone());
+        s.write_bucket(5, &old);
         let snap = s.snapshot_bucket(5);
-        s.write_bucket(5, new);
-        s.replay_bucket(5, snap);
+        s.write_bucket(5, &new);
+        s.replay_bucket(5, &snap);
         assert_eq!(s.read_bucket(5), &old[..]);
+    }
+
+    #[test]
+    fn replaying_an_empty_snapshot_uninitialises_the_bucket() {
+        let mut s = storage();
+        let snap = s.snapshot_bucket(7);
+        assert!(snap.is_empty());
+        s.write_bucket(7, &vec![9u8; s.bucket_bytes()]);
+        s.replay_bucket(7, &snap);
+        assert!(!s.is_initialized(7));
+        assert!(s.read_bucket(7).iter().all(|&b| b == 0));
     }
 
     #[test]
@@ -182,7 +286,7 @@ mod tests {
         let mut s = storage();
         let mut image = vec![0u8; s.bucket_bytes()];
         image[..8].copy_from_slice(&100u64.to_le_bytes());
-        s.write_bucket(2, image);
+        s.write_bucket(2, &image);
         assert!(s.rollback_seed(2, 1));
         assert_eq!(
             u64::from_le_bytes(s.read_bucket(2)[..8].try_into().unwrap()),

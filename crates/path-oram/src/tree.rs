@@ -30,9 +30,19 @@ pub fn path_index_at_level(leaf: Leaf, level: u32, leaf_level: u32) -> u64 {
 /// Linear indices of every bucket on the path from the root to `leaf`, root
 /// first.
 pub fn path_linear_indices(leaf: Leaf, leaf_level: u32) -> Vec<u64> {
-    (0..=leaf_level)
-        .map(|level| bucket_linear_index(level, path_index_at_level(leaf, level, leaf_level)))
-        .collect()
+    let mut out = Vec::with_capacity(leaf_level as usize + 1);
+    path_linear_indices_into(leaf, leaf_level, &mut out);
+    out
+}
+
+/// Allocation-free variant of [`path_linear_indices`]: clears `out` and
+/// fills it with the path, reusing its capacity.
+pub fn path_linear_indices_into(leaf: Leaf, leaf_level: u32, out: &mut Vec<u64>) {
+    out.clear();
+    out.extend(
+        (0..=leaf_level)
+            .map(|level| bucket_linear_index(level, path_index_at_level(leaf, level, leaf_level))),
+    );
 }
 
 /// Whether a block currently mapped to `block_leaf` may legally reside in the

@@ -1,0 +1,148 @@
+//! Allocator-level proof that `PathOramBackend::access_into` is
+//! allocation-free in steady state.
+//!
+//! A counting global allocator wraps the system allocator; after a warm-up
+//! that touches every block (so the residency set, stash slab, classifier
+//! lists and scratch buffers have all reached their working capacities),
+//! two thousand further accesses must perform **zero** heap allocations.
+//!
+//! This file deliberately contains a single test: the counter is global, so
+//! a concurrently running test in the same binary would pollute it.
+
+use path_oram::{AccessOp, EncryptionMode, OramBackend, OramParams, PathOramBackend};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+#[test]
+fn steady_state_access_performs_zero_heap_allocations() {
+    const N: u64 = 1 << 10;
+    const BLOCK: usize = 64;
+    let params = OramParams::new(N, BLOCK, 4);
+    // GlobalSeed: the proof covers the *encrypted* hot path, not just the
+    // plaintext fast path.
+    let mut backend =
+        PathOramBackend::new(params, EncryptionMode::GlobalSeed, [3u8; 16], 0).unwrap();
+    let leaves = params.num_leaves();
+
+    let mut rng = StdRng::seed_from_u64(0x2E20_A110C);
+    let mut posmap: Vec<u64> = (0..N).map(|_| rng.gen_range(0..leaves)).collect();
+    let mut out = Vec::with_capacity(BLOCK);
+    let mut write_data = vec![0u8; BLOCK];
+
+    let access = |backend: &mut PathOramBackend,
+                  i: u64,
+                  posmap: &mut [u64],
+                  rng: &mut StdRng,
+                  out: &mut Vec<u8>,
+                  write_data: &mut [u8]| {
+        let addr = rng.gen_range(0..N);
+        let new_leaf = rng.gen_range(0..leaves);
+        let old_leaf = posmap[addr as usize];
+        posmap[addr as usize] = new_leaf;
+        if i.is_multiple_of(2) {
+            backend
+                .access_into(AccessOp::Read, addr, old_leaf, new_leaf, None, out)
+                .unwrap();
+        } else {
+            write_data[0] = i as u8;
+            backend
+                .access_into(
+                    AccessOp::Write,
+                    addr,
+                    old_leaf,
+                    new_leaf,
+                    Some(write_data),
+                    out,
+                )
+                .unwrap();
+        }
+    };
+
+    // Warm-up: write every block once (populating the residency set to its
+    // final size), then run a mixed workload long enough for every scratch
+    // buffer and map to reach steady capacity.
+    for addr in 0..N {
+        let new_leaf = rng.gen_range(0..leaves);
+        let old_leaf = posmap[addr as usize];
+        posmap[addr as usize] = new_leaf;
+        backend
+            .access_into(
+                AccessOp::Write,
+                addr,
+                old_leaf,
+                new_leaf,
+                Some(&write_data),
+                &mut out,
+            )
+            .unwrap();
+    }
+    for i in 0..2000u64 {
+        access(
+            &mut backend,
+            i,
+            &mut posmap,
+            &mut rng,
+            &mut out,
+            &mut write_data,
+        );
+    }
+
+    let slab_before = backend.stash_slot_capacity();
+    let allocations_before = ALLOCATIONS.load(Ordering::Relaxed);
+
+    for i in 0..2000u64 {
+        access(
+            &mut backend,
+            i,
+            &mut posmap,
+            &mut rng,
+            &mut out,
+            &mut write_data,
+        );
+    }
+
+    let allocation_delta = ALLOCATIONS.load(Ordering::Relaxed) - allocations_before;
+    assert_eq!(
+        allocation_delta, 0,
+        "steady-state accesses must not touch the heap"
+    );
+    assert_eq!(
+        backend.stash_slot_capacity(),
+        slab_before,
+        "stash slab capacity is stable"
+    );
+    assert!(
+        backend.stats().max_stash_occupancy <= params.stash_capacity,
+        "stash stayed within capacity"
+    );
+}
