@@ -3,21 +3,31 @@
 //! SHA3-224 for PMMAC).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use oram_crypto::ctr::CtrKeystream;
+use oram_crypto::ctr::{CtrKeystream, KeystreamSpan};
 use oram_crypto::mac::MacKey;
 use oram_crypto::prf::{AesPrf, Prf};
 use oram_crypto::sha3::Sha3_224;
-use oram_crypto::Aes128;
+use oram_crypto::{Aes128, PARALLEL_BLOCKS};
 
 fn bench_aes_block(c: &mut Criterion) {
     let aes = Aes128::new([7u8; 16]);
-    let mut group = c.benchmark_group("crypto/aes128");
+    let engine = aes.engine().label();
+    let mut group = c.benchmark_group(format!("crypto/aes128[{engine}]"));
     group.throughput(Throughput::Bytes(16));
     group.bench_function("encrypt_block", |b| {
         let mut block = [0u8; 16];
         b.iter(|| {
             block = aes.encrypt_block(block);
             block
+        });
+    });
+    // One full engine batch: 8 blocks per call.
+    group.throughput(Throughput::Bytes((PARALLEL_BLOCKS * 16) as u64));
+    group.bench_function("encrypt_blocks_x8", |b| {
+        let mut blocks = [0u8; PARALLEL_BLOCKS * 16];
+        b.iter(|| {
+            aes.encrypt_blocks(&mut blocks);
+            blocks[0]
         });
     });
     group.finish();
@@ -27,7 +37,8 @@ fn bench_ctr_bucket(c: &mut Criterion) {
     // One 320-byte bucket (Z = 4, 64-byte blocks) — the unit of bucket
     // encryption in the backend.
     let ks = CtrKeystream::new([3u8; 16]);
-    let mut group = c.benchmark_group("crypto/ctr");
+    let engine = ks.engine().label();
+    let mut group = c.benchmark_group(format!("crypto/ctr[{engine}]"));
     group.throughput(Throughput::Bytes(320));
     group.bench_function("seal_bucket_320B", |b| {
         b.iter_batched(
@@ -35,6 +46,28 @@ fn bench_ctr_bucket(c: &mut Criterion) {
             |mut bucket| {
                 ks.apply(42, &mut bucket);
                 bucket
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    // A whole path sealed in one batched pass: 19 buckets of 312 sealed
+    // bytes each — the 1M-block / 64-byte design point's hot shape.
+    let levels = 19usize;
+    let sealed = 312usize;
+    let spans: Vec<KeystreamSpan> = (0..levels)
+        .map(|i| KeystreamSpan {
+            seed: 1000 + i as u128,
+            start: i * 320 + 8,
+            len: sealed,
+        })
+        .collect();
+    group.throughput(Throughput::Bytes((levels * sealed) as u64));
+    group.bench_function("seal_path_19x312B_batched", |b| {
+        b.iter_batched(
+            || vec![0xA5u8; levels * 320],
+            |mut path| {
+                ks.apply_batch(&spans, &mut path);
+                path
             },
             BatchSize::SmallInput,
         );

@@ -13,7 +13,20 @@
 //!   `FrontendStats::backend` now surfaces.
 //!
 //! Usage: `cargo run --release -p bench --bin backend_hot_path`
-//! (add `--quick` for a fast low-fidelity run, `--out <path>` to redirect).
+//!
+//! Flags:
+//!
+//! * `--quick` — small geometry, short windows (local iteration).
+//! * `--smoke` — the CI perf-smoke profile: the **full 1M-block design
+//!   point** (so rates are comparable with the checked-in full run) with
+//!   short measurement windows, scheme grid skipped.
+//! * `--gate <baseline.json>` — after measuring, compare the fresh
+//!   encrypted-mode (`aes_global_seed`) optimized accesses/sec against the
+//!   same number in `baseline.json` and exit non-zero on a regression of
+//!   more than [`GATE_TOLERANCE`].  Rates are machine-dependent, so the gate
+//!   is only meaningful against a baseline recorded on comparable hardware —
+//!   which is exactly the CI use-case (same runner class every push).
+//! * `--out <path>` — redirect the JSON (default `BENCH_backend.json`).
 
 use bench::baseline::LegacyPathOramBackend;
 use freecursive::{Oram, OramBuilder, SchemePoint};
@@ -192,24 +205,58 @@ fn mode_label(mode: EncryptionMode) -> &'static str {
     }
 }
 
+/// Allowed fractional regression of encrypted-mode accesses/sec before the
+/// `--gate` check fails (20%, absorbing run-to-run noise on shared runners).
+const GATE_TOLERANCE: f64 = 0.20;
+
+/// Extracts `"accesses_per_sec"` of the `"optimized"` measurement inside the
+/// `"mode": "aes_global_seed"` comparison entry from a `BENCH_backend.json`
+/// produced by this binary.
+fn parse_encrypted_rate(json: &str) -> Option<f64> {
+    let mode = json.find("\"mode\": \"aes_global_seed\"")?;
+    let opt = mode + json[mode..].find("\"optimized\"")?;
+    let key = "\"accesses_per_sec\": ";
+    let rate = opt + json[opt..].find(key)? + key.len();
+    let end = json[rate..].find([',', '\n', '}'])?;
+    json[rate..rate + end].trim().parse().ok()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let gate_path = args
+        .iter()
+        .position(|a| a == "--gate")
+        .and_then(|i| args.get(i + 1));
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .map_or("BENCH_backend.json", |s| s.as_str());
 
+    // Smoke keeps the full design point (rates stay comparable with the
+    // checked-in full run) but shortens the windows and skips the grid.
     let num_blocks: u64 = if quick { 1 << 16 } else { 1 << 20 };
     let block_bytes = 64usize;
     let params = OramParams::new(num_blocks, block_bytes, 4);
-    let (warmup, min_accesses, min_secs, max_accesses, windows) = if quick {
+    // Smoke windows are shorter than the full profile's but numerous enough
+    // that the best-of estimate is comparable to the checked-in best-of-3
+    // full run; a single short window is too noisy to gate on.
+    let (warmup, min_accesses, min_secs, max_accesses, windows) = if smoke {
+        (2_000, 4_000, 0.8, 300_000, 3)
+    } else if quick {
         (1_000, 2_000, 0.2, 50_000, 2)
     } else {
         (10_000, 20_000, 1.5, 2_000_000, 3)
     };
 
+    {
+        let probe = path_oram::BucketCipher::new(EncryptionMode::GlobalSeed, [0u8; 16]);
+        eprintln!("AES engine: {}", probe.engine().label());
+    }
+
+    let mut encrypted_optimized_rate = 0f64;
     let mut comparison_json = String::new();
     for (i, mode) in [EncryptionMode::None, EncryptionMode::GlobalSeed]
         .into_iter()
@@ -235,6 +282,9 @@ fn main() {
             max_accesses,
             windows,
         );
+        if mode == EncryptionMode::GlobalSeed {
+            encrypted_optimized_rate = opt.accesses_per_sec;
+        }
         let speedup = opt.accesses_per_sec / base.accesses_per_sec;
         eprintln!(
             "  baseline {:>10.0} acc/s   optimized {:>10.0} acc/s   speedup {speedup:.2}x",
@@ -261,7 +311,11 @@ fn main() {
     };
     let mut grid_json = String::new();
     let mut first = true;
-    for scheme in SchemePoint::all_points() {
+    // The scheme grid is informational; the smoke profile gates only on the
+    // backend comparison and skips it to keep CI fast.
+    let all_points = SchemePoint::all_points();
+    let grid_points: &[SchemePoint] = if smoke { &[] } else { &all_points };
+    for &scheme in grid_points {
         // Phantom's defining 4 KB blocks at grid scale would dwarf the other
         // rows' runtime; the backend comparison above already covers large
         // blocks.
@@ -287,8 +341,15 @@ fn main() {
         );
     }
 
+    let profile = if smoke {
+        "smoke"
+    } else if quick {
+        "quick"
+    } else {
+        "full"
+    };
     let json = format!(
-        "{{\n  \"benchmark\": \"backend_hot_path\",\n  \"quick\": {quick},\n  \
+        "{{\n  \"benchmark\": \"backend_hot_path\",\n  \"quick\": {quick},\n  \"profile\": \"{profile}\",\n  \
          \"design_point\": {{\n    \"num_blocks\": {num_blocks},\n    \"block_bytes\": {block_bytes},\n    \
          \"z\": 4,\n    \"levels\": {},\n    \"bucket_bytes\": {},\n    \"stash_capacity\": {}\n  }},\n  \
          \"backend_comparison\": [\n{comparison_json}\n  ],\n  \"scheme_grid\": [\n{grid_json}\n  ]\n}}\n",
@@ -298,4 +359,26 @@ fn main() {
     );
     std::fs::write(out_path, &json).expect("write BENCH_backend.json");
     eprintln!("wrote {out_path}");
+
+    // Perf-smoke gate: fail on a >20% regression of encrypted-mode
+    // accesses/sec against the recorded baseline.
+    if let Some(path) = gate_path {
+        let baseline =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("gate baseline {path}: {e}"));
+        let baseline_rate = parse_encrypted_rate(&baseline)
+            .unwrap_or_else(|| panic!("gate baseline {path} has no encrypted optimized rate"));
+        let floor = baseline_rate * (1.0 - GATE_TOLERANCE);
+        eprintln!(
+            "perf gate: encrypted-mode {encrypted_optimized_rate:.0} acc/s vs baseline \
+             {baseline_rate:.0} acc/s (floor {floor:.0})"
+        );
+        if encrypted_optimized_rate < floor {
+            eprintln!(
+                "perf gate FAILED: encrypted-mode throughput regressed more than {:.0}%",
+                GATE_TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!("perf gate passed");
+    }
 }

@@ -1,4 +1,4 @@
-//! Regenerates Figure 8: the comparison under the parameters of Ren et al. [26].
+//! Regenerates Figure 8: the comparison under the parameters of Ren et al. \[26\].
 fn main() {
     println!(
         "{}",

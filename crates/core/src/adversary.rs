@@ -10,7 +10,7 @@
 //! * replay of stale bucket ciphertexts (defeated by the counters embedded in
 //!   PMMAC MACs, §6.1),
 //! * rollback of the plaintext bucket seed — the one-time-pad replay attack
-//!   against the per-bucket-seed encryption of [26] that motivates the
+//!   against the per-bucket-seed encryption of \[26\] that motivates the
 //!   global-seed fix (§6.4).
 
 use crate::frontend::FreecursiveOram;

@@ -10,7 +10,7 @@
 //! * Compressed PosMap + unified tree (§5.4): with `β = log log N` and
 //!   `X′ = log N / log log N`, the overhead becomes
 //!   `O(log N + log³N / (B log log N))`, which asymptotically beats the
-//!   baseline whenever `B = o(log²N)` and beats Kushilevitz et al. [18] when
+//!   baseline whenever `B = o(log²N)` and beats Kushilevitz et al. \[18\] when
 //!   `B = ω(log N)` — making it the best known construction for every block
 //!   size in between.
 //!
@@ -69,7 +69,7 @@ impl AsymptoticParams {
         l + l.powi(3) / (self.block_bits * l.log2().max(1.0))
     }
 
-    /// Bandwidth overhead of Kushilevitz et al. [18],
+    /// Bandwidth overhead of Kushilevitz et al. \[18\],
     /// `Θ(log²N / log log N)` — the best prior construction for small blocks
     /// and small client storage.
     pub fn kushilevitz_overhead(&self) -> f64 {

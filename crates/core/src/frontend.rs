@@ -291,13 +291,15 @@ impl<B: OramBackend> FreecursiveOram<B> {
             let idx = self.rec.posmap_block_addr(h - 1, a0);
             if self.config.pmmac {
                 let current_counter = self.onchip.get(idx);
-                let current_leaf =
-                    self.prf
-                        .leaf_for(child_unified, current_counter, self.leaf_level);
                 let new_counter = self.onchip.increment(idx);
-                let new_leaf = self
-                    .prf
-                    .leaf_for(child_unified, new_counter, self.leaf_level);
+                // One batched PRF call derives both the fetch leaf and the
+                // remap leaf.
+                let (current_leaf, new_leaf) = self.prf.leaf_pair_for(
+                    child_unified,
+                    current_counter,
+                    new_counter,
+                    self.leaf_level,
+                );
                 ResolvedChild {
                     current_leaf,
                     current_counter: Some(current_counter),
@@ -380,22 +382,23 @@ impl<B: OramBackend> FreecursiveOram<B> {
             let sibling_unified = tag_address(level, sibling_index);
             let old_counter = info.old_counters[j];
             let new_counter = info.new_counter;
-            let new_leaf = self
-                .prf
-                .leaf_for(sibling_unified, new_counter, self.leaf_level);
             // A sibling PosMap block may currently live in the PLB; its
             // stored leaf/counter must be updated in place instead of going
-            // through the Backend.
+            // through the Backend (and only the new leaf is needed).
             if level >= 1 {
                 if let Some(entry) = self.plb.peek_mut(sibling_unified) {
-                    entry.leaf = new_leaf;
+                    entry.leaf = self
+                        .prf
+                        .leaf_for(sibling_unified, new_counter, self.leaf_level);
                     entry.payload.counter = Some(new_counter);
                     continue;
                 }
             }
-            let old_leaf = self
-                .prf
-                .leaf_for(sibling_unified, old_counter, self.leaf_level);
+            // Backend round-trip: derive the fetch leaf and the remap leaf
+            // in one batched PRF call.
+            let (old_leaf, new_leaf) =
+                self.prf
+                    .leaf_pair_for(sibling_unified, old_counter, new_counter, self.leaf_level);
             let fetched = self.backend.access_into(
                 AccessOp::ReadRmv,
                 sibling_unified,

@@ -1,6 +1,6 @@
 //! # Freecursive ORAM
 //!
-//! A faithful algorithmic reproduction of **"Freecursive ORAM: [Nearly] Free
+//! A faithful algorithmic reproduction of **"Freecursive ORAM: \[Nearly\] Free
 //! Recursion and Integrity Verification for Position-based Oblivious RAM"**
 //! (Fletcher, Ren, Kwon, van Dijk, Devadas — ASPLOS 2015).
 //!

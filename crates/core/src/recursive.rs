@@ -1,5 +1,5 @@
-//! The baseline Recursive ORAM frontend (Shi et al. [30], as optimised by Ren
-//! et al. [26]) — the `R_X8` comparison point of the evaluation.
+//! The baseline Recursive ORAM frontend (Shi et al. \[30\], as optimised by Ren
+//! et al. \[26\]) — the `R_X8` comparison point of the evaluation.
 //!
 //! Each PosMap level lives in its **own** ORAM tree; a single data access
 //! walks the on-chip PosMap, then every PosMap ORAM from the smallest down to
@@ -25,7 +25,7 @@ pub struct RecursiveOramConfig {
     pub num_blocks: u64,
     /// Data block size in bytes (the LLC line size).
     pub data_block_bytes: usize,
-    /// PosMap ORAM block size in bytes; [26] uses 32 bytes, giving X = 8.
+    /// PosMap ORAM block size in bytes; \[26\] uses 32 bytes, giving X = 8.
     pub posmap_block_bytes: usize,
     /// Slots per bucket.
     pub z: usize,
@@ -39,7 +39,7 @@ pub struct RecursiveOramConfig {
 
 impl RecursiveOramConfig {
     /// The paper's `R_X8` baseline: 32-byte PosMap ORAM blocks (X = 8)
-    /// following [26].
+    /// following \[26\].
     pub fn r_x8(num_blocks: u64, data_block_bytes: usize) -> Self {
         Self {
             num_blocks,

@@ -15,7 +15,7 @@ pub enum SchemePoint {
     /// No ORAM at all: flat-latency DRAM (the denominator of every slowdown).
     Insecure,
     /// Baseline Recursive ORAM with 32-byte PosMap ORAM blocks (X = 8),
-    /// separate trees, no PLB ([26]).
+    /// separate trees, no PLB (\[26\]).
     RX8,
     /// PLB + unified tree with uncompressed PosMap blocks (X = 16 at 64 B).
     PX16,
@@ -141,7 +141,7 @@ impl SchemePoint {
     }
 
     /// PosMap-ORAM block size for the baseline separate-tree design
-    /// (32 bytes following [26]); unified designs use the data block size.
+    /// (32 bytes following \[26\]); unified designs use the data block size.
     pub fn posmap_block_bytes(&self, block_bytes: usize) -> usize {
         match self {
             SchemePoint::RX8 => 32,

@@ -34,7 +34,7 @@ pub struct FrontendStats {
     pub macs_verified: u64,
     /// MAC computations performed for write-back (PMMAC).
     pub macs_computed: u64,
-    /// Hashes a Merkle-tree scheme ([25]) would have needed over the same
+    /// Hashes a Merkle-tree scheme (\[25\]) would have needed over the same
     /// trace: one per bucket on every path touched.  Basis of the ≥68×
     /// hash-bandwidth claim (§6.3).
     pub merkle_equivalent_hashes: u64,

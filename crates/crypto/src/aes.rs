@@ -2,22 +2,42 @@
 //!
 //! The hardware prototype in the paper uses two OpenCores AES-128 units: a
 //! pipelined core for path decryption/re-encryption and a smaller core for the
-//! PRF (§7.2.1).  Here a single table-free software implementation serves both
-//! roles; only the forward (encryption) direction is required because counter
-//! mode and the PRF never invert the cipher.
+//! PRF (§7.2.1).  This module mirrors that with **two software engines behind
+//! one type**:
 //!
-//! This implementation favours clarity over speed: it computes the S-box via a
-//! precomputed table (generated at first use) and performs `MixColumns` with
-//! explicit GF(2^8) arithmetic.  It is not constant-time and must not be used
-//! to protect real secrets; it exists to make the simulated ORAM functionally
-//! faithful to the paper.
+//! * **AES-NI** (the private `aesni` module, x86_64 only) — the hardware
+//!   instructions, with eight blocks interleaved per call so the `AESENC`
+//!   latency pipelines like the paper's dedicated unit.
+//! * **Bitsliced** ([`crate::fixslice`]) — a table-free, constant-time
+//!   software implementation processing eight blocks per call; the portable
+//!   fallback.
+//!
+//! [`Aes128`] picks the engine once at construction: AES-NI when the CPU
+//! reports it, unless the soft path is forced by the `force-soft-aes` cargo
+//! feature or by setting `ORAM_CRYPTO_FORCE_SOFT` to anything but `0`/empty
+//! in the environment (checked once per process).  [`Aes128::engine`] reports
+//! the decision.
+//!
+//! The historical scalar implementation (S-box table + per-column GF(2^8)
+//! arithmetic) is retained test-only as `encrypt_block_scalar`, the
+//! reference the engines are validated against.  It is not constant-time and
+//! is never dispatched to at runtime: soft-mode single blocks run through
+//! the bitsliced engine with one occupied lane, so every non-AES-NI
+//! encryption is table-free.
+//!
+//! Expanded round keys (both byte and plane form) are scrubbed with volatile
+//! writes when the cipher is dropped, so key schedules do not linger in freed
+//! memory.
+
+use crate::fixslice::FixslicedKeys;
+pub use crate::fixslice::PARALLEL_BLOCKS;
 
 /// Number of bytes in an AES block.
 pub const BLOCK_BYTES: usize = 16;
 /// Number of bytes in an AES-128 key.
 pub const KEY_BYTES: usize = 16;
 /// Number of rounds for AES-128.
-const ROUNDS: usize = 10;
+pub(crate) const ROUNDS: usize = 10;
 
 /// The AES S-box, defined as the affine transform of the multiplicative
 /// inverse in GF(2^8).  Stored as a constant table (FIPS-197 Figure 7).
@@ -43,8 +63,15 @@ const SBOX: [u8; 256] = [
 /// Round constants for the key schedule.
 const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
 
+/// S-box lookup (test helper for the bitsliced circuit).
+#[cfg(test)]
+pub(crate) fn sbox(x: u8) -> u8 {
+    SBOX[x as usize]
+}
+
 /// Multiply two elements of GF(2^8) with the AES reduction polynomial
-/// x^8 + x^4 + x^3 + x + 1.
+/// x^8 + x^4 + x^3 + x + 1 (test-only: the scalar reference cipher).
+#[cfg(test)]
 fn gf_mul(mut a: u8, mut b: u8) -> u8 {
     let mut p = 0u8;
     for _ in 0..8 {
@@ -61,7 +88,51 @@ fn gf_mul(mut a: u8, mut b: u8) -> u8 {
     p
 }
 
-/// AES-128 cipher with a pre-expanded key schedule.
+/// Which implementation an [`Aes128`] instance dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Hardware AES instructions (`AESENC`/`AESENCLAST`), x86_64 only.
+    AesNi,
+    /// Table-free bitsliced software engine (8 blocks per call).
+    Bitsliced,
+}
+
+impl EngineKind {
+    /// Human-readable engine name (for logs and benchmark labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineKind::AesNi => "aes-ni",
+            EngineKind::Bitsliced => "soft-bitsliced",
+        }
+    }
+}
+
+/// Whether the soft engine is forced, by compile-time feature or by the
+/// `ORAM_CRYPTO_FORCE_SOFT` environment variable (any value other than empty
+/// or `0`).  The environment is consulted once per process.
+fn force_soft() -> bool {
+    if cfg!(feature = "force-soft-aes") {
+        return true;
+    }
+    static FORCED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("ORAM_CRYPTO_FORCE_SOFT").is_ok_and(|v| !v.is_empty() && v != "0")
+    })
+}
+
+/// Picks the engine for new cipher instances.
+fn select_engine() -> EngineKind {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if !force_soft() && crate::aesni::detected() {
+            return EngineKind::AesNi;
+        }
+    }
+    let _ = force_soft(); // non-x86_64: the override exists but changes nothing
+    EngineKind::Bitsliced
+}
+
+/// AES-128 cipher with a pre-expanded key schedule and batched encryption.
 ///
 /// # Examples
 ///
@@ -71,23 +142,52 @@ fn gf_mul(mut a: u8, mut b: u8) -> u8 {
 /// let aes = Aes128::new([0u8; 16]);
 /// let ct = aes.encrypt_block([0u8; 16]);
 /// assert_ne!(ct, [0u8; 16]);
+///
+/// // Batched: encrypt many blocks in place with one engine call per eight.
+/// let mut blocks = [0u8; 64];
+/// aes.encrypt_blocks(&mut blocks);
+/// assert_eq!(&blocks[..16], &ct);
 /// ```
 #[derive(Clone)]
 pub struct Aes128 {
     /// 11 round keys of 16 bytes each.
     round_keys: [[u8; 16]; ROUNDS + 1],
+    /// Engine-specific state: only the selected engine's schedule is built
+    /// (the bitsliced plane broadcast is skipped entirely under AES-NI).
+    state: EngineState,
+}
+
+/// Which engine an instance dispatches to, with that engine's extra state.
+#[derive(Clone)]
+enum EngineState {
+    /// AES-NI needs nothing beyond the byte-form round keys.
+    #[cfg(target_arch = "x86_64")]
+    AesNi,
+    /// The bitsliced engine's pre-broadcast plane schedule (boxed: ~1.4 KB,
+    /// only materialised when the soft engine is actually selected).
+    Soft(Box<FixslicedKeys>),
 }
 
 impl std::fmt::Debug for Aes128 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material.
-        f.debug_struct("Aes128").field("rounds", &ROUNDS).finish()
+        f.debug_struct("Aes128")
+            .field("rounds", &ROUNDS)
+            .field("engine", &self.engine())
+            .finish()
+    }
+}
+
+impl Drop for Aes128 {
+    fn drop(&mut self) {
+        crate::zeroize::zeroize_bytes(self.round_keys.as_flattened_mut());
     }
 }
 
 impl Aes128 {
     /// Creates a cipher instance by expanding `key` into the round-key
-    /// schedule.
+    /// schedule (byte form for the scalar/AES-NI paths, plane form for the
+    /// bitsliced engine).
     pub fn new(key: [u8; KEY_BYTES]) -> Self {
         let mut words = [[0u8; 4]; 4 * (ROUNDS + 1)];
         for (i, w) in words.iter_mut().take(4).enumerate() {
@@ -114,11 +214,99 @@ impl Aes128 {
                 rk[4 * c..4 * c + 4].copy_from_slice(&words[4 * r + c]);
             }
         }
-        Self { round_keys }
+        let state = match select_engine() {
+            #[cfg(target_arch = "x86_64")]
+            EngineKind::AesNi => EngineState::AesNi,
+            #[cfg(not(target_arch = "x86_64"))]
+            EngineKind::AesNi => unreachable!("AES-NI is never selected off x86_64"),
+            EngineKind::Bitsliced => EngineState::Soft(Box::new(FixslicedKeys::new(&round_keys))),
+        };
+        Self { round_keys, state }
+    }
+
+    /// The engine this instance dispatches to.
+    pub fn engine(&self) -> EngineKind {
+        match self.state {
+            #[cfg(target_arch = "x86_64")]
+            EngineState::AesNi => EngineKind::AesNi,
+            EngineState::Soft(_) => EngineKind::Bitsliced,
+        }
+    }
+
+    /// The expanded round keys (for the engine tests).
+    #[cfg(test)]
+    pub(crate) fn round_keys(&self) -> &[[u8; 16]; ROUNDS + 1] {
+        &self.round_keys
     }
 
     /// Encrypts a single 16-byte block and returns the ciphertext.
+    ///
+    /// Soft-mode single blocks still run through the bitsliced engine (one
+    /// occupied lane) so the constant-time property holds for *every*
+    /// non-AES-NI encryption, at the cost of a full batch per lone block —
+    /// hot paths batch via [`Aes128::encrypt_blocks`] instead.
     pub fn encrypt_block(&self, block: [u8; BLOCK_BYTES]) -> [u8; BLOCK_BYTES] {
+        match &self.state {
+            #[cfg(target_arch = "x86_64")]
+            EngineState::AesNi => {
+                let mut out = block;
+                crate::aesni::encrypt_blocks(&self.round_keys, &mut out);
+                out
+            }
+            EngineState::Soft(keys) => {
+                let mut batch = [0u8; crate::fixslice::BATCH_BYTES];
+                batch[..BLOCK_BYTES].copy_from_slice(&block);
+                keys.encrypt8(&mut batch);
+                batch[..BLOCK_BYTES].try_into().expect("one block")
+            }
+        }
+    }
+
+    /// Encrypts `data` — any whole number of 16-byte blocks, laid out
+    /// back-to-back — in place, eight blocks per engine call.
+    ///
+    /// This is the batched hot path used by [`crate::ctr::CtrKeystream`]:
+    /// callers fill `data` with counter blocks and receive the keystream in
+    /// place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of [`BLOCK_BYTES`].
+    pub fn encrypt_blocks(&self, data: &mut [u8]) {
+        assert!(
+            data.len().is_multiple_of(BLOCK_BYTES),
+            "batched encryption needs whole blocks, got {} bytes",
+            data.len()
+        );
+        match &self.state {
+            #[cfg(target_arch = "x86_64")]
+            EngineState::AesNi => crate::aesni::encrypt_blocks(&self.round_keys, data),
+            EngineState::Soft(keys) => {
+                let mut chunks = data.chunks_exact_mut(crate::fixslice::BATCH_BYTES);
+                for chunk in &mut chunks {
+                    let batch: &mut [u8; crate::fixslice::BATCH_BYTES] =
+                        chunk.try_into().expect("exact batch");
+                    keys.encrypt8(batch);
+                }
+                let tail = chunks.into_remainder();
+                if !tail.is_empty() {
+                    // A short tail still runs one full-width bitsliced call
+                    // (same cost as eight blocks, constant regardless of the
+                    // tail length).
+                    let mut batch = [0u8; crate::fixslice::BATCH_BYTES];
+                    batch[..tail.len()].copy_from_slice(tail);
+                    keys.encrypt8(&mut batch);
+                    tail.copy_from_slice(&batch[..tail.len()]);
+                }
+            }
+        }
+    }
+
+    /// The historical scalar implementation: S-box table plus explicit
+    /// GF(2^8) `MixColumns` arithmetic.  Test-only reference the engines are
+    /// validated against; not constant-time, never dispatched to at runtime.
+    #[cfg(test)]
+    pub(crate) fn encrypt_block_scalar(&self, block: [u8; BLOCK_BYTES]) -> [u8; BLOCK_BYTES] {
         let mut state = block;
         add_round_key(&mut state, &self.round_keys[0]);
         for round in 1..ROUNDS {
@@ -134,12 +322,14 @@ impl Aes128 {
     }
 }
 
+#[cfg(test)]
 fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
     for (s, k) in state.iter_mut().zip(rk.iter()) {
         *s ^= *k;
     }
 }
 
+#[cfg(test)]
 fn sub_bytes(state: &mut [u8; 16]) {
     for b in state.iter_mut() {
         *b = SBOX[*b as usize];
@@ -148,6 +338,7 @@ fn sub_bytes(state: &mut [u8; 16]) {
 
 /// The state is stored column-major: byte `state[4*c + r]` is row `r`,
 /// column `c` (matching the FIPS-197 input ordering).
+#[cfg(test)]
 fn shift_rows(state: &mut [u8; 16]) {
     let s = *state;
     for r in 1..4 {
@@ -157,6 +348,7 @@ fn shift_rows(state: &mut [u8; 16]) {
     }
 }
 
+#[cfg(test)]
 fn mix_columns(state: &mut [u8; 16]) {
     for c in 0..4 {
         let col = [
@@ -170,6 +362,18 @@ fn mix_columns(state: &mut [u8; 16]) {
         state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
         state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
     }
+}
+
+/// Scalar `ShiftRows` (test helper for the bitsliced permutation).
+#[cfg(test)]
+pub(crate) fn shift_rows_scalar(state: &mut [u8; 16]) {
+    shift_rows(state);
+}
+
+/// Scalar `MixColumns` (test helper for the bitsliced permutation).
+#[cfg(test)]
+pub(crate) fn mix_columns_scalar(state: &mut [u8; 16]) {
+    mix_columns(state);
 }
 
 #[cfg(test)]
@@ -193,6 +397,7 @@ mod tests {
         ];
         let aes = Aes128::new(key);
         assert_eq!(aes.encrypt_block(pt), expected);
+        assert_eq!(aes.encrypt_block_scalar(pt), expected);
     }
 
     /// FIPS-197 Appendix C.1 (AES-128) known-answer test.
@@ -212,6 +417,7 @@ mod tests {
         ];
         let aes = Aes128::new(key);
         assert_eq!(aes.encrypt_block(pt), expected);
+        assert_eq!(aes.encrypt_block_scalar(pt), expected);
     }
 
     #[test]
@@ -239,5 +445,38 @@ mod tests {
         let s = format!("{aes:?}");
         assert!(!s.contains("42"));
         assert!(s.contains("Aes128"));
+    }
+
+    #[test]
+    fn batched_matches_single_block_on_every_length() {
+        // 0 through 20 blocks: covers the empty case, partial bitsliced
+        // batches, one exact batch, and batch-plus-tail.
+        let aes = Aes128::new([0x5Au8; 16]);
+        for blocks in 0..=20usize {
+            let mut data: Vec<u8> = (0..blocks * 16).map(|i| (i * 13 % 251) as u8).collect();
+            let expected: Vec<u8> = data
+                .chunks_exact(16)
+                .flat_map(|b| aes.encrypt_block(b.try_into().unwrap()))
+                .collect();
+            aes.encrypt_blocks(&mut data);
+            assert_eq!(data, expected, "{blocks} blocks");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole blocks")]
+    fn batched_rejects_partial_blocks() {
+        let aes = Aes128::new([0u8; 16]);
+        aes.encrypt_blocks(&mut [0u8; 17]);
+    }
+
+    #[test]
+    fn engine_selection_is_reported() {
+        let aes = Aes128::new([0u8; 16]);
+        let kind = aes.engine();
+        assert!(matches!(kind, EngineKind::AesNi | EngineKind::Bitsliced));
+        assert!(!kind.label().is_empty());
+        // Whatever was selected, a clone dispatches identically.
+        assert_eq!(aes.clone().engine(), kind);
     }
 }

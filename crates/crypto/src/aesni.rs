@@ -1,0 +1,135 @@
+//! The hardware AES engine: AES-NI via `core::arch::x86_64`.
+//!
+//! Compiled only on x86_64; selected at runtime by
+//! [`crate::aes::Aes128`] when `is_x86_feature_detected!("aes")` reports
+//! support and the soft engine has not been forced (see
+//! [`crate::aes::EngineKind`]).  Batches of eight blocks are encrypted with
+//! the rounds interleaved across blocks so the ~4-cycle `AESENC` latency is
+//! hidden behind the other lanes — the software analogue of the paper's
+//! pipelined AES unit (§7.2.1).
+//!
+//! This is the crate's only unsafe island: the intrinsics themselves plus
+//! the `#[target_feature]` calls, both guarded by the runtime CPUID check at
+//! the dispatch site.
+
+#![allow(unsafe_code)]
+
+use crate::aes::{BLOCK_BYTES, ROUNDS};
+use core::arch::x86_64::{
+    __m128i, _mm_aesenc_si128, _mm_aesenclast_si128, _mm_loadu_si128, _mm_setzero_si128,
+    _mm_storeu_si128, _mm_xor_si128,
+};
+
+/// Whether the CPU supports the AES-NI instructions (plus SSE2, which every
+/// x86_64 CPU has but we check for completeness).
+pub(crate) fn detected() -> bool {
+    std::arch::is_x86_feature_detected!("aes") && std::arch::is_x86_feature_detected!("sse2")
+}
+
+/// Encrypts `data` (a multiple of 16 bytes) in place.
+///
+/// # Safety preconditions (checked by the caller)
+///
+/// Must only be called after [`detected`] returned `true`.
+pub(crate) fn encrypt_blocks(round_keys: &[[u8; 16]; ROUNDS + 1], data: &mut [u8]) {
+    debug_assert!(data.len().is_multiple_of(BLOCK_BYTES));
+    // SAFETY: the dispatch site verified AES-NI support via `detected()`.
+    unsafe { encrypt_blocks_impl(round_keys, data) }
+}
+
+#[target_feature(enable = "aes,sse2")]
+unsafe fn encrypt_blocks_impl(round_keys: &[[u8; 16]; ROUNDS + 1], data: &mut [u8]) {
+    let keys = load_keys(round_keys);
+
+    // Eight blocks at a time, rounds interleaved for instruction-level
+    // parallelism.
+    let mut chunks = data.chunks_exact_mut(8 * BLOCK_BYTES);
+    for chunk in &mut chunks {
+        let mut s = [_mm_setzero_si128(); 8];
+        for (i, lane) in s.iter_mut().enumerate() {
+            *lane = _mm_loadu_si128(chunk.as_ptr().add(i * BLOCK_BYTES).cast());
+            *lane = _mm_xor_si128(*lane, keys[0]);
+        }
+        for key in keys.iter().take(ROUNDS).skip(1) {
+            for lane in s.iter_mut() {
+                *lane = _mm_aesenc_si128(*lane, *key);
+            }
+        }
+        for (i, lane) in s.iter_mut().enumerate() {
+            *lane = _mm_aesenclast_si128(*lane, keys[ROUNDS]);
+            _mm_storeu_si128(chunk.as_mut_ptr().add(i * BLOCK_BYTES).cast(), *lane);
+        }
+    }
+    for block in chunks.into_remainder().chunks_exact_mut(BLOCK_BYTES) {
+        let mut s = _mm_loadu_si128(block.as_ptr().cast());
+        s = _mm_xor_si128(s, keys[0]);
+        for key in keys.iter().take(ROUNDS).skip(1) {
+            s = _mm_aesenc_si128(s, *key);
+        }
+        s = _mm_aesenclast_si128(s, keys[ROUNDS]);
+        _mm_storeu_si128(block.as_mut_ptr().cast(), s);
+    }
+}
+
+#[target_feature(enable = "sse2")]
+unsafe fn load_keys(round_keys: &[[u8; 16]; ROUNDS + 1]) -> [__m128i; ROUNDS + 1] {
+    let mut keys = [_mm_setzero_si128(); ROUNDS + 1];
+    for (k, rk) in keys.iter_mut().zip(round_keys.iter()) {
+        *k = _mm_loadu_si128(rk.as_ptr().cast());
+    }
+    keys
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aes::Aes128;
+
+    fn skip_without_aesni() -> bool {
+        if detected() {
+            false
+        } else {
+            eprintln!("AES-NI not available; skipping hardware-engine test");
+            true
+        }
+    }
+
+    #[test]
+    fn fips197_appendix_c1_through_aesni() {
+        if skip_without_aesni() {
+            return;
+        }
+        let aes = Aes128::new([
+            0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08, 0x09, 0x0a, 0x0b, 0x0c, 0x0d,
+            0x0e, 0x0f,
+        ]);
+        let mut data = [
+            0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88, 0x99, 0xaa, 0xbb, 0xcc, 0xdd,
+            0xee, 0xff,
+        ];
+        encrypt_blocks(aes.round_keys(), &mut data);
+        assert_eq!(
+            data,
+            [
+                0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30, 0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4,
+                0xc5, 0x5a,
+            ]
+        );
+    }
+
+    #[test]
+    fn batched_lanes_agree_with_scalar_cipher() {
+        if skip_without_aesni() {
+            return;
+        }
+        let aes = Aes128::new([0x77u8; 16]);
+        // 21 blocks: two full 8-lane groups plus a 5-block tail.
+        let mut data: Vec<u8> = (0..21 * 16).map(|i| (i % 251) as u8).collect();
+        let expected: Vec<u8> = data
+            .chunks_exact(16)
+            .flat_map(|b| aes.encrypt_block_scalar(b.try_into().unwrap()))
+            .collect();
+        encrypt_blocks(aes.round_keys(), &mut data);
+        assert_eq!(data, expected);
+    }
+}

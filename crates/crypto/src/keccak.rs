@@ -1,11 +1,11 @@
-//! The Keccak-f[1600] permutation underlying SHA-3 (FIPS-202).
+//! The Keccak-f\[1600\] permutation underlying SHA-3 (FIPS-202).
 //!
 //! PMMAC (§6) instantiates its MAC with SHA3-224; this module provides the
 //! sponge permutation, and [`crate::sha3`] builds the hash on top of it.
 
-/// Number of 64-bit lanes in the Keccak-f[1600] state (5×5).
+/// Number of 64-bit lanes in the Keccak-f\[1600\] state (5×5).
 pub const STATE_LANES: usize = 25;
-/// Number of rounds of Keccak-f[1600].
+/// Number of rounds of Keccak-f\[1600\].
 pub const ROUNDS: usize = 24;
 
 /// Round constants for the iota step.
@@ -45,7 +45,7 @@ const RHO: [[u32; 5]; 5] = [
     [27, 20, 39, 8, 14],
 ];
 
-/// Applies the full 24-round Keccak-f[1600] permutation to `state`.
+/// Applies the full 24-round Keccak-f\[1600\] permutation to `state`.
 ///
 /// Lanes are indexed `state[x + 5*y]` as in FIPS-202.
 pub fn keccak_f1600(state: &mut [u64; STATE_LANES]) {
@@ -90,7 +90,7 @@ pub fn keccak_f1600(state: &mut [u64; STATE_LANES]) {
 mod tests {
     use super::*;
 
-    /// Known-answer test: Keccak-f[1600] applied to the all-zero state.
+    /// Known-answer test: Keccak-f\[1600\] applied to the all-zero state.
     /// First lane of the result per the XKCP reference implementation.
     #[test]
     fn permutation_of_zero_state() {

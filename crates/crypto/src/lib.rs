@@ -7,13 +7,41 @@
 //! free software implementations of those primitives together with the small
 //! wrappers the ORAM controller needs:
 //!
-//! * [`aes::Aes128`] — the block cipher (FIPS-197), encryption direction only.
-//! * [`ctr::CtrKeystream`] / [`ctr::xor_in_place`] — AES counter-mode pads for
-//!   probabilistic bucket encryption.
+//! * [`aes::Aes128`] — the block cipher (FIPS-197), encryption direction
+//!   only, with two engines behind one type: AES-NI (x86_64, runtime
+//!   detected) and a table-free bitsliced software fallback
+//!   ([`fixslice`]), both processing 8 blocks per call.
+//! * [`ctr::CtrKeystream`] / [`ctr::xor_in_place`] — AES counter-mode pads
+//!   for probabilistic bucket encryption.
 //! * [`sha3::Sha3_224`] — the Keccak-based hash used for MACs.
 //! * [`prf::Prf`] / [`prf::AesPrf`] — the pseudorandom function
 //!   `PRF_K(x) mod 2^L` that maps (address, counter) pairs to leaves.
 //! * [`mac::MacKey`] — the keyed MAC `MAC_K(c || a || d)` of §6.2.1.
+//!
+//! # The batched API contract
+//!
+//! Every primitive that evaluates AES more than once per logical operation
+//! exposes a batched entry point that routes through one engine call per
+//! eight blocks, with identical output to the scalar path:
+//!
+//! * [`aes::Aes128::encrypt_blocks`] — any whole number of blocks in place.
+//! * [`ctr::CtrKeystream::apply_batch`] / [`ctr::CtrKeystream::pad_blocks`]
+//!   — keystream over arbitrary [`ctr::KeystreamSpan`]s of one buffer;
+//!   counter blocks from *different* spans share engine batches, which is
+//!   how an ORAM path's ~19 buckets seal in one batched pass per direction.
+//! * [`prf::Prf::eval_many`] / [`prf::Prf::leaf_pair_for`] — batched leaf
+//!   derivation.
+//!
+//! Batched calls allocate nothing; callers may rely on that on hot paths.
+//!
+//! # Engine selection
+//!
+//! The engine is chosen per cipher instance at construction: AES-NI when the
+//! CPU supports it, unless the `force-soft-aes` cargo feature is enabled or
+//! `ORAM_CRYPTO_FORCE_SOFT` is set to a non-empty value other than `0` in
+//! the environment (read once per process).  [`aes::Aes128::engine`] reports
+//! the decision.  Key material (expanded AES schedules, MAC keys) is
+//! scrubbed with volatile writes on drop.
 //!
 //! # Examples
 //!
@@ -26,17 +54,24 @@
 //! assert!(leaf < (1 << 20));
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied everywhere except the two audited islands that opt
+// back in: the AES-NI intrinsics (`aesni`) and the volatile key scrubbing
+// (`zeroize`).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;
+#[cfg(target_arch = "x86_64")]
+pub(crate) mod aesni;
 pub mod ctr;
+pub mod fixslice;
 pub mod keccak;
 pub mod mac;
 pub mod prf;
 pub mod sha3;
+pub(crate) mod zeroize;
 
-pub use aes::Aes128;
+pub use aes::{Aes128, EngineKind, PARALLEL_BLOCKS};
 pub use ctr::CtrKeystream;
 pub use mac::{Mac, MacKey};
 pub use prf::{AesPrf, Prf};

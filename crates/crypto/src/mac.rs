@@ -57,6 +57,14 @@ impl std::fmt::Debug for MacKey {
     }
 }
 
+impl Drop for MacKey {
+    fn drop(&mut self) {
+        // Like the AES key schedules, the MAC key is scrubbed on drop so it
+        // does not linger in freed memory.
+        crate::zeroize::zeroize_bytes(&mut self.key);
+    }
+}
+
 impl MacKey {
     /// Creates a MAC key.
     pub fn new(key: [u8; 16]) -> Self {

@@ -1,4 +1,4 @@
-//! SHA3-224 (FIPS-202) built on the Keccak-f[1600] sponge.
+//! SHA3-224 (FIPS-202) built on the Keccak-f\[1600\] sponge.
 //!
 //! PMMAC (§6.1) uses SHA3-224 as `MAC_K()`; the 28-byte digest is truncated to
 //! the MAC width chosen by the design (80–128 bits, §6.3).

@@ -1,0 +1,45 @@
+//! Best-effort key-material scrubbing.
+//!
+//! Key-holding types ([`crate::aes::Aes128`], [`crate::mac::MacKey`], the
+//! engine key schedules) zero their buffers on `Drop` through volatile
+//! writes, so expanded keys do not linger in freed memory.  Volatile stores
+//! cannot be elided by the optimiser the way a plain `fill(0)` before a free
+//! can; the compiler fence keeps surrounding code from being reordered past
+//! the scrub.
+
+use std::sync::atomic::{compiler_fence, Ordering};
+
+/// Zeroes a byte buffer with volatile writes.
+#[allow(unsafe_code)]
+pub(crate) fn zeroize_bytes(bytes: &mut [u8]) {
+    for b in bytes.iter_mut() {
+        // SAFETY: `b` is a valid, exclusive reference for the write.
+        unsafe { std::ptr::write_volatile(b, 0) };
+    }
+    compiler_fence(Ordering::SeqCst);
+}
+
+/// Zeroes a `u128` buffer with volatile writes.
+#[allow(unsafe_code)]
+pub(crate) fn zeroize_u128(words: &mut [u128]) {
+    for w in words.iter_mut() {
+        // SAFETY: `w` is a valid, exclusive reference for the write.
+        unsafe { std::ptr::write_volatile(w, 0) };
+    }
+    compiler_fence(Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroize_clears_every_byte() {
+        let mut buf = [0xA5u8; 64];
+        zeroize_bytes(&mut buf);
+        assert!(buf.iter().all(|&b| b == 0));
+        let mut words = [u128::MAX; 8];
+        zeroize_u128(&mut words);
+        assert!(words.iter().all(|&w| w == 0));
+    }
+}

@@ -3,7 +3,7 @@
 //! The paper models main memory with DRAMSim2's default DDR3 Micron
 //! configuration: 8 banks, 16384 rows and 1024 columns per row, 667 MHz DDR
 //! with a 64-bit bus (≈10.67 GB/s peak per channel), and lays the ORAM tree
-//! out with the *subtree layout* of Ren et al. [26] so a path read achieves
+//! out with the *subtree layout* of Ren et al. \[26\] so a path read achieves
 //! close to peak bandwidth (§7.1.1–§7.1.2).
 //!
 //! This crate provides:

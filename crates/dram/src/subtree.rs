@@ -1,4 +1,4 @@
-//! The subtree ORAM-tree layout of Ren et al. [26].
+//! The subtree ORAM-tree layout of Ren et al. \[26\].
 //!
 //! A naive level-order layout of the ORAM tree scatters the buckets of a path
 //! across DRAM rows, so every bucket read is a row miss.  The subtree layout

@@ -16,6 +16,7 @@ use crate::stats::BackendStats;
 use crate::storage::TreeStorage;
 use crate::tree::{deepest_common_level, path_linear_indices_into};
 use crate::types::{AccessOp, BlockData, BlockId, Leaf};
+use oram_crypto::ctr::KeystreamSpan;
 use std::collections::HashSet;
 
 /// The interface the Freecursive frontends program against (the paper's
@@ -143,6 +144,10 @@ pub struct PathOramBackend {
     /// Scratch: classifier entries still eligible as the eviction walks from
     /// the leaf towards the root.
     evict_carry: Vec<u32>,
+    /// Scratch: keystream spans covering the path's buckets, so the whole
+    /// path is decrypted (and re-encrypted) in **one batched engine pass per
+    /// direction** instead of one cipher call per bucket.
+    cipher_spans: Vec<KeystreamSpan>,
 }
 
 /// High bit of an eviction-classifier entry: set for `path_blocks` indices,
@@ -245,6 +250,7 @@ impl PathOramBackend {
                 .map(|_| Vec::with_capacity(max_candidates))
                 .collect(),
             evict_carry: Vec::with_capacity(max_candidates),
+            cipher_spans: Vec::with_capacity(levels),
         })
     }
 
@@ -312,18 +318,18 @@ impl PathOramBackend {
         for list in &mut self.evict_depth {
             list.clear();
         }
-        for (level, &bucket_idx) in self.path_idx.iter().enumerate() {
-            self.stats.bytes_read += bucket_bytes as u64;
-            if !self.storage.is_initialized(bucket_idx) {
-                continue;
-            }
-            let bucket_base = level * bucket_bytes;
-            if plaintext {
+        if plaintext {
+            for (level, &bucket_idx) in self.path_idx.iter().enumerate() {
+                self.stats.bytes_read += bucket_bytes as u64;
+                if !self.storage.is_initialized(bucket_idx) {
+                    continue;
+                }
                 // The arena already holds the plaintext: parse it in place
                 // and copy only the real payloads into the scratch
                 // (eviction rewrites the arena slots before it consumes the
                 // scratch, so sources must not alias them).  Dummy slots
                 // are never copied.
+                let bucket_base = level * bucket_bytes;
                 let view = BucketView::parse(
                     self.storage.read_bucket(bucket_idx),
                     &self.params,
@@ -341,26 +347,54 @@ impl PathOramBackend {
                     &mut self.evict_depth,
                     &mut self.stats,
                 );
-            } else {
-                let scratch = &mut self.path_buf[bucket_base..bucket_base + bucket_bytes];
-                scratch.copy_from_slice(self.storage.read_bucket(bucket_idx));
-                self.cipher.open(bucket_idx, scratch);
-                self.stats.buckets_decrypted += 1;
-                let image = &self.path_buf[bucket_base..bucket_base + bucket_bytes];
-                let view = BucketView::parse(image, &self.params, bucket_idx)?;
-                classify_bucket(
-                    view,
-                    addr,
-                    leaf,
-                    bucket_base,
-                    &self.params,
-                    None,
-                    &mut self.stash,
-                    &mut self.path_blocks,
-                    &mut self.evict_depth,
-                    &mut self.stats,
-                );
             }
+            return Ok(());
+        }
+
+        // Encrypted path: copy every initialised bucket into the path
+        // scratch and queue its keystream span (seed read from the plaintext
+        // header), pay the whole path's decryption in one batched engine
+        // pass, then parse and classify the plaintext images.
+        self.cipher_spans.clear();
+        for (level, &bucket_idx) in self.path_idx.iter().enumerate() {
+            self.stats.bytes_read += bucket_bytes as u64;
+            if !self.storage.is_initialized(bucket_idx) {
+                continue;
+            }
+            let bucket_base = level * bucket_bytes;
+            let scratch = &mut self.path_buf[bucket_base..bucket_base + bucket_bytes];
+            scratch.copy_from_slice(self.storage.read_bucket(bucket_idx));
+            let seed = u64::from_le_bytes(scratch[..8].try_into().expect("seed header"));
+            self.cipher.push_span(
+                &mut self.cipher_spans,
+                bucket_idx,
+                seed,
+                bucket_base,
+                &self.params,
+            );
+            self.stats.buckets_decrypted += 1;
+        }
+        self.cipher
+            .apply_spans(&self.cipher_spans, &mut self.path_buf);
+        for (level, &bucket_idx) in self.path_idx.iter().enumerate() {
+            if !self.storage.is_initialized(bucket_idx) {
+                continue;
+            }
+            let bucket_base = level * bucket_bytes;
+            let image = &self.path_buf[bucket_base..bucket_base + bucket_bytes];
+            let view = BucketView::parse(image, &self.params, bucket_idx)?;
+            classify_bucket(
+                view,
+                addr,
+                leaf,
+                bucket_base,
+                &self.params,
+                None,
+                &mut self.stash,
+                &mut self.path_blocks,
+                &mut self.evict_depth,
+                &mut self.stats,
+            );
         }
         Ok(())
     }
@@ -386,8 +420,12 @@ impl PathOramBackend {
 
         // Deepest-first fills: walking the path leaf → root, candidates that
         // became eligible at a deeper level but found no room remain
-        // eligible at every shallower level, so they carry over.
+        // eligible at every shallower level, so they carry over.  Buckets
+        // are serialised (with the write-back seed already stamped) straight
+        // into their arena slots; the spans queued here are paid off by one
+        // batched sealing pass over the arena after the walk.
         self.evict_carry.clear();
+        self.cipher_spans.clear();
         let mut carry_pos = 0usize;
         for level in (0..=leaf_level).rev() {
             let bucket_idx = self.path_idx[level as usize];
@@ -406,9 +444,10 @@ impl PathOramBackend {
             } else {
                 0
             };
+            let seed = self.cipher.writeback_seed(old_seed);
 
             let image = self.storage.bucket_slot_mut(bucket_idx);
-            let mut writer = BucketWriter::begin(image, &self.params, old_seed);
+            let mut writer = BucketWriter::begin(image, &self.params, seed);
             for _ in 0..take {
                 let entry = self.evict_carry[carry_pos];
                 carry_pos += 1;
@@ -427,8 +466,13 @@ impl PathOramBackend {
                 }
             }
             writer.finish();
-            self.cipher
-                .seal(bucket_idx, self.storage.bucket_slot_mut(bucket_idx));
+            self.cipher.push_span(
+                &mut self.cipher_spans,
+                bucket_idx,
+                seed,
+                self.storage.bucket_offset(bucket_idx),
+                &self.params,
+            );
             if self.cipher.mode() != EncryptionMode::None {
                 self.stats.buckets_encrypted += 1;
             }
@@ -437,6 +481,9 @@ impl PathOramBackend {
             self.stats.dummies_written += (self.params.z - take) as u64;
             self.stats.bytes_written += self.params.bucket_bytes() as u64;
         }
+        // One batched engine pass seals the whole written path.
+        self.cipher
+            .apply_spans(&self.cipher_spans, self.storage.arena_mut());
 
         // Spill unplaced path blocks into the stash; they join the next
         // eviction's candidates like any other stash block.

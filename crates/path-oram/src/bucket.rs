@@ -13,6 +13,17 @@
 //! * the owned [`Bucket`] type remains for construction-time code and tests
 //!   that want a materialised bucket.
 //!
+//! The codec produces and consumes **plaintext** images; encryption is a
+//! separate, batchable XOR pass.  On the hot path the backend runs the codec
+//! over every bucket of a path first — [`BucketWriter::begin`] stamps the
+//! write-back seed chosen by
+//! [`crate::encryption::BucketCipher::writeback_seed`], pushes the evicted
+//! blocks, and [`BucketWriter::finish`] zeroes the dummy slots — and only
+//! then seals *all* the finished images in a single batched keystream pass
+//! ([`crate::encryption::BucketCipher::apply_spans`]); unsealing runs the
+//! same pass before [`BucketView::parse`] sees any byte.  One engine call
+//! per direction, instead of one cipher invocation per bucket.
+//!
 //! Layout: `[seed: 8B][slot 0 meta]…[slot Z-1 meta][slot 0 data]…[padding]`
 //! where each slot meta is `[valid: 1B][addr: 8B][leaf: 4B]`.  The address
 //! field is a full `u64` because unified `i‖a_i` addresses carry the

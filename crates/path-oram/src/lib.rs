@@ -1,4 +1,4 @@
-//! A functional Path ORAM *Backend* (Stefanov et al. [34]) as used by the
+//! A functional Path ORAM *Backend* (Stefanov et al. \[34\]) as used by the
 //! Freecursive ORAM controller.
 //!
 //! In the paper's terminology the ORAM controller is split into a *Frontend*
@@ -18,7 +18,7 @@
 //!   buckets in one flat arena, with an explicit tampering API for the
 //!   active-adversary model.
 //! * [`encryption::BucketCipher`] — probabilistic bucket encryption in the
-//!   per-bucket-seed style of [26] or the global-seed style the paper
+//!   per-bucket-seed style of \[26\] or the global-seed style the paper
 //!   introduces to defeat pad-replay attacks (§6.4).
 //! * [`backend::PathOramBackend`] — the access algorithm (path read, stash
 //!   update, greedy write-back) supporting `read`, `write`, `readrmv` and
@@ -67,7 +67,7 @@ pub mod tree;
 pub mod types;
 
 pub use backend::{OramBackend, PathOramBackend};
-pub use encryption::EncryptionMode;
+pub use encryption::{BucketCipher, EncryptionMode};
 pub use error::OramError;
 pub use insecure::InsecureBackend;
 pub use params::OramParams;

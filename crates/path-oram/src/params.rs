@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Default stash capacity in blocks, following the paper (§3.1, "we assume
-/// 200 following [26]").  The capacity excludes the path being processed.
+/// 200 following \[26\]").  The capacity excludes the path being processed.
 pub const DEFAULT_STASH_CAPACITY: usize = 200;
 
 /// Per-slot metadata bytes in a serialised bucket: 1 valid byte + 8 address
@@ -144,6 +144,15 @@ impl OramParams {
     pub fn bucket_bytes(&self) -> usize {
         let raw = BUCKET_HEADER_BYTES + self.z * (SLOT_META_BYTES + self.block_bytes);
         raw.div_ceil(self.bucket_align) * self.bucket_align
+    }
+
+    /// Bytes of a serialised bucket image covered by the keystream: all of
+    /// it except the plaintext 8-byte seed header.  One path direction
+    /// therefore moves `levels() * bucket_sealed_bytes()` bytes through the
+    /// AES engine, which the batched cipher pass pays off in
+    /// ⌈that / (16 · 8)⌉ engine calls.
+    pub fn bucket_sealed_bytes(&self) -> usize {
+        self.bucket_bytes() - BUCKET_HEADER_BYTES
     }
 
     /// Byte offset of the slot-data region within a serialised bucket image

@@ -81,6 +81,24 @@ impl TreeStorage {
         &mut self.arena[range]
     }
 
+    /// Byte offset of a bucket's image within the arena (see
+    /// [`TreeStorage::arena_mut`]).
+    #[inline]
+    pub fn bucket_offset(&self, index: u64) -> usize {
+        index as usize * self.bucket_bytes
+    }
+
+    /// The whole arena, mutable.  This is the batched-cipher hook: the
+    /// backend serialises a path's buckets into their slots via
+    /// [`TreeStorage::bucket_slot_mut`] (which marks them initialised), then
+    /// seals all of them in one keystream pass over this slice using
+    /// [`TreeStorage::bucket_offset`]-based spans.  Does **not** mark
+    /// anything initialised.
+    #[inline]
+    pub fn arena_mut(&mut self) -> &mut [u8] {
+        &mut self.arena
+    }
+
     /// Writes the raw (encrypted) image of a bucket by copying `image` into
     /// its arena slot.
     ///

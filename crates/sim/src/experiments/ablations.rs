@@ -3,7 +3,7 @@
 //! * **PLB associativity** (§7.1.3): the paper reports that, at fixed
 //!   capacity, a fully associative PLB improves performance by ≤10 % over
 //!   direct-mapped, which is why the prototype is direct-mapped.
-//! * **Subtree layout** (§7.1.1, from [26]): packing k-level subtrees
+//! * **Subtree layout** (§7.1.1, from \[26\]): packing k-level subtrees
 //!   contiguously is what lets a path read run near peak DRAM bandwidth; a
 //!   naive level-order layout pays a row miss per bucket.
 //! * **Unified tree + PLB vs. separate trees** (§4.1.3): the bandwidth view of

@@ -5,7 +5,7 @@
 //! blocks, 39–56 % of the bytes moved by a baseline Recursive ORAM belong to
 //! PosMap ORAM lookups, and the fraction grows with capacity.  The figure is
 //! purely analytic — it depends only on the tree geometries of the recursion
-//! (X = 8, Z = 4, buckets padded to 512 bits, following [26]).
+//! (X = 8, Z = 4, buckets padded to 512 bits, following \[26\]).
 
 use crate::report::{f2, format_table};
 use path_oram::OramParams;
@@ -50,7 +50,7 @@ pub struct Fig3Result {
     pub series: Vec<(Fig3Series, Vec<Fig3Point>)>,
 }
 
-/// PosMap-ORAM block size following [26]: 32 bytes, i.e. X = 8 leaves.
+/// PosMap-ORAM block size following \[26\]: 32 bytes, i.e. X = 8 leaves.
 pub const POSMAP_BLOCK_BYTES: usize = 32;
 /// PosMap fan-out implied by 32-byte PosMap blocks.
 pub const X: u64 = 8;

@@ -1,5 +1,5 @@
 //! Figure 8: the comparison against the prior-art Recursive ORAM of Ren et
-//! al. [26], under that paper's own parameters (4 DRAM channels, 2.6 GHz
+//! al. \[26\], under that paper's own parameters (4 DRAM channels, 2.6 GHz
 //! core, 128-byte cache lines and ORAM blocks, Z = 3).
 //!
 //! Three design points are compared: the `R_X8` baseline, `PC_X64` (PLB +

@@ -1,4 +1,4 @@
-//! Figure 9: speedup of PC_X32 over a Phantom-style [21] configuration that
+//! Figure 9: speedup of PC_X32 over a Phantom-style \[21\] configuration that
 //! avoids recursion by using 4 KB ORAM blocks and an entirely on-chip PosMap.
 //!
 //! The paper reports a ~10× average speedup: a 64-byte-block recursive design

@@ -1,7 +1,7 @@
 //! §6.3: PMMAC's hash-bandwidth advantage over Merkle-tree integrity
 //! verification.
 //!
-//! A Merkle scheme ([25]) must hash every block of the accessed path
+//! A Merkle scheme (\[25\]) must hash every block of the accessed path
 //! (Z·(L+1) blocks) to check and update the root; PMMAC hashes only the
 //! block of interest.  The paper quotes reductions of 68× for L = 16 and
 //! 132× for L = 32 (Z = 4).  This driver reports both the analytic ratio and

@@ -1,4 +1,4 @@
-//! A timing model of the Phantom [21] design point used in Figure 9: a
+//! A timing model of the Phantom \[21\] design point used in Figure 9: a
 //! non-recursive Path ORAM with 4 KB blocks, the whole PosMap on chip, and a
 //! small on-chip *block buffer* that caches recently fetched 4 KB ORAM blocks
 //! (Section 5.7 of the Phantom paper; 32 KB with CLOCK eviction).

@@ -29,7 +29,7 @@ pub struct SimulationConfig {
     /// DRAM channel count.
     pub dram_channels: usize,
     /// Processor clock in MHz (1300 in Table 1, 2600 in the Figure 8
-    /// configuration of [26]).
+    /// configuration of \[26\]).
     pub cpu_clock_mhz: f64,
     /// Average insecure DRAM access latency in CPU cycles (58 at 1.3 GHz).
     pub insecure_latency: u64,
@@ -65,7 +65,7 @@ impl SimulationConfig {
         }
     }
 
-    /// The configuration of Ren et al. [26] used for Figure 8: 4 DRAM
+    /// The configuration of Ren et al. \[26\] used for Figure 8: 4 DRAM
     /// channels, a 2.6 GHz core, 128-byte cache lines / ORAM blocks, Z = 3.
     pub fn isca13_params() -> Self {
         Self {
