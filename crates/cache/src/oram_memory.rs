@@ -105,6 +105,36 @@ mod tests {
     }
 
     #[test]
+    fn a_sharded_service_client_works_behind_the_adapter() {
+        // `OramClient` implements `Oram`, so the full secure-processor
+        // stack can run over a sharded, worker-thread-backed deployment
+        // with no adapter changes.
+        let service = OramBuilder::for_scheme(SchemePoint::Insecure)
+            .num_blocks(1 << 10)
+            .block_bytes(64)
+            .shards(4)
+            .build_service()
+            .unwrap();
+        let mut cpu = SecureProcessor::new(
+            ProcessorConfig::default(),
+            FunctionalOramMemory::new(service.client(), 1200),
+        );
+        for i in 0..3000u64 {
+            cpu.step(3, (i * 4099 * 64) % (1 << 16), i % 5 == 0);
+        }
+        let result = cpu.result();
+        assert!(result.llc_misses > 0);
+        // The client's `stats()` is a fetched snapshot: refresh it, then
+        // the usual bookkeeping identity holds across all shards.
+        let stats = cpu.memory_mut().oram_mut().fetch_stats().unwrap();
+        assert_eq!(
+            stats.frontend_requests,
+            result.llc_misses + result.llc_writebacks,
+            "every LLC miss and writeback becomes exactly one ORAM request"
+        );
+    }
+
+    #[test]
     fn trait_objects_work_behind_the_adapter() {
         let oram = OramBuilder::for_scheme(SchemePoint::Insecure)
             .num_blocks(1 << 10)

@@ -29,6 +29,8 @@ use crate::frontend::FreecursiveOram;
 use crate::insecure::InsecureOram;
 use crate::recursive::{RecursiveOram, RecursiveOramConfig};
 use crate::scheme::SchemePoint;
+use crate::service::OramService;
+use crate::sharded::ShardedOram;
 use crate::traits::Oram;
 use path_oram::{EncryptionMode, OramBackend, PathOramBackend};
 
@@ -50,6 +52,7 @@ pub struct OramBuilder {
     encryption: Option<EncryptionMode>,
     stash_capacity: Option<usize>,
     seed: Option<u64>,
+    shards: u64,
 }
 
 impl OramBuilder {
@@ -69,6 +72,7 @@ impl OramBuilder {
             encryption: None,
             stash_capacity: None,
             seed: None,
+            shards: 1,
         }
     }
 
@@ -151,6 +155,17 @@ impl OramBuilder {
     /// Sets the RNG/key seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = Some(seed);
+        self
+    }
+
+    /// Sets the number of shards for [`OramBuilder::build_sharded`] /
+    /// [`OramBuilder::build_service`] (default 1).  `num_blocks` stays the
+    /// *global* capacity: it is divided across the shards, padding the
+    /// per-shard capacity up to `ceil(num_blocks / n)` when it doesn't
+    /// divide evenly (so the composite's reported capacity rounds up to
+    /// `n * ceil(num_blocks / n)`).
+    pub fn shards(mut self, n: u64) -> Self {
+        self.shards = n;
         self
     }
 
@@ -315,15 +330,91 @@ impl OramBuilder {
     /// Builds the design point as a trait object — the uniform entry point
     /// when the caller doesn't care which frontend serves the scheme.
     ///
+    /// Honours every knob, including [`OramBuilder::shards`]: with more
+    /// than one shard this returns the [`ShardedOram`] composite (for the
+    /// worker-thread runtime use [`OramBuilder::build_service`], which has
+    /// no trait-object shape to return).
+    ///
     /// # Errors
     ///
     /// Any configuration or backend construction failure for the scheme.
     pub fn build(&self) -> Result<Box<dyn Oram>, FreecursiveError> {
+        if self.shards > 1 {
+            return Ok(Box::new(self.build_sharded()?));
+        }
         Ok(match self.scheme {
             SchemePoint::Insecure => Box::new(self.build_insecure()?),
             SchemePoint::RX8 => Box::new(self.build_recursive()?),
             _ => Box::new(self.build_freecursive()?),
         })
+    }
+
+    /// Builds the [`OramBuilder::shards`] shard instances: the global
+    /// `num_blocks` is divided across the shards (padding the per-shard
+    /// capacity to `ceil(num_blocks / shards)` for uneven splits), the
+    /// shared configuration is validated **once**, and each shard gets a
+    /// distinct RNG/key seed (`base_seed + shard_index`, base 1 unless
+    /// [`OramBuilder::seed`] was set) so shards never share randomness or
+    /// keys.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Degenerate`] for zero shards, otherwise as for
+    /// [`OramBuilder::build`] on the per-shard configuration.
+    fn shard_instances(&self) -> Result<Vec<Box<dyn Oram>>, FreecursiveError> {
+        if self.shards == 0 {
+            return Err(ConfigError::Degenerate.into());
+        }
+        let per_shard = self.num_blocks.div_ceil(self.shards);
+        let base_seed = self.seed.unwrap_or(1);
+        // The prototype builds ONE shard: its own shard count must be 1 or
+        // the `build()` call below would recurse into `build_sharded`.
+        let prototype = self.clone().num_blocks(per_shard).shards(1);
+        // Validate the shared configuration once, up front, so a bad knob
+        // combination fails identically for every shard count (the
+        // per-shard builds below re-use the already-validated settings and
+        // differ only in seed).
+        match self.scheme {
+            SchemePoint::Insecure => {}
+            SchemePoint::RX8 => {
+                prototype.recursive_config()?;
+            }
+            _ => {
+                prototype.freecursive_config()?;
+            }
+        }
+        (0..self.shards)
+            .map(|shard| {
+                prototype
+                    .clone()
+                    .seed(base_seed.wrapping_add(shard))
+                    .build()
+            })
+            .collect()
+    }
+
+    /// Builds a [`ShardedOram`] composite: `shards` independent instances
+    /// of this design point behind the low-bits address router, executing
+    /// on the caller's thread.  See [`OramBuilder::shards`] for how
+    /// `num_blocks` is split.
+    ///
+    /// # Errors
+    ///
+    /// As for [`OramBuilder::build`], plus [`ConfigError::Degenerate`] for
+    /// zero shards.
+    pub fn build_sharded(&self) -> Result<ShardedOram, FreecursiveError> {
+        ShardedOram::new(self.shard_instances()?)
+    }
+
+    /// Builds a running [`OramService`]: the same shards as
+    /// [`OramBuilder::build_sharded`], each on its own worker thread,
+    /// driven through [`crate::OramClient`] handles.
+    ///
+    /// # Errors
+    ///
+    /// As for [`OramBuilder::build_sharded`], plus thread-spawn failures.
+    pub fn build_service(&self) -> Result<OramService, FreecursiveError> {
+        OramService::from_shards(self.shard_instances()?)
     }
 }
 
@@ -414,6 +505,84 @@ mod tests {
                 .num_blocks(1 << 12)
                 .x(1 << 20)
                 .freecursive_config(),
+            Err(FreecursiveError::Config(ConfigError::XTooLarge { .. }))
+        ));
+    }
+
+    #[test]
+    fn build_sharded_divides_capacity_and_pads_uneven_splits() {
+        use crate::traits::Oram as _;
+        // Even split: 64 blocks over 4 shards of 16.
+        let oram = OramBuilder::for_scheme(SchemePoint::Insecure)
+            .num_blocks(64)
+            .block_bytes(16)
+            .shards(4)
+            .build_sharded()
+            .unwrap();
+        assert_eq!(oram.num_shards(), 4);
+        assert_eq!(oram.num_blocks(), 64);
+        // Uneven split: 10 blocks over 4 shards pads each to ceil(10/4) = 3,
+        // reported capacity 12 — and the whole padded space is usable.
+        let mut oram = OramBuilder::for_scheme(SchemePoint::Insecure)
+            .num_blocks(10)
+            .block_bytes(16)
+            .shards(4)
+            .build_sharded()
+            .unwrap();
+        assert_eq!(oram.num_blocks(), 12);
+        for addr in 0..12u64 {
+            oram.write(addr, &[addr as u8; 16]).unwrap();
+            assert_eq!(oram.read(addr).unwrap(), vec![addr as u8; 16]);
+        }
+        // Zero shards is a configuration error.
+        assert!(matches!(
+            OramBuilder::for_scheme(SchemePoint::Insecure)
+                .num_blocks(8)
+                .shards(0)
+                .build_sharded(),
+            Err(FreecursiveError::Config(ConfigError::Degenerate))
+        ));
+    }
+
+    #[test]
+    fn build_honours_the_shards_knob() {
+        use crate::traits::Oram as _;
+        // The uniform trait-object entry point must not silently ignore
+        // `.shards(n)`: with 4 shards over 10 blocks it returns the
+        // composite, observable through the padded capacity (12, not 10).
+        let mut oram = OramBuilder::for_scheme(SchemePoint::Insecure)
+            .num_blocks(10)
+            .block_bytes(16)
+            .shards(4)
+            .build()
+            .unwrap();
+        assert_eq!(oram.num_blocks(), 12);
+        oram.write(11, &[3u8; 16]).unwrap();
+        assert_eq!(oram.read(11).unwrap(), vec![3u8; 16]);
+    }
+
+    #[test]
+    fn sharded_tree_schemes_build_from_one_validated_config() {
+        use crate::traits::Oram as _;
+        // A real tree scheme across shards: each shard is an independent
+        // PicX32 instance at a quarter of the capacity.
+        let mut oram = OramBuilder::for_scheme(SchemePoint::PicX32)
+            .num_blocks(1 << 10)
+            .block_bytes(64)
+            .onchip_entries(32)
+            .shards(4)
+            .build_sharded()
+            .unwrap();
+        oram.write(1023, &[0xCD; 64]).unwrap();
+        assert_eq!(oram.read(1023).unwrap(), vec![0xCD; 64]);
+        // An invalid knob fails at the shared-config validation, before any
+        // shard is built.
+        assert!(matches!(
+            OramBuilder::for_scheme(SchemePoint::PcX32)
+                .num_blocks(1 << 10)
+                .x(1 << 20)
+                .shards(4)
+                .build_sharded(),
             Err(FreecursiveError::Config(ConfigError::XTooLarge { .. }))
         ));
     }

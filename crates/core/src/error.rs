@@ -86,13 +86,56 @@ pub enum FreecursiveError {
         /// The unified address whose MAC failed to verify.
         addr: u64,
     },
+    /// A request inside a batch failed: the index pins down *which* request,
+    /// the source says why.  Produced by [`crate::Oram::access_batch`] and
+    /// the sharded/service fan-out paths so batch callers never have to
+    /// bisect a failing batch by hand.
+    Batch {
+        /// Position of the failing request within the submitted batch.
+        index: usize,
+        /// The underlying failure.
+        source: Box<FreecursiveError>,
+    },
+    /// The [`crate::OramService`] runtime failed: a shard worker panicked,
+    /// was shut down, or its channel disconnected.  Clients receive this
+    /// instead of hanging on a dead worker.
+    Service {
+        /// Human-readable description of what happened to the worker.
+        detail: String,
+    },
 }
 
 impl FreecursiveError {
     /// Whether this error is an integrity violation (the halt-the-processor
-    /// condition of the threat model).
+    /// condition of the threat model).  Sees through [`Self::Batch`]
+    /// wrapping.
     pub fn is_integrity_violation(&self) -> bool {
-        matches!(self, FreecursiveError::Integrity { .. })
+        match self {
+            FreecursiveError::Integrity { .. } => true,
+            FreecursiveError::Batch { source, .. } => source.is_integrity_violation(),
+            _ => false,
+        }
+    }
+
+    /// Wraps this error with the index of the batch request that produced
+    /// it.  Already-wrapped errors keep their (innermost-batch) index: the
+    /// sharded fan-out re-wraps with the *global* index explicitly instead.
+    pub fn with_batch_index(self, index: usize) -> FreecursiveError {
+        match self {
+            already @ FreecursiveError::Batch { .. } => already,
+            source => FreecursiveError::Batch {
+                index,
+                source: Box::new(source),
+            },
+        }
+    }
+
+    /// Strips [`Self::Batch`] wrapping, returning the underlying failure.
+    pub fn into_source(self) -> FreecursiveError {
+        match self {
+            FreecursiveError::Batch { source, .. } => source.into_source(),
+            other => other,
+        }
     }
 }
 
@@ -107,6 +150,12 @@ impl std::fmt::Display for FreecursiveError {
                     "integrity violation on block {addr:#x} (tampered or replayed memory)"
                 )
             }
+            FreecursiveError::Batch { index, source } => {
+                write!(f, "request {index} in batch failed: {source}")
+            }
+            FreecursiveError::Service { detail } => {
+                write!(f, "oram service failure: {detail}")
+            }
         }
     }
 }
@@ -116,7 +165,8 @@ impl std::error::Error for FreecursiveError {
         match self {
             FreecursiveError::Config(e) => Some(e),
             FreecursiveError::Backend(e) => Some(e),
-            FreecursiveError::Integrity { .. } => None,
+            FreecursiveError::Batch { source, .. } => Some(source),
+            FreecursiveError::Integrity { .. } | FreecursiveError::Service { .. } => None,
         }
     }
 }
@@ -157,6 +207,33 @@ mod tests {
         assert!(e.is_integrity_violation());
         let e: FreecursiveError = OramError::MissingWriteData.into();
         assert_eq!(e, FreecursiveError::Backend(OramError::MissingWriteData));
+        assert!(!e.is_integrity_violation());
+    }
+
+    #[test]
+    fn batch_wrapping_reports_the_index_and_preserves_the_source() {
+        let e = FreecursiveError::from(OramError::MissingWriteData).with_batch_index(17);
+        assert!(e.to_string().contains("request 17"));
+        // Re-wrapping keeps the innermost index.
+        let rewrapped = e.clone().with_batch_index(99);
+        assert_eq!(rewrapped, e);
+        assert_eq!(
+            e.into_source(),
+            FreecursiveError::Backend(OramError::MissingWriteData)
+        );
+        // Integrity violations stay recognisable through the wrapper.
+        let halt = FreecursiveError::Integrity { addr: 3 }.with_batch_index(0);
+        assert!(halt.is_integrity_violation());
+        use std::error::Error as _;
+        assert!(halt.source().is_some());
+    }
+
+    #[test]
+    fn service_errors_carry_detail() {
+        let e = FreecursiveError::Service {
+            detail: "shard 2 worker panicked".into(),
+        };
+        assert!(e.to_string().contains("shard 2"));
         assert!(!e.is_integrity_violation());
     }
 

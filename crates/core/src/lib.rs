@@ -29,6 +29,13 @@
 //! regenerates the paper's figures lives in the `oram-sim` crate; the Path
 //! ORAM backend substrate in `path-oram`.
 //!
+//! On top of the single-instance controllers sits the scale-out layer:
+//! [`ShardedOram`] (an address-partitioned composite of independent
+//! instances, itself an [`Oram`] — see [`sharded`]) and
+//! [`OramService`]/[`OramClient`] (the same shards on worker threads behind
+//! cheaply-clonable client handles — see [`service`]), both built through
+//! [`OramBuilder::shards`].
+//!
 //! # Quick start
 //!
 //! ```
@@ -70,6 +77,8 @@ pub mod insecure;
 pub mod payload;
 pub mod recursive;
 pub mod scheme;
+pub mod service;
+pub mod sharded;
 pub mod stats;
 pub mod traits;
 
@@ -82,8 +91,27 @@ pub use frontend::FreecursiveOram;
 pub use insecure::InsecureOram;
 pub use recursive::{RecursiveOram, RecursiveOramConfig};
 pub use scheme::SchemePoint;
+pub use service::{OramClient, OramService, PendingBatch};
+pub use sharded::{ShardRouter, ShardedOram};
 pub use stats::FrontendStats;
 pub use traits::{Oram, Request, Response};
 
 // Re-export the substrate types callers commonly need alongside the frontend.
 pub use path_oram::{EncryptionMode, InsecureBackend, OramBackend, OramError, PathOramBackend};
+
+// `Oram: Send` is a supertrait promise; pin it down for every frontend (the
+// backends carry their own assertions in `path_oram`, the PosMap structures
+// in `posmap`).  A non-`Send` field added to any of these becomes a compile
+// error here instead of a distant one at an `OramService` call site.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<FreecursiveOram<PathOramBackend>>();
+    assert_send::<FreecursiveOram<InsecureBackend>>();
+    assert_send::<RecursiveOram<PathOramBackend>>();
+    assert_send::<RecursiveOram<InsecureBackend>>();
+    assert_send::<InsecureOram>();
+    assert_send::<Box<dyn Oram>>();
+    assert_send::<ShardedOram>();
+    assert_send::<OramClient>();
+    assert_send::<OramService>();
+};

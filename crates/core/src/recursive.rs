@@ -316,8 +316,21 @@ impl<B: OramBackend> Oram for RecursiveOram<B> {
     fn access_batch(&mut self, requests: &[Request]) -> Result<Vec<Response>, FreecursiveError> {
         requests
             .iter()
-            .map(|request| self.access_ref(request))
+            .enumerate()
+            .map(|(index, request)| {
+                self.access_ref(request)
+                    .map_err(|e| e.with_batch_index(index))
+            })
             .collect()
+    }
+
+    fn access_batch_owned(
+        &mut self,
+        requests: Vec<Request>,
+    ) -> Result<Vec<Response>, FreecursiveError> {
+        // The by-ref override already borrows write payloads without
+        // cloning, so the owned path needs no separate implementation.
+        self.access_batch(&requests)
     }
 
     fn read(&mut self, addr: u64) -> Result<Vec<u8>, FreecursiveError> {

@@ -29,7 +29,11 @@ use std::collections::HashSet;
 /// deployment must satisfy Property 1 of §6.5.2: an access reveals only the
 /// leaf supplied by the frontend and a fixed amount of (encrypted) data
 /// written back.
-pub trait OramBackend {
+///
+/// `Send` is a supertrait: backends move into per-shard worker threads in a
+/// sharded deployment, so every implementation must be transferable across
+/// threads (all in-tree backends are — they hold only owned buffers).
+pub trait OramBackend: Send {
     /// Builds a backend for the given geometry.
     ///
     /// `encryption`, `key` and `seed` configure the bucket cipher and any

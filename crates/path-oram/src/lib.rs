@@ -75,3 +75,18 @@ pub use stash::Stash;
 pub use stats::BackendStats;
 pub use storage::TreeStorage;
 pub use types::{AccessOp, BlockData, BlockId, Leaf};
+
+// `OramBackend: Send` is a supertrait promise (backends move into per-shard
+// worker threads in a sharded deployment); pin it down at compile time for
+// every backend and the building blocks they own, so a non-`Send` field
+// added to any of them fails here rather than at a distant frontend call
+// site.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<PathOramBackend>();
+    assert_send::<InsecureBackend>();
+    assert_send::<TreeStorage>();
+    assert_send::<Stash>();
+    assert_send::<BucketCipher>();
+    assert_send::<Box<dyn OramBackend>>();
+};

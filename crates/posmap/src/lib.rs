@@ -47,3 +47,15 @@ pub use compressed::CompressedPosMapBlock;
 pub use onchip::OnChipPosMap;
 pub use plb::{Plb, PlbEntry, PlbStats};
 pub use uncompressed::UncompressedPosMapBlock;
+
+// The frontends holding these structures promise `Send` (the `Oram` trait's
+// supertrait); pin the promise down here so a non-`Send` field added to any
+// PosMap structure fails at compile time in this crate.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<RecursionAddressing>();
+    assert_send::<CompressedPosMapBlock>();
+    assert_send::<UncompressedPosMapBlock>();
+    assert_send::<OnChipPosMap>();
+    assert_send::<Plb<Vec<u8>>>();
+};

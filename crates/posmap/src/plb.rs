@@ -34,6 +34,14 @@ impl PlbStats {
             Some(self.hits as f64 / total as f64)
         }
     }
+
+    /// Adds another PLB's counters into this one (for merged views over
+    /// several frontends, e.g. a sharded deployment's per-shard PLBs).
+    pub fn accumulate(&mut self, other: &PlbStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+    }
 }
 
 /// One PLB-resident PosMap block.
