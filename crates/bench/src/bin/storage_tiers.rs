@@ -1,0 +1,235 @@
+//! Produces `BENCH_storage.json`: Path ORAM backend throughput over the two
+//! tree stores behind the `TreeStore` seam — the in-memory arena
+//! (`MemStore`) and the file-backed sparse tree (`FileStore`) — at the
+//! 1M-block / 64-byte encrypted design point.
+//!
+//! The headline purpose is the CI gate on the **mem** rate: the trait seam
+//! sits directly on the hot path, so a regression there means the seam (or
+//! the eviction restructure around it) got more expensive.  The file rate
+//! is informational — it depends on the page cache and the disk, and its
+//! point is capacity beyond RAM plus persistence, not matching DRAM.
+//!
+//! Usage: `cargo run --release -p bench --bin storage_tiers`
+//!
+//! Flags:
+//!
+//! * `--quick` — small geometry, short windows (local iteration).
+//! * `--smoke` — CI profile: full design point, short windows.
+//! * `--gate <baseline.json>` — compare the fresh mem-store accesses/sec
+//!   against `baseline.json`; exit non-zero on a regression of more than
+//!   [`GATE_TOLERANCE`].
+//! * `--out <path>` — redirect the JSON (default `BENCH_storage.json`).
+
+use path_oram::{AccessOp, EncryptionMode, OramBackend, OramParams, PathOramBackend, StorageKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Allowed fractional regression of the mem-store accesses/sec before the
+/// `--gate` check fails (20%, matching the other perf-smoke gates).
+const GATE_TOLERANCE: f64 = 0.20;
+
+struct Measurement {
+    accesses: u64,
+    accesses_per_sec: f64,
+    bytes_per_access: f64,
+    max_stash_occupancy: usize,
+}
+
+impl Measurement {
+    fn json(&self, indent: &str) -> String {
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\n{indent}  \"accesses\": {},\n{indent}  \"accesses_per_sec\": {:.1},\n\
+             {indent}  \"ns_per_access\": {:.1},\n{indent}  \"bytes_moved_per_access\": {:.1},\n\
+             {indent}  \"max_stash_occupancy\": {}\n{indent}}}",
+            self.accesses,
+            self.accesses_per_sec,
+            1e9 / self.accesses_per_sec,
+            self.bytes_per_access,
+            self.max_stash_occupancy,
+        );
+        s
+    }
+}
+
+/// The standard mixed read/write workload over one backend; best-of-windows
+/// rate, counters normalised over the whole run.
+fn measure(
+    backend: &mut PathOramBackend,
+    warmup: u64,
+    min_accesses: u64,
+    min_secs: f64,
+    max_accesses: u64,
+    windows: u32,
+) -> Measurement {
+    let n = backend.params().num_blocks;
+    let leaves = backend.params().num_leaves();
+    let block_bytes = backend.params().block_bytes;
+    let mut rng = StdRng::seed_from_u64(0x5708A6E);
+    let mut posmap: Vec<u64> = (0..n).map(|_| rng.gen_range(0..leaves)).collect();
+    let mut out = Vec::new();
+    let write_data = vec![0x5Du8; block_bytes];
+
+    let mut one = |backend: &mut PathOramBackend, i: u64, rng: &mut StdRng, posmap: &mut [u64]| {
+        let addr = rng.gen_range(0..n);
+        let new_leaf = rng.gen_range(0..leaves);
+        let old_leaf = posmap[addr as usize];
+        posmap[addr as usize] = new_leaf;
+        let op = if i.is_multiple_of(2) {
+            AccessOp::Read
+        } else {
+            AccessOp::Write
+        };
+        let data = (op == AccessOp::Write).then_some(&write_data[..]);
+        backend
+            .access_into(op, addr, old_leaf, new_leaf, data, &mut out)
+            .expect("benchmark access");
+    };
+
+    for i in 0..warmup {
+        one(backend, i, &mut rng, &mut posmap);
+    }
+    backend.reset_stats();
+
+    let mut total = 0u64;
+    let mut best_rate = 0f64;
+    for _ in 0..windows {
+        let start = Instant::now();
+        let mut done = 0u64;
+        loop {
+            for i in 0..256 {
+                one(backend, done + i, &mut rng, &mut posmap);
+            }
+            done += 256;
+            let secs = start.elapsed().as_secs_f64();
+            if done >= max_accesses || (done >= min_accesses && secs >= min_secs) {
+                break;
+            }
+        }
+        let rate = done as f64 / start.elapsed().as_secs_f64();
+        best_rate = best_rate.max(rate);
+        total += done;
+    }
+    let stats = backend.stats();
+    Measurement {
+        accesses: total,
+        accesses_per_sec: best_rate,
+        bytes_per_access: (stats.bytes_read + stats.bytes_written) as f64 / total as f64,
+        max_stash_occupancy: stats.max_stash_occupancy,
+    }
+}
+
+/// Extracts the `"accesses_per_sec"` of the `"store": "mem"` tier from a
+/// `BENCH_storage.json` produced by this binary.
+fn parse_mem_rate(json: &str) -> Option<f64> {
+    let tier = json.find("\"store\": \"mem\"")?;
+    let key = "\"accesses_per_sec\": ";
+    let rate = tier + json[tier..].find(key)? + key.len();
+    let end = json[rate..].find([',', '\n', '}'])?;
+    json[rate..rate + end].trim().parse().ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let gate_path = args
+        .iter()
+        .position(|a| a == "--gate")
+        .and_then(|i| args.get(i + 1));
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_storage.json", |s| s.as_str());
+
+    let num_blocks: u64 = if quick { 1 << 16 } else { 1 << 20 };
+    let block_bytes = 64usize;
+    let params = OramParams::new(num_blocks, block_bytes, 4);
+    let (warmup, min_accesses, min_secs, max_accesses, windows) = if smoke {
+        (2_000, 4_000, 0.8, 200_000, 3)
+    } else if quick {
+        (1_000, 2_000, 0.2, 50_000, 2)
+    } else {
+        (8_000, 15_000, 1.5, 1_000_000, 3)
+    };
+
+    let mut mem_rate = 0f64;
+    let mut tiers_json = String::new();
+    for (i, (label, kind)) in [("mem", StorageKind::Mem), ("file", StorageKind::TempFile)]
+        .into_iter()
+        .enumerate()
+    {
+        eprintln!("measuring storage tier: {label} ...");
+        let mut backend = PathOramBackend::new_with_storage(
+            params,
+            EncryptionMode::GlobalSeed,
+            [2u8; 16],
+            0,
+            &kind,
+            0,
+        )
+        .expect("backend construction");
+        let m = measure(
+            &mut backend,
+            warmup,
+            min_accesses,
+            min_secs,
+            max_accesses,
+            windows,
+        );
+        eprintln!("  {label:>4}: {:>10.0} acc/s", m.accesses_per_sec);
+        if label == "mem" {
+            mem_rate = m.accesses_per_sec;
+        }
+        if i > 0 {
+            tiers_json.push_str(",\n");
+        }
+        let _ = write!(
+            tiers_json,
+            "    {{\n      \"store\": \"{label}\",\n      \"result\": {}\n    }}",
+            m.json("      "),
+        );
+    }
+
+    let profile = if smoke {
+        "smoke"
+    } else if quick {
+        "quick"
+    } else {
+        "full"
+    };
+    let json = format!(
+        "{{\n  \"benchmark\": \"storage_tiers\",\n  \"profile\": \"{profile}\",\n  \
+         \"mode\": \"aes_global_seed\",\n  \"design_point\": {{\n    \"num_blocks\": {num_blocks},\n    \
+         \"block_bytes\": {block_bytes},\n    \"z\": 4,\n    \"levels\": {},\n    \
+         \"bucket_bytes\": {}\n  }},\n  \"tiers\": [\n{tiers_json}\n  ]\n}}\n",
+        params.levels(),
+        params.bucket_bytes(),
+    );
+    std::fs::write(out_path, &json).expect("write BENCH_storage.json");
+    eprintln!("wrote {out_path}");
+
+    if let Some(path) = gate_path {
+        let baseline =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("gate baseline {path}: {e}"));
+        let baseline_rate = parse_mem_rate(&baseline)
+            .unwrap_or_else(|| panic!("gate baseline {path} has no mem-store rate"));
+        let floor = baseline_rate * (1.0 - GATE_TOLERANCE);
+        eprintln!(
+            "perf gate: mem-store {mem_rate:.0} acc/s vs baseline {baseline_rate:.0} acc/s \
+             (floor {floor:.0})"
+        );
+        if mem_rate < floor {
+            eprintln!(
+                "perf gate FAILED: mem-store throughput regressed more than {:.0}%",
+                GATE_TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!("perf gate passed");
+    }
+}

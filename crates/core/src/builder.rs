@@ -32,7 +32,8 @@ use crate::scheme::SchemePoint;
 use crate::service::OramService;
 use crate::sharded::ShardedOram;
 use crate::traits::Oram;
-use path_oram::{EncryptionMode, OramBackend, PathOramBackend};
+use path_oram::{EncryptionMode, OramBackend, PathOramBackend, StorageKind};
+use std::path::Path;
 
 /// Builder for every ORAM design point of the evaluation.
 ///
@@ -53,6 +54,7 @@ pub struct OramBuilder {
     stash_capacity: Option<usize>,
     seed: Option<u64>,
     shards: u64,
+    storage: Option<StorageKind>,
 }
 
 impl OramBuilder {
@@ -73,6 +75,7 @@ impl OramBuilder {
             stash_capacity: None,
             seed: None,
             shards: 1,
+            storage: None,
         }
     }
 
@@ -169,6 +172,23 @@ impl OramBuilder {
         self
     }
 
+    /// Sets where the ORAM tree lives: the in-memory arena (default), a
+    /// file-backed store in a chosen directory, or a throwaway temp-file
+    /// store.  Unset, the ambient [`StorageKind::from_env`] resolution
+    /// applies (`ORAM_STORAGE=file` selects temp-file storage).  With
+    /// [`OramBuilder::shards`] > 1, file-backed shards descend into
+    /// `shard<i>/` subdirectories of the given directory.
+    pub fn storage(mut self, kind: StorageKind) -> Self {
+        self.storage = Some(kind);
+        self
+    }
+
+    /// The storage kind in effect (explicit override or environment
+    /// default).
+    pub fn storage_in_effect(&self) -> StorageKind {
+        self.storage.clone().unwrap_or_else(StorageKind::from_env)
+    }
+
     /// The block size in effect (explicit override or scheme default).
     pub fn block_bytes_in_effect(&self) -> usize {
         self.block_bytes
@@ -237,6 +257,9 @@ impl OramBuilder {
         if let Some(seed) = self.seed {
             config.seed = seed;
         }
+        if let Some(kind) = &self.storage {
+            config.storage = kind.clone();
+        }
         config.validate()?;
         Ok(config)
     }
@@ -265,6 +288,9 @@ impl OramBuilder {
         }
         if let Some(seed) = self.seed {
             config.seed = seed;
+        }
+        if let Some(kind) = &self.storage {
+            config.storage = kind.clone();
         }
         Ok(config)
     }
@@ -383,11 +409,15 @@ impl OramBuilder {
                 prototype.freecursive_config()?;
             }
         }
+        // File-backed storage descends into one subdirectory per shard, so
+        // shards never collide on tree files.
+        let storage = self.storage_in_effect();
         (0..self.shards)
             .map(|shard| {
                 prototype
                     .clone()
                     .seed(base_seed.wrapping_add(shard))
+                    .storage(storage.subdir(&format!("shard{shard}")))
                     .build()
             })
             .collect()
@@ -415,6 +445,54 @@ impl OramBuilder {
     /// As for [`OramBuilder::build_sharded`], plus thread-spawn failures.
     pub fn build_service(&self) -> Result<OramService, FreecursiveError> {
         OramService::from_shards(self.shard_instances()?)
+    }
+
+    /// Rebuilds an instance from a snapshot directory written by
+    /// [`crate::Oram::persist`], as a trait object.  The snapshot records
+    /// which frontend wrote it (Freecursive, Recursive baseline, Insecure,
+    /// or a sharded composite with per-shard subdirectories) and its full
+    /// configuration — including whether the tree was memory- or
+    /// file-backed; file-backed snapshots reopen their tree files in place,
+    /// so `dir` stays the live storage directory of the resumed instance.
+    ///
+    /// The resumed instance continues the exact request-for-request
+    /// behaviour of the persisted one: responses, final contents, stats
+    /// and randomness all match an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`FreecursiveError::Integrity`] if a state file fails its digest
+    /// check; [`FreecursiveError::Backend`] wrapping
+    /// [`path_oram::OramError::Snapshot`] /
+    /// [`path_oram::OramError::Storage`] for version mismatches, truncated
+    /// or missing files, and I/O failures; [`FreecursiveError::Config`] if
+    /// the recorded configuration no longer validates.
+    pub fn resume(dir: impl AsRef<Path>) -> Result<Box<dyn Oram>, FreecursiveError> {
+        Self::resume_at(dir.as_ref(), true)
+    }
+
+    fn resume_at(dir: &Path, allow_composite: bool) -> Result<Box<dyn Oram>, FreecursiveError> {
+        let (kind, payload) =
+            path_oram::snapshot::read_state_file(&crate::persist::state_path(dir))?;
+        match kind {
+            crate::persist::KIND_FREECURSIVE => {
+                Ok(Box::new(FreecursiveOram::<PathOramBackend>::resume(dir)?))
+            }
+            crate::persist::KIND_RECURSIVE => {
+                Ok(Box::new(RecursiveOram::<PathOramBackend>::resume(dir)?))
+            }
+            crate::persist::KIND_INSECURE => Ok(Box::new(InsecureOram::resume(dir)?)),
+            crate::persist::KIND_SHARDED if allow_composite => {
+                let mut r = path_oram::snapshot::SnapReader::new(&payload);
+                let num_shards = r.len(1 << 20)?;
+                r.finish()?;
+                let shards = (0..num_shards)
+                    .map(|index| Self::resume_at(&dir.join(format!("shard{index}")), false))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Box::new(ShardedOram::new(shards)?))
+            }
+            other => Err(crate::persist::wrong_kind("resumable ORAM", other).into()),
+        }
     }
 }
 

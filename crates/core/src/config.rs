@@ -18,7 +18,7 @@
 //! rather than calling the presets directly.
 
 use crate::error::ConfigError;
-use path_oram::EncryptionMode;
+use path_oram::{EncryptionMode, StorageKind};
 use posmap::compressed::{CompressedPosMapBlock, DEFAULT_ALPHA, DEFAULT_BETA};
 use serde::{Deserialize, Serialize};
 
@@ -106,6 +106,10 @@ pub struct FreecursiveConfig {
     pub stash_capacity: usize,
     /// Seed for deterministic key and leaf generation.
     pub seed: u64,
+    /// Where the unified tree lives (in-memory arena or file-backed store).
+    /// Defaults to the ambient [`StorageKind::from_env`] resolution, so the
+    /// `ORAM_STORAGE=file` test leg covers every construction site.
+    pub storage: StorageKind,
 }
 
 impl Default for FreecursiveConfig {
@@ -129,6 +133,7 @@ impl FreecursiveConfig {
             encryption: EncryptionMode::GlobalSeed,
             stash_capacity: path_oram::params::DEFAULT_STASH_CAPACITY,
             seed: 1,
+            storage: StorageKind::from_env(),
         }
     }
 

@@ -95,16 +95,21 @@ pub struct FreecursiveOram<B: OramBackend = PathOramBackend> {
     zero_block: Vec<u8>,
 }
 
-impl<B: OramBackend> FreecursiveOram<B> {
-    /// Builds the controller from a configuration.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`FreecursiveError::Config`] if the configuration fails
-    /// [`FreecursiveConfig::validate`], or [`FreecursiveError::Backend`] if
-    /// backend construction fails.
-    pub fn new(config: FreecursiveConfig) -> Result<Self, FreecursiveError> {
-        config.validate()?;
+/// Controller geometry and key material derived deterministically from a
+/// configuration — computed identically by `new` and the resume path, so a
+/// snapshot only needs to carry the configuration itself.
+struct Derived {
+    rec: RecursionAddressing,
+    params: OramParams,
+    leaf_level: u32,
+    enc_key: [u8; 16],
+    prf_key: [u8; 16],
+    mac_key: [u8; 16],
+    payload_bytes: usize,
+}
+
+impl Derived {
+    fn from_config(config: &FreecursiveConfig) -> Self {
         let x = config.x();
         let rec = RecursionAddressing::new(config.num_blocks, x, config.onchip_entries);
         let payload_bytes = config.block_bytes + if config.pmmac { MAC_BYTES } else { 0 };
@@ -122,7 +127,52 @@ impl<B: OramBackend> FreecursiveOram<B> {
         mac_key[..8].copy_from_slice(&config.seed.to_le_bytes());
         mac_key[8] = 0x3C;
 
-        let backend = B::new_backend(params, config.encryption, enc_key, config.seed)?;
+        Self {
+            rec,
+            params,
+            leaf_level,
+            enc_key,
+            prf_key,
+            mac_key,
+            payload_bytes,
+        }
+    }
+}
+
+impl<B: OramBackend> FreecursiveOram<B> {
+    /// Builds the controller from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FreecursiveError::Config`] if the configuration fails
+    /// [`FreecursiveConfig::validate`], or [`FreecursiveError::Backend`] if
+    /// backend construction fails.
+    pub fn new(config: FreecursiveConfig) -> Result<Self, FreecursiveError> {
+        config.validate()?;
+        let derived = Derived::from_config(&config);
+        let backend = B::new_backend_with(
+            derived.params,
+            config.encryption,
+            derived.enc_key,
+            config.seed,
+            &config.storage,
+            0,
+        )?;
+        Ok(Self::assemble(config, derived, backend))
+    }
+
+    /// Everything `new` does after the backend exists; shared with the
+    /// resume path, which constructs the backend from a snapshot instead.
+    fn assemble(config: FreecursiveConfig, derived: Derived, backend: B) -> Self {
+        let Derived {
+            rec,
+            params: _,
+            leaf_level,
+            prf_key,
+            mac_key,
+            payload_bytes,
+            ..
+        } = derived;
         let plb_blocks = (config.plb_capacity_bytes / config.block_bytes)
             .max(config.plb_associativity.max(1) * 4);
         let plb = Plb::new(
@@ -146,7 +196,7 @@ impl<B: OramBackend> FreecursiveOram<B> {
             }
         }
         let zero_block = vec![0u8; config.block_bytes];
-        Ok(Self {
+        Self {
             rng,
             prf: AesPrf::new(prf_key),
             mac_key: MacKey::new(mac_key),
@@ -161,7 +211,7 @@ impl<B: OramBackend> FreecursiveOram<B> {
             sealed_buf: Vec::with_capacity(payload_bytes),
             result_buf: Vec::new(),
             zero_block,
-        })
+        }
     }
 
     /// The recursion addressing in use (H, X, per-level block counts).
@@ -193,6 +243,206 @@ impl<B: OramBackend> FreecursiveOram<B> {
     /// Current PLB occupancy in blocks (diagnostics).
     pub fn plb_occupancy(&self) -> usize {
         self.plb.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot persistence
+    // ------------------------------------------------------------------
+
+    fn put_config(out: &mut Vec<u8>, config: &FreecursiveConfig) {
+        use path_oram::snapshot::{put_opt_u64, put_u64, put_u8};
+        let FreecursiveConfig {
+            num_blocks,
+            block_bytes,
+            z,
+            posmap_format,
+            x_override,
+            pmmac,
+            plb_capacity_bytes,
+            plb_associativity,
+            onchip_entries,
+            encryption,
+            stash_capacity,
+            seed,
+            storage,
+        } = config;
+        put_u64(out, *num_blocks);
+        put_u64(out, *block_bytes as u64);
+        put_u64(out, *z as u64);
+        crate::persist::put_posmap_format(out, *posmap_format);
+        put_opt_u64(out, *x_override);
+        path_oram::snapshot::put_bool(out, *pmmac);
+        put_u64(out, *plb_capacity_bytes as u64);
+        put_u64(out, *plb_associativity as u64);
+        put_u64(out, *onchip_entries);
+        crate::persist::put_encryption(out, *encryption);
+        put_u64(out, *stash_capacity as u64);
+        put_u64(out, *seed);
+        put_u8(out, storage.tag());
+    }
+
+    fn get_config(
+        r: &mut path_oram::snapshot::SnapReader<'_>,
+        dir: &std::path::Path,
+    ) -> Result<FreecursiveConfig, OramError> {
+        Ok(FreecursiveConfig {
+            num_blocks: r.u64()?,
+            block_bytes: r.u64()? as usize,
+            z: r.u64()? as usize,
+            posmap_format: crate::persist::get_posmap_format(r)?,
+            x_override: r.opt_u64()?,
+            pmmac: r.bool()?,
+            plb_capacity_bytes: r.u64()? as usize,
+            plb_associativity: r.u64()? as usize,
+            onchip_entries: r.u64()?,
+            encryption: crate::persist::get_encryption(r)?,
+            stash_capacity: r.u64()? as usize,
+            seed: r.u64()?,
+            storage: path_oram::StorageKind::from_tag(r.u8()?, dir)?,
+        })
+    }
+
+    /// Persists the whole instance into `dir`: configuration, on-chip
+    /// PosMap, PLB contents (with LRU order), RNG stream position,
+    /// statistics and the backend's controller state in a digest-sealed
+    /// `oram.state`, plus the unified tree's files written by the backend's
+    /// store.  Resume with [`crate::OramBuilder::resume`] (or
+    /// [`FreecursiveOram::resume`] for a concrete backend type); the
+    /// resumed instance's responses are byte-identical to an uninterrupted
+    /// run's.
+    ///
+    /// # Errors
+    ///
+    /// [`FreecursiveError::Backend`] wrapping storage/snapshot failures.
+    pub fn persist(&self, dir: &std::path::Path) -> Result<(), FreecursiveError> {
+        use path_oram::snapshot::{put_bytes, put_opt_u64, put_u64};
+        std::fs::create_dir_all(dir).map_err(|e| crate::persist::dir_error(dir, e))?;
+        let mut payload = Vec::new();
+        Self::put_config(&mut payload, &self.config);
+        crate::persist::put_rng_state(&mut payload, self.rng.state());
+        put_u64(&mut payload, self.onchip.entries().len() as u64);
+        for &entry in self.onchip.entries() {
+            put_u64(&mut payload, entry);
+        }
+        let num_sets = self.plb.iter_sets().count();
+        put_u64(&mut payload, num_sets as u64);
+        for set in self.plb.iter_sets() {
+            put_u64(&mut payload, set.len() as u64);
+            for entry in set {
+                put_u64(&mut payload, entry.unified_addr);
+                put_u64(&mut payload, entry.leaf);
+                put_opt_u64(&mut payload, entry.payload.counter);
+                put_bytes(
+                    &mut payload,
+                    &entry.payload.block.to_bytes(self.config.block_bytes),
+                );
+            }
+        }
+        crate::persist::put_plb_stats(&mut payload, &self.plb.stats());
+        crate::persist::put_frontend_stats(&mut payload, &self.stats);
+        let mut backend_state = Vec::new();
+        self.backend.save_state(&mut backend_state)?;
+        put_bytes(&mut payload, &backend_state);
+        path_oram::snapshot::write_state_file(
+            &crate::persist::state_path(dir),
+            crate::persist::KIND_FREECURSIVE,
+            &payload,
+        )?;
+        self.backend.persist_tree(dir, 0)?;
+        Ok(())
+    }
+
+    /// Rebuilds an instance from a snapshot directory written by
+    /// [`FreecursiveOram::persist`].
+    ///
+    /// # Errors
+    ///
+    /// [`FreecursiveError::Integrity`] if the state file fails its digest
+    /// check, [`FreecursiveError::Backend`] wrapping
+    /// [`OramError::Snapshot`]/[`OramError::Storage`] for version
+    /// mismatches, truncation, or I/O failures.
+    pub fn resume(dir: &std::path::Path) -> Result<Self, FreecursiveError> {
+        use path_oram::snapshot::SnapReader;
+        let (kind, payload) =
+            path_oram::snapshot::read_state_file(&crate::persist::state_path(dir))?;
+        if kind != crate::persist::KIND_FREECURSIVE {
+            return Err(crate::persist::wrong_kind("Freecursive ORAM", kind).into());
+        }
+        let mut r = SnapReader::new(&payload);
+        let config = Self::get_config(&mut r, dir)?;
+        config.validate()?;
+        let rng_state = crate::persist::get_rng_state(&mut r)?;
+        let onchip_count = r.len(r.remaining() / 8)?;
+        let mut onchip_entries = Vec::with_capacity(onchip_count);
+        for _ in 0..onchip_count {
+            onchip_entries.push(r.u64()?);
+        }
+        let num_sets = r.len(r.remaining())?;
+        let x = config.x();
+        let mut sets: Vec<Vec<PlbEntry<PlbPayload>>> = Vec::with_capacity(num_sets);
+        for _ in 0..num_sets {
+            let set_len = r.len(r.remaining())?;
+            let mut set = Vec::with_capacity(set_len);
+            for _ in 0..set_len {
+                let unified_addr = r.u64()?;
+                let leaf = r.u64()?;
+                let counter = r.opt_u64()?;
+                let block_bytes = r.bytes()?;
+                let block = PosMapBlockPayload::from_bytes(block_bytes, config.posmap_format, x);
+                set.push(PlbEntry {
+                    unified_addr,
+                    leaf,
+                    payload: PlbPayload { block, counter },
+                });
+            }
+            sets.push(set);
+        }
+        let plb_stats = crate::persist::get_plb_stats(&mut r)?;
+        let stats = crate::persist::get_frontend_stats(&mut r)?;
+        let backend_state = r.bytes()?.to_vec();
+        r.finish()?;
+
+        let derived = Derived::from_config(&config);
+        let backend = B::resume_backend(
+            derived.params,
+            config.encryption,
+            derived.enc_key,
+            config.seed,
+            &config.storage,
+            dir,
+            0,
+            &backend_state,
+        )?;
+        let mut oram = Self::assemble(config, derived, backend);
+        oram.rng = StdRng::from_state(rng_state);
+        if !oram.onchip.load_entries(&onchip_entries) {
+            return Err(OramError::Snapshot {
+                detail: "on-chip posmap size does not match the configuration".into(),
+            }
+            .into());
+        }
+        if num_sets != oram.plb.iter_sets().count() {
+            return Err(OramError::Snapshot {
+                detail: "plb set count does not match the configuration".into(),
+            }
+            .into());
+        }
+        // Re-inserting set by set in saved order restores residency and LRU
+        // state exactly (the index function is unchanged); an eviction here
+        // would mean the snapshot disagrees with the configured geometry.
+        for set in sets {
+            for entry in set {
+                if oram.plb.insert(entry).is_some() {
+                    return Err(OramError::Snapshot {
+                        detail: "plb snapshot overflows the configured associativity".into(),
+                    }
+                    .into());
+                }
+            }
+        }
+        oram.plb.set_stats(plb_stats);
+        oram.stats = stats;
+        Ok(oram)
     }
 
     // ------------------------------------------------------------------
@@ -736,6 +986,10 @@ impl<B: OramBackend> Oram for FreecursiveOram<B> {
         self.stats = FrontendStats::default();
         self.plb.reset_stats();
         self.backend.reset_stats();
+    }
+
+    fn persist(&self, dir: &std::path::Path) -> Result<(), FreecursiveError> {
+        FreecursiveOram::persist(self, dir)
     }
 }
 

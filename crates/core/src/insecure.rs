@@ -45,6 +45,67 @@ impl InsecureOram {
         &self.backend
     }
 
+    /// Persists the flat memory into `dir` (one digest-sealed state file;
+    /// there are no tree files).  Mostly useful so sharded composites with
+    /// `Insecure` shards can persist uniformly.
+    ///
+    /// # Errors
+    ///
+    /// [`FreecursiveError::Backend`] wrapping storage failures.
+    pub fn persist(&self, dir: &std::path::Path) -> Result<(), FreecursiveError> {
+        use path_oram::snapshot::{put_bytes, put_u64};
+        use path_oram::OramBackend as _;
+        std::fs::create_dir_all(dir).map_err(|e| crate::persist::dir_error(dir, e))?;
+        let mut payload = Vec::new();
+        put_u64(&mut payload, self.num_blocks);
+        put_u64(&mut payload, self.block_bytes as u64);
+        crate::persist::put_frontend_stats(&mut payload, &self.stats);
+        let mut backend_state = Vec::new();
+        self.backend.save_state(&mut backend_state)?;
+        put_bytes(&mut payload, &backend_state);
+        path_oram::snapshot::write_state_file(
+            &crate::persist::state_path(dir),
+            crate::persist::KIND_INSECURE,
+            &payload,
+        )?;
+        Ok(())
+    }
+
+    /// Rebuilds an instance from a snapshot directory written by
+    /// [`InsecureOram::persist`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`crate::FreecursiveOram::resume`].
+    pub fn resume(dir: &std::path::Path) -> Result<Self, FreecursiveError> {
+        use path_oram::snapshot::SnapReader;
+        use path_oram::{OramBackend as _, StorageKind};
+        let (kind, payload) =
+            path_oram::snapshot::read_state_file(&crate::persist::state_path(dir))?;
+        if kind != crate::persist::KIND_INSECURE {
+            return Err(crate::persist::wrong_kind("Insecure ORAM", kind).into());
+        }
+        let mut r = SnapReader::new(&payload);
+        let num_blocks = r.u64()?;
+        let block_bytes = r.u64()? as usize;
+        let stats = crate::persist::get_frontend_stats(&mut r)?;
+        let backend_state = r.bytes()?.to_vec();
+        r.finish()?;
+        let mut oram = Self::new(num_blocks, block_bytes)?;
+        oram.backend = InsecureBackend::resume_backend(
+            OramParams::new(num_blocks, block_bytes, 1),
+            path_oram::EncryptionMode::None,
+            [0u8; 16],
+            0,
+            &StorageKind::Mem,
+            dir,
+            0,
+            &backend_state,
+        )?;
+        oram.stats = stats;
+        Ok(oram)
+    }
+
     fn check_addr(&self, addr: u64) -> Result<(), FreecursiveError> {
         if addr >= self.num_blocks {
             return Err(OramError::AddressOutOfRange {
@@ -113,6 +174,10 @@ impl Oram for InsecureOram {
     fn reset_stats(&mut self) {
         self.stats = FrontendStats::default();
         self.backend.reset_stats();
+    }
+
+    fn persist(&self, dir: &std::path::Path) -> Result<(), FreecursiveError> {
+        InsecureOram::persist(self, dir)
     }
 }
 

@@ -75,6 +75,7 @@ pub mod error;
 pub mod frontend;
 pub mod insecure;
 pub mod payload;
+pub(crate) mod persist;
 pub mod recursive;
 pub mod scheme;
 pub mod service;
@@ -97,7 +98,9 @@ pub use stats::FrontendStats;
 pub use traits::{Oram, Request, Response};
 
 // Re-export the substrate types callers commonly need alongside the frontend.
-pub use path_oram::{EncryptionMode, InsecureBackend, OramBackend, OramError, PathOramBackend};
+pub use path_oram::{
+    EncryptionMode, InsecureBackend, OramBackend, OramError, PathOramBackend, StorageKind,
+};
 
 // `Oram: Send` is a supertrait promise; pin it down for every frontend (the
 // backends carry their own assertions in `path_oram`, the PosMap structures

@@ -10,7 +10,9 @@
 use crate::error::FreecursiveError;
 use crate::stats::FrontendStats;
 use crate::traits::{Oram, Request, Response};
-use path_oram::{AccessOp, EncryptionMode, OramBackend, OramError, OramParams, PathOramBackend};
+use path_oram::{
+    AccessOp, EncryptionMode, OramBackend, OramError, OramParams, PathOramBackend, StorageKind,
+};
 use posmap::addressing::RecursionAddressing;
 use posmap::onchip::{OnChipEntryKind, OnChipPosMap};
 use posmap::UncompressedPosMapBlock;
@@ -35,6 +37,9 @@ pub struct RecursiveOramConfig {
     pub encryption: EncryptionMode,
     /// RNG seed for deterministic leaf generation.
     pub seed: u64,
+    /// Where the per-level trees live; every level shares one storage
+    /// directory, distinguished by its level label.
+    pub storage: StorageKind,
 }
 
 impl RecursiveOramConfig {
@@ -49,6 +54,7 @@ impl RecursiveOramConfig {
             onchip_entries: (8 << 10) / 4,
             encryption: EncryptionMode::GlobalSeed,
             seed: 1,
+            storage: StorageKind::from_env(),
         }
     }
 
@@ -105,6 +111,25 @@ pub struct RecursiveOram<B: OramBackend = PathOramBackend> {
     posmap_buf: Vec<u8>,
 }
 
+/// Geometry and key material of recursion level `level`, derived
+/// deterministically from the configuration (shared by `new` and `resume`).
+fn level_geometry(
+    config: &RecursiveOramConfig,
+    rec: &RecursionAddressing,
+    level: u32,
+) -> (OramParams, [u8; 16]) {
+    let block_bytes = if level == 0 {
+        config.data_block_bytes
+    } else {
+        config.posmap_block_bytes
+    };
+    let params = OramParams::new(rec.blocks_at_level(level), block_bytes, config.z);
+    let mut key = [0u8; 16];
+    key[..8].copy_from_slice(&config.seed.to_le_bytes());
+    key[8..].copy_from_slice(&u64::from(level).to_le_bytes());
+    (params, key)
+}
+
 impl<B: OramBackend> RecursiveOram<B> {
     /// Builds the controller, allocating one ORAM tree per recursion level.
     ///
@@ -115,17 +140,22 @@ impl<B: OramBackend> RecursiveOram<B> {
         let rec = RecursionAddressing::new(config.num_blocks, config.x(), config.onchip_entries);
         let mut backends = Vec::new();
         for level in 0..rec.num_levels() {
-            let block_bytes = if level == 0 {
-                config.data_block_bytes
-            } else {
-                config.posmap_block_bytes
-            };
-            let params = OramParams::new(rec.blocks_at_level(level), block_bytes, config.z);
-            let mut key = [0u8; 16];
-            key[..8].copy_from_slice(&config.seed.to_le_bytes());
-            key[8..].copy_from_slice(&u64::from(level).to_le_bytes());
-            backends.push(B::new_backend(params, config.encryption, key, config.seed)?);
+            let (params, key) = level_geometry(&config, &rec, level);
+            backends.push(B::new_backend_with(
+                params,
+                config.encryption,
+                key,
+                config.seed,
+                &config.storage,
+                level,
+            )?);
         }
+        Ok(Self::assemble(config, rec, backends))
+    }
+
+    /// Everything `new` does after the per-level backends exist; shared
+    /// with the resume path.
+    fn assemble(config: RecursiveOramConfig, rec: RecursionAddressing, backends: Vec<B>) -> Self {
         let mut onchip = OnChipPosMap::new(rec.required_onchip_entries(), OnChipEntryKind::Leaf);
         // A deployed ORAM is initialised with every block mapped to a uniform
         // random leaf (§3.1).  Emulate that here: zero-initialised entries
@@ -139,7 +169,7 @@ impl<B: OramBackend> RecursiveOram<B> {
             onchip.set(i, rng.gen_range(0..top_leaves));
         }
         let posmap_buf = Vec::with_capacity(config.posmap_block_bytes);
-        Ok(Self {
+        Self {
             rng,
             config,
             rec,
@@ -147,7 +177,147 @@ impl<B: OramBackend> RecursiveOram<B> {
             onchip,
             stats: FrontendStats::default(),
             posmap_buf,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot persistence
+    // ------------------------------------------------------------------
+
+    fn put_config(out: &mut Vec<u8>, config: &RecursiveOramConfig) {
+        use path_oram::snapshot::{put_u64, put_u8};
+        let RecursiveOramConfig {
+            num_blocks,
+            data_block_bytes,
+            posmap_block_bytes,
+            z,
+            onchip_entries,
+            encryption,
+            seed,
+            storage,
+        } = config;
+        put_u64(out, *num_blocks);
+        put_u64(out, *data_block_bytes as u64);
+        put_u64(out, *posmap_block_bytes as u64);
+        put_u64(out, *z as u64);
+        put_u64(out, *onchip_entries);
+        crate::persist::put_encryption(out, *encryption);
+        put_u64(out, *seed);
+        put_u8(out, storage.tag());
+    }
+
+    fn get_config(
+        r: &mut path_oram::snapshot::SnapReader<'_>,
+        dir: &std::path::Path,
+    ) -> Result<RecursiveOramConfig, OramError> {
+        Ok(RecursiveOramConfig {
+            num_blocks: r.u64()?,
+            data_block_bytes: r.u64()? as usize,
+            posmap_block_bytes: r.u64()? as usize,
+            z: r.u64()? as usize,
+            onchip_entries: r.u64()?,
+            encryption: crate::persist::get_encryption(r)?,
+            seed: r.u64()?,
+            storage: StorageKind::from_tag(r.u8()?, dir)?,
         })
+    }
+
+    /// Persists the whole instance into `dir`: configuration, on-chip
+    /// PosMap, RNG position, statistics and each level's backend state in a
+    /// digest-sealed `oram.state`, plus one set of tree files per recursion
+    /// level (labelled by level index).
+    ///
+    /// # Errors
+    ///
+    /// [`FreecursiveError::Backend`] wrapping storage/snapshot failures.
+    pub fn persist(&self, dir: &std::path::Path) -> Result<(), FreecursiveError> {
+        use path_oram::snapshot::{put_bytes, put_u64};
+        std::fs::create_dir_all(dir).map_err(|e| crate::persist::dir_error(dir, e))?;
+        let mut payload = Vec::new();
+        Self::put_config(&mut payload, &self.config);
+        crate::persist::put_rng_state(&mut payload, self.rng.state());
+        put_u64(&mut payload, self.onchip.entries().len() as u64);
+        for &entry in self.onchip.entries() {
+            put_u64(&mut payload, entry);
+        }
+        crate::persist::put_frontend_stats(&mut payload, &self.stats);
+        put_u64(&mut payload, self.backends.len() as u64);
+        let mut backend_state = Vec::new();
+        for backend in &self.backends {
+            backend_state.clear();
+            backend.save_state(&mut backend_state)?;
+            put_bytes(&mut payload, &backend_state);
+        }
+        path_oram::snapshot::write_state_file(
+            &crate::persist::state_path(dir),
+            crate::persist::KIND_RECURSIVE,
+            &payload,
+        )?;
+        for (level, backend) in self.backends.iter().enumerate() {
+            backend.persist_tree(dir, level as u32)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuilds an instance from a snapshot directory written by
+    /// [`RecursiveOram::persist`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`FreecursiveOram::resume`](crate::FreecursiveOram::resume).
+    pub fn resume(dir: &std::path::Path) -> Result<Self, FreecursiveError> {
+        use path_oram::snapshot::SnapReader;
+        let (kind, payload) =
+            path_oram::snapshot::read_state_file(&crate::persist::state_path(dir))?;
+        if kind != crate::persist::KIND_RECURSIVE {
+            return Err(crate::persist::wrong_kind("Recursive ORAM", kind).into());
+        }
+        let mut r = SnapReader::new(&payload);
+        let config = Self::get_config(&mut r, dir)?;
+        let rng_state = crate::persist::get_rng_state(&mut r)?;
+        let onchip_count = r.len(r.remaining() / 8)?;
+        let mut onchip_entries = Vec::with_capacity(onchip_count);
+        for _ in 0..onchip_count {
+            onchip_entries.push(r.u64()?);
+        }
+        let stats = crate::persist::get_frontend_stats(&mut r)?;
+        let rec = RecursionAddressing::new(config.num_blocks, config.x(), config.onchip_entries);
+        let level_count = r.len(r.remaining())?;
+        if level_count != rec.num_levels() as usize {
+            return Err(OramError::Snapshot {
+                detail: format!(
+                    "snapshot has {level_count} recursion levels, configuration implies {}",
+                    rec.num_levels()
+                ),
+            }
+            .into());
+        }
+        let mut backends = Vec::with_capacity(level_count);
+        for level in 0..rec.num_levels() {
+            let state = r.bytes()?;
+            let (params, key) = level_geometry(&config, &rec, level);
+            backends.push(B::resume_backend(
+                params,
+                config.encryption,
+                key,
+                config.seed,
+                &config.storage,
+                dir,
+                level,
+                state,
+            )?);
+        }
+        r.finish()?;
+        let mut oram = Self::assemble(config, rec, backends);
+        oram.rng = StdRng::from_state(rng_state);
+        if !oram.onchip.load_entries(&onchip_entries) {
+            return Err(OramError::Snapshot {
+                detail: "on-chip posmap size does not match the configuration".into(),
+            }
+            .into());
+        }
+        oram.stats = stats;
+        Ok(oram)
     }
 
     /// Number of ORAMs in the recursion (H).
@@ -360,6 +530,10 @@ impl<B: OramBackend> Oram for RecursiveOram<B> {
         for b in &mut self.backends {
             b.reset_stats();
         }
+    }
+
+    fn persist(&self, dir: &std::path::Path) -> Result<(), FreecursiveError> {
+        RecursiveOram::persist(self, dir)
     }
 }
 

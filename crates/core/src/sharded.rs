@@ -391,6 +391,25 @@ impl<O: Oram> Oram for ShardedOram<O> {
         }
         self.remerge();
     }
+
+    fn persist(&self, dir: &std::path::Path) -> Result<(), FreecursiveError> {
+        // A composite snapshot: a top-level manifest recording the shard
+        // count, plus one complete per-shard snapshot in `shard<i>/`.
+        // `OramBuilder::resume` reassembles the composite from those.
+        use path_oram::snapshot::put_u64;
+        std::fs::create_dir_all(dir).map_err(|e| crate::persist::dir_error(dir, e))?;
+        let mut payload = Vec::new();
+        put_u64(&mut payload, self.shards.len() as u64);
+        path_oram::snapshot::write_state_file(
+            &crate::persist::state_path(dir),
+            crate::persist::KIND_SHARDED,
+            &payload,
+        )?;
+        for (index, shard) in self.shards.iter().enumerate() {
+            shard.persist(&dir.join(format!("shard{index}")))?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -143,6 +143,20 @@ impl SubtreeLayout {
             .collect()
     }
 
+    /// Physical byte address of the bucket with linear heap-order index
+    /// `linear` (root is 0, the bucket at `(level, i)` is `2^level - 1 + i`)
+    /// — the indexing convention of the Path ORAM backend, whose file-backed
+    /// tree store lays buckets out with this layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `linear` is outside the tree.
+    pub fn linear_bucket_address(&self, linear: u64) -> u64 {
+        let level = 63 - (linear + 1).leading_zeros();
+        let index_in_level = linear + 1 - (1u64 << level);
+        self.bucket_address(level, index_in_level)
+    }
+
     /// A naive level-order layout of the same tree, for ablation comparisons:
     /// bucket `(level, index)` is simply placed at `base + (2^level - 1 +
     /// index) * bucket_bytes`.
@@ -246,5 +260,98 @@ mod tests {
     fn rejects_out_of_range_bucket_index() {
         let layout = SubtreeLayout::new(4, 64, 2, 0);
         let _ = layout.bucket_address(2, 4);
+    }
+
+    // ------------------------------------------------------------------
+    // Property tests: the invariants the file-backed ORAM tree store now
+    // depends on.  Seeded loops over many geometries, no external crates.
+    // ------------------------------------------------------------------
+
+    /// Seeded xorshift so the geometry sweep is deterministic.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    #[test]
+    fn property_bucket_to_offset_is_a_bijection_within_bounds() {
+        // For every (levels, k, bucket_bytes) sampled, the linear-index
+        // mapping must hit each multiple of bucket_bytes in
+        // [0, total_bytes) exactly once: no collisions, no holes, in bounds.
+        let mut seed = 0x5EED_1A70_A11C_E001u64;
+        for _ in 0..40 {
+            let levels = 1 + (xorshift(&mut seed) % 14) as u32;
+            let k = 1 + (xorshift(&mut seed) % 6) as u32;
+            let bucket = 16 * (1 + xorshift(&mut seed) % 40);
+            let layout = SubtreeLayout::new(levels, bucket, k, 0);
+            let num_buckets = (1u64 << levels) - 1;
+            assert_eq!(layout.total_bytes(), num_buckets * bucket);
+            let mut seen = HashSet::new();
+            for linear in 0..num_buckets {
+                let addr = layout.linear_bucket_address(linear);
+                assert!(
+                    addr < layout.total_bytes(),
+                    "L={levels} k={k} b={bucket}: address {addr} out of bounds"
+                );
+                assert_eq!(addr % bucket, 0, "address must be bucket-aligned");
+                assert!(
+                    seen.insert(addr),
+                    "L={levels} k={k} b={bucket}: duplicate address {addr}"
+                );
+            }
+            // num_buckets distinct aligned in-bounds addresses over a space
+            // of exactly num_buckets slots: the mapping is onto as well.
+            assert_eq!(seen.len() as u64, num_buckets);
+        }
+    }
+
+    #[test]
+    fn property_linear_address_agrees_with_coordinate_address() {
+        let layout = SubtreeLayout::new(11, 96, 3, 1 << 16);
+        for level in 0..11u32 {
+            for idx in 0..(1u64 << level) {
+                let linear = ((1u64 << level) - 1) + idx;
+                assert_eq!(
+                    layout.linear_bucket_address(linear),
+                    layout.bucket_address(level, idx)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn property_path_touches_at_most_ceil_levels_over_k_contiguous_extents() {
+        // Sort a path's bucket addresses and count maximal runs separated by
+        // more than one subtree span: each k-level subtree on the path is one
+        // contiguous region of at most (2^k - 1) buckets, so a root-to-leaf
+        // path must fall into at most ceil(levels / k) such extents.
+        let mut seed = 0xD15C_0F5E_7B1A_0001u64;
+        for _ in 0..30 {
+            let levels = 2 + (xorshift(&mut seed) % 16) as u32;
+            let k = 1 + (xorshift(&mut seed) % 6) as u32;
+            let bucket = 64u64;
+            let layout = SubtreeLayout::new(levels, bucket, k, 0);
+            let subtree_span = ((1u64 << k.min(levels)) - 1) * bucket;
+            for _ in 0..50 {
+                let leaf = xorshift(&mut seed) & ((1u64 << (levels - 1)) - 1);
+                let mut addrs = layout.path_addresses(leaf);
+                addrs.sort_unstable();
+                let mut extents = 1u64;
+                for pair in addrs.windows(2) {
+                    if pair[1] - pair[0] > subtree_span {
+                        extents += 1;
+                    }
+                }
+                let bound = u64::from(levels.div_ceil(k));
+                assert!(
+                    extents <= bound,
+                    "L={levels} k={k} leaf={leaf}: {extents} extents exceeds ceil(levels/k)={bound}"
+                );
+            }
+        }
     }
 }

@@ -68,6 +68,15 @@ impl BucketCipher {
         self.global_seed
     }
 
+    /// Restores the controller's global seed counter from a snapshot.  The
+    /// counter must never move backwards across a persist/resume cycle —
+    /// pad freshness under [`EncryptionMode::GlobalSeed`] depends on it —
+    /// so the only legitimate caller is the backend's resume path feeding
+    /// back a value previously read from [`BucketCipher::global_seed`].
+    pub fn set_global_seed(&mut self, seed: u64) {
+        self.global_seed = seed;
+    }
+
     /// The AES engine the keystream dispatches to (diagnostics/benchmarks).
     pub fn engine(&self) -> EngineKind {
         self.keystream.engine()

@@ -65,6 +65,22 @@ pub enum OramError {
     },
     /// The requested operation requires write data but none was supplied.
     MissingWriteData,
+    /// The untrusted tree store failed at the I/O level (file creation,
+    /// positional read/write, flush).  Carries a rendered description of the
+    /// underlying OS error because `std::io::Error` is neither `Clone` nor
+    /// `PartialEq`.
+    Storage {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+    /// A persisted snapshot (state file or tree metadata) could not be used:
+    /// wrong magic, unsupported version, truncated file, or inconsistent
+    /// geometry.  Distinct from [`OramError::IntegrityViolation`], which is
+    /// reserved for content that fails cryptographic verification.
+    Snapshot {
+        /// Human-readable description of what was wrong with the snapshot.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for OramError {
@@ -108,6 +124,8 @@ impl std::fmt::Display for OramError {
                 write!(f, "bucket {bucket} could not be parsed")
             }
             OramError::MissingWriteData => write!(f, "write operation requires data"),
+            OramError::Storage { detail } => write!(f, "tree storage failure: {detail}"),
+            OramError::Snapshot { detail } => write!(f, "unusable snapshot: {detail}"),
         }
     }
 }

@@ -135,6 +135,49 @@ impl OramBackend for InsecureBackend {
     fn reset_stats(&mut self) {
         self.stats = BackendStats::default();
     }
+
+    fn save_state(&self, out: &mut Vec<u8>) -> Result<(), OramError> {
+        // No external tree: the whole backend — blocks (sorted for a
+        // canonical encoding) plus stats — rides in the state bytes.
+        use crate::snapshot::{put_bytes, put_u64};
+        let mut addrs: Vec<BlockId> = self.blocks.keys().copied().collect();
+        addrs.sort_unstable();
+        put_u64(out, addrs.len() as u64);
+        for addr in addrs {
+            put_u64(out, addr);
+            put_bytes(out, &self.blocks[&addr]);
+        }
+        self.stats.save(out);
+        Ok(())
+    }
+
+    fn persist_tree(&self, _dir: &std::path::Path, _label: u32) -> Result<(), OramError> {
+        // Nothing outside the state bytes to persist.
+        Ok(())
+    }
+
+    fn resume_backend(
+        params: OramParams,
+        _encryption: EncryptionMode,
+        _key: [u8; 16],
+        _seed: u64,
+        _storage: &crate::StorageKind,
+        _dir: &std::path::Path,
+        _label: u32,
+        state: &[u8],
+    ) -> Result<Self, OramError> {
+        let mut backend = Self::new(params);
+        let mut r = crate::snapshot::SnapReader::new(state);
+        let count = r.len(r.remaining() / 8)?;
+        for _ in 0..count {
+            let addr = r.u64()?;
+            let payload = r.bytes()?.to_vec();
+            backend.blocks.insert(addr, payload);
+        }
+        backend.stats = BackendStats::load(&mut r)?;
+        r.finish()?;
+        Ok(backend)
+    }
 }
 
 #[cfg(test)]

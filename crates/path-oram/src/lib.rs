@@ -14,9 +14,12 @@
 //!   [`bucket::BucketWriter`] codec the hot path uses.
 //! * [`stash::Stash`] — the bounded on-chip stash, a fixed-capacity slab of
 //!   block-sized slots.
-//! * [`storage::TreeStorage`] — untrusted external memory holding encrypted
-//!   buckets in one flat arena, with an explicit tampering API for the
-//!   active-adversary model.
+//! * [`storage::TreeStore`] — the pluggable untrusted-memory seam, with two
+//!   stores behind the [`storage::TreeStorage`] enum: the flat in-memory
+//!   arena ([`storage::MemStore`]) and a file-backed sparse tree
+//!   ([`storage::FileStore`]) in the subtree layout of \[26\].  Both expose
+//!   an explicit tampering API for the active-adversary model, and both
+//!   persist to a common on-disk snapshot format.
 //! * [`encryption::BucketCipher`] — probabilistic bucket encryption in the
 //!   per-bucket-seed style of \[26\] or the global-seed style the paper
 //!   introduces to defeat pad-replay attacks (§6.4).
@@ -60,6 +63,7 @@ pub mod encryption;
 pub mod error;
 pub mod insecure;
 pub mod params;
+pub mod snapshot;
 pub mod stash;
 pub mod stats;
 pub mod storage;
@@ -73,7 +77,7 @@ pub use insecure::InsecureBackend;
 pub use params::OramParams;
 pub use stash::Stash;
 pub use stats::BackendStats;
-pub use storage::TreeStorage;
+pub use storage::{FileStore, MemStore, StorageKind, TreeStorage, TreeStore};
 pub use types::{AccessOp, BlockData, BlockId, Leaf};
 
 // `OramBackend: Send` is a supertrait promise (backends move into per-shard
@@ -86,7 +90,10 @@ const _: () = {
     assert_send::<PathOramBackend>();
     assert_send::<InsecureBackend>();
     assert_send::<TreeStorage>();
+    assert_send::<MemStore>();
+    assert_send::<FileStore>();
     assert_send::<Stash>();
     assert_send::<BucketCipher>();
     assert_send::<Box<dyn OramBackend>>();
+    assert_send::<Box<dyn TreeStore>>();
 };

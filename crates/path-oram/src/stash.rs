@@ -309,6 +309,111 @@ impl Stash {
     pub fn iter_addrs(&self) -> impl Iterator<Item = (BlockId, Leaf)> + '_ {
         self.occupied_slots().map(|(_, addr, leaf)| (addr, leaf))
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot persistence.
+    // ------------------------------------------------------------------
+
+    /// Serialises the stash — including the exact slot assignment and the
+    /// free-list order — into `out`.  Restoring this (rather than just the
+    /// resident blocks) makes a resumed backend's eviction order, and hence
+    /// its tree contents, byte-identical to an uninterrupted run:
+    /// [`Stash::occupied_slots`] walks in slab order and free slots are
+    /// handed out in free-list order, so both must round-trip.
+    pub fn save(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::{put_u32, put_u64};
+        put_u64(out, self.capacity as u64);
+        put_u64(out, self.block_bytes as u64);
+        put_u64(out, self.meta.len() as u64);
+        put_u64(out, self.max_occupancy as u64);
+        put_u64(out, self.free.len() as u64);
+        for &slot in &self.free {
+            put_u32(out, slot);
+        }
+        put_u64(out, self.index.len() as u64);
+        for (slot, meta) in self.meta.iter().enumerate() {
+            if !meta.occupied {
+                continue;
+            }
+            put_u32(out, slot as u32);
+            put_u64(out, meta.addr);
+            put_u64(out, meta.leaf);
+            out.extend_from_slice(self.payload(slot as u32));
+        }
+    }
+
+    /// Restores the stash from bytes written by [`Stash::save`], replacing
+    /// all current contents.  The stash must have been constructed with the
+    /// same capacity, block size and slot count (all derived from the same
+    /// `OramParams` on both sides).
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Snapshot`] on truncation or a geometry mismatch.
+    pub fn load(&mut self, r: &mut crate::snapshot::SnapReader<'_>) -> Result<(), OramError> {
+        let mismatch = |what: &str, got: u64, want: u64| OramError::Snapshot {
+            detail: format!("stash {what} mismatch: snapshot has {got}, instance has {want}"),
+        };
+        let capacity = r.u64()?;
+        if capacity != self.capacity as u64 {
+            return Err(mismatch("capacity", capacity, self.capacity as u64));
+        }
+        let block_bytes = r.u64()?;
+        if block_bytes != self.block_bytes as u64 {
+            return Err(mismatch("block size", block_bytes, self.block_bytes as u64));
+        }
+        let slots = r.u64()?;
+        if slots != self.meta.len() as u64 {
+            return Err(mismatch("slot count", slots, self.meta.len() as u64));
+        }
+        self.max_occupancy = r.u64()? as usize;
+        let free_len = r.len(self.meta.len())?;
+        self.free.clear();
+        for _ in 0..free_len {
+            let slot = r.u32()?;
+            if slot as usize >= self.meta.len() {
+                return Err(OramError::Snapshot {
+                    detail: format!("free-list slot {slot} out of range"),
+                });
+            }
+            self.free.push(slot);
+        }
+        self.index.clear();
+        self.meta.fill(EMPTY_SLOT);
+        self.slab.fill(0);
+        let occupied = r.len(self.meta.len())?;
+        if occupied + free_len != self.meta.len() {
+            return Err(OramError::Snapshot {
+                detail: format!(
+                    "stash slot accounting mismatch: {occupied} occupied + {free_len} free != {}",
+                    self.meta.len()
+                ),
+            });
+        }
+        for _ in 0..occupied {
+            let slot = r.u32()?;
+            if slot as usize >= self.meta.len() || self.meta[slot as usize].occupied {
+                return Err(OramError::Snapshot {
+                    detail: format!("invalid or duplicate stash slot {slot}"),
+                });
+            }
+            let addr = r.u64()?;
+            let leaf = r.u64()?;
+            let payload = r.take(self.block_bytes)?;
+            self.meta[slot as usize] = SlotMeta {
+                addr,
+                leaf,
+                occupied: true,
+            };
+            self.payload_mut(slot).copy_from_slice(payload);
+            if self.index.insert(addr, slot).is_some() {
+                return Err(OramError::Snapshot {
+                    detail: format!("duplicate stash address {addr}"),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

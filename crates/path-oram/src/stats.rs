@@ -46,6 +46,55 @@ impl BackendStats {
         }
     }
 
+    /// Serialises the counters into a snapshot sink (field order fixed by
+    /// [`BackendStats::load`]; both sides use exhaustive field lists so a
+    /// new counter fails to compile here until it is persisted too).
+    pub fn save(&self, out: &mut Vec<u8>) {
+        use crate::snapshot::put_u64;
+        let BackendStats {
+            path_accesses,
+            appends,
+            bytes_read,
+            bytes_written,
+            real_blocks_fetched,
+            buckets_decrypted,
+            buckets_encrypted,
+            blocks_evicted,
+            dummies_written,
+            max_stash_occupancy,
+        } = self;
+        put_u64(out, *path_accesses);
+        put_u64(out, *appends);
+        put_u64(out, *bytes_read);
+        put_u64(out, *bytes_written);
+        put_u64(out, *real_blocks_fetched);
+        put_u64(out, *buckets_decrypted);
+        put_u64(out, *buckets_encrypted);
+        put_u64(out, *blocks_evicted);
+        put_u64(out, *dummies_written);
+        put_u64(out, *max_stash_occupancy as u64);
+    }
+
+    /// Deserialises counters written by [`BackendStats::save`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::OramError::Snapshot`] on truncation.
+    pub fn load(r: &mut crate::snapshot::SnapReader<'_>) -> Result<Self, crate::OramError> {
+        Ok(BackendStats {
+            path_accesses: r.u64()?,
+            appends: r.u64()?,
+            bytes_read: r.u64()?,
+            bytes_written: r.u64()?,
+            real_blocks_fetched: r.u64()?,
+            buckets_decrypted: r.u64()?,
+            buckets_encrypted: r.u64()?,
+            blocks_evicted: r.u64()?,
+            dummies_written: r.u64()?,
+            max_stash_occupancy: r.u64()? as usize,
+        })
+    }
+
     /// Accumulates another backend's counters into this one (used by
     /// frontends that own several backends, e.g. the recursive baseline's
     /// one-tree-per-level layout).

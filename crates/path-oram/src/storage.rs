@@ -1,39 +1,418 @@
-//! Untrusted external memory holding the encrypted ORAM tree.
+//! Pluggable untrusted external memory holding the encrypted ORAM tree.
 //!
-//! The storage is indexed by linear bucket index.  It deliberately exposes a
-//! tampering API so tests and examples can play the *active adversary* of the
-//! threat model (§2): flipping bits, replaying stale buckets, and rolling back
-//! bucket seeds.
+//! The protocol only ever assumes `ReadBucket`/`WriteBucket` on untrusted
+//! storage (§2), so the tree's home is a seam: the [`TreeStore`] trait
+//! describes bucket-slot get/put over the `bucket_bytes` stride (plus the
+//! batched whole-path access the one-pass seal/decrypt pipeline uses), with
+//! two implementations:
+//!
+//! * [`MemStore`] — the original flat zeroed arena.  This is the hot-path
+//!   store: the backend keeps its zero-copy access to the arena, so putting
+//!   the trait in front costs the memory path nothing.
+//! * [`FileStore`] — a sparse file addressed with positional I/O
+//!   ([`std::os::unix::fs::FileExt`]), laid out with the subtree layout of
+//!   Ren et al. \[26\] ([`dram_sim::SubtreeLayout`]) so a root-to-leaf path
+//!   falls into at most ⌈levels/k⌉ contiguous extents.  Capacity is bounded
+//!   by disk, not RAM, and the tree survives process exit.
+//!
+//! [`TreeStorage`] is the concrete enum the backend holds (two-variant
+//! static dispatch; no boxing on the hot path).  Both stores expose the same
+//! *active-adversary* API the threat model needs (§2): flipping bits,
+//! replaying stale buckets, and rolling back bucket seeds — for the file
+//! store these tamper with the actual bytes on disk.
+//!
+//! # What the file store does and does not leak
+//!
+//! File offsets are a deterministic function of bucket indices, exactly as
+//! arena offsets were: an observer of file I/O sees the same
+//! one-path-read-one-path-write trace per access that a DRAM adversary saw.
+//! Obliviousness is unchanged.  What the file store adds is *persistence
+//! residue*: bucket ciphertexts outlive the process, so the snapshot
+//! machinery (and the operator) must treat tree files as untrusted
+//! ciphertext, which they already are in the threat model.
 
+use crate::error::OramError;
 use crate::params::OramParams;
+use crate::snapshot::{self, SnapReader};
+use dram_sim::SubtreeLayout;
+use std::fs::{File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Untrusted memory: one flat, contiguous arena of encrypted bucket images.
+/// Levels per subtree (`k`) of the file layout.  Four levels pack 15 buckets
+/// per subtree — with the paper's 320-byte buckets that is one ~4.7 KB
+/// extent, about one OS page run per touched subtree.
+pub const FILE_SUBTREE_LEVELS: u32 = 4;
+
+/// State-file kind byte of a tree metadata file (see [`crate::snapshot`]).
+const TREE_META_KIND: u8 = 0x10;
+
+/// Where a backend keeps its ORAM tree.
 ///
-/// In a real system this is DRAM; the controller only ever exchanges
-/// ciphertext with it.  Bucket `i` occupies the byte range
-/// `[i * bucket_bytes, (i + 1) * bucket_bytes)` of the arena, so a path read
-/// is `L + 1` slice views into one allocation instead of `L + 1`
-/// pointer-chases through per-bucket heap objects.  A bitmap tracks which
-/// buckets have ever been written; never-written buckets read as zero bytes
-/// and are skipped by the backend.
+/// Construction-time knob, threaded from `OramBuilder::storage` through the
+/// frontends to [`TreeStorage::create`].  Backends without untrusted tree
+/// storage (e.g. the flat insecure baseline) ignore it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageKind {
+    /// The in-memory arena ([`MemStore`]); the default.
+    Mem,
+    /// A file-backed tree ([`FileStore`]) living in the given directory.
+    /// Constructing a *fresh* instance truncates any tree files already
+    /// there; resuming a snapshot reopens them in place.
+    File {
+        /// Directory holding the tree files (`tree<label>.oram` /
+        /// `tree<label>.meta`).
+        dir: PathBuf,
+    },
+    /// A file-backed tree in a unique temporary directory that is deleted
+    /// when the store is dropped.  This is what `ORAM_STORAGE=file` resolves
+    /// to: every test/benchmark instance gets its own throwaway tree files.
+    TempFile,
+}
+
+/// Monotonic discriminator for [`StorageKind::TempFile`] directories.
+static TEMP_STORE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl StorageKind {
+    /// Resolves the ambient default: `ORAM_STORAGE=file` selects
+    /// [`StorageKind::TempFile`], anything else (or unset) selects
+    /// [`StorageKind::Mem`].  This is how the CI file-storage test leg runs
+    /// the whole suite over the file store without touching call sites.
+    pub fn from_env() -> StorageKind {
+        match std::env::var("ORAM_STORAGE") {
+            Ok(v) if v.eq_ignore_ascii_case("file") => StorageKind::TempFile,
+            _ => StorageKind::Mem,
+        }
+    }
+
+    /// A storage kind rooted under `name` within this one: file-backed
+    /// stores descend into a subdirectory (the per-shard wiring of
+    /// `build_sharded`/`build_service`), memory and temp stores are
+    /// unaffected (each temp store is unique already).
+    pub fn subdir(&self, name: &str) -> StorageKind {
+        match self {
+            StorageKind::File { dir } => StorageKind::File {
+                dir: dir.join(name),
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Whether this kind keeps the tree in files.
+    pub fn is_file_backed(&self) -> bool {
+        !matches!(self, StorageKind::Mem)
+    }
+
+    /// One-byte tag recorded in snapshots (temp stores persist as plain
+    /// file-backed ones: the snapshot directory *is* their new home).
+    pub fn tag(&self) -> u8 {
+        match self {
+            StorageKind::Mem => 0,
+            StorageKind::File { .. } | StorageKind::TempFile => 1,
+        }
+    }
+
+    /// Inverse of [`StorageKind::tag`], rooting file-backed kinds at `dir`.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Snapshot`] for an unknown tag.
+    pub fn from_tag(tag: u8, dir: &Path) -> Result<StorageKind, OramError> {
+        match tag {
+            0 => Ok(StorageKind::Mem),
+            1 => Ok(StorageKind::File {
+                dir: dir.to_path_buf(),
+            }),
+            other => Err(OramError::Snapshot {
+                detail: format!("unknown storage kind tag {other}"),
+            }),
+        }
+    }
+}
+
+/// The storage seam: bucket-slot get/put over the `bucket_bytes` stride,
+/// batched whole-path access, the active-adversary tampering API, and
+/// snapshot persistence.
 ///
-/// The arena is allocated zeroed in one shot.  On the platforms we target the
+/// A bucket that has never been written reads as all zero bytes; the
+/// initialised bitmap tells the backend which buckets to skip.  All methods
+/// are indexed by the *linear* (heap-order) bucket index of
+/// [`crate::tree::bucket_linear_index`]; where buckets land physically
+/// (arena offset, file offset under the subtree layout) is the store's
+/// business.
+pub trait TreeStore: std::fmt::Debug + Send {
+    /// Number of buckets.
+    fn num_buckets(&self) -> usize;
+
+    /// Serialised bucket size in bytes.
+    fn bucket_bytes(&self) -> usize;
+
+    /// Whether a bucket has ever been written.
+    fn is_initialized(&self, index: u64) -> bool;
+
+    /// Copies the raw (encrypted) image of a bucket into `out`, which must
+    /// be exactly `bucket_bytes` long.  Uninitialised buckets read as zero
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] on I/O failure.
+    fn read_bucket_into(&self, index: u64, out: &mut [u8]) -> Result<(), OramError>;
+
+    /// Writes the raw image of a bucket, marking it initialised.  `image`
+    /// must be exactly `bucket_bytes` long.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] on I/O failure.
+    fn write_bucket(&mut self, index: u64, image: &[u8]) -> Result<(), OramError>;
+
+    /// Batched span read: copies every *initialised* bucket of `indices`
+    /// into `buf` at stride `level * bucket_bytes`.  Slots of uninitialised
+    /// buckets are left untouched (the caller skips them via
+    /// [`TreeStore::is_initialized`]).  This is the read half of the
+    /// one-pass path pipeline: the caller decrypts the whole buffer in one
+    /// batched cipher pass afterwards.  The default reads bucket by bucket;
+    /// the file store overrides it to coalesce the path into its subtree
+    /// extents (one positional read per extent).  Takes `&mut self` so
+    /// overrides can stage through a reusable scratch buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] on I/O failure.
+    fn read_path_into(&mut self, indices: &[u64], buf: &mut [u8]) -> Result<(), OramError> {
+        let bb = self.bucket_bytes();
+        for (level, &index) in indices.iter().enumerate() {
+            if self.is_initialized(index) {
+                self.read_bucket_into(index, &mut buf[level * bb..(level + 1) * bb])?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched span write: writes every bucket of `indices` from `buf` at
+    /// stride `level * bucket_bytes`, marking all of them initialised — the
+    /// write half of the pipeline, called once per eviction after the
+    /// batched sealing pass.  Writes stay one positional write per bucket
+    /// even on the file store: a path's buckets are interleaved with
+    /// *other* paths' buckets inside each subtree extent, so an
+    /// extent-sized write would clobber neighbours (reads have no such
+    /// hazard, which is why only they coalesce).
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] on I/O failure.
+    fn write_path(&mut self, indices: &[u64], buf: &[u8]) -> Result<(), OramError> {
+        let bb = self.bucket_bytes();
+        for (level, &index) in indices.iter().enumerate() {
+            self.write_bucket(index, &buf[level * bb..(level + 1) * bb])?;
+        }
+        Ok(())
+    }
+
+    /// Total bytes currently resident (diagnostics): initialised buckets
+    /// times the bucket size.
+    fn resident_bytes(&self) -> u64;
+
+    // ------------------------------------------------------------------
+    // Active-adversary API (§2): these model a malicious data centre.
+    // ------------------------------------------------------------------
+
+    /// Flips the bits of `mask` at `offset` within bucket `index`; returns
+    /// `false` (and does nothing) if the bucket is uninitialised or the
+    /// offset is out of range.  For the file store this flips the byte on
+    /// disk.
+    fn tamper_xor(&mut self, index: u64, offset: usize, mask: u8) -> bool;
+
+    /// Takes a snapshot of a bucket's current ciphertext (for replay
+    /// attacks).  An uninitialised bucket snapshots as an empty vector.
+    fn snapshot_bucket(&self, index: u64) -> Vec<u8>;
+
+    /// Replays a previously snapshotted ciphertext into a bucket.  An empty
+    /// snapshot restores the bucket to its uninitialised (all-zero) state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot length is neither zero nor a full bucket
+    /// image (test-harness contract, mirroring the original arena API).
+    fn replay_bucket(&mut self, index: u64, snapshot: &[u8]);
+
+    /// Rolls back the plaintext seed field in a bucket header by `delta`
+    /// (the seed is stored in the clear, §6.4).  Returns `false` if the
+    /// bucket is uninitialised.
+    fn rollback_seed(&mut self, index: u64, delta: u64) -> bool;
+
+    // ------------------------------------------------------------------
+    // Persistence.
+    // ------------------------------------------------------------------
+
+    /// Persists the tree into `dir` as `tree<label>.oram` (bucket images at
+    /// their subtree-layout offsets; one common format for both stores, so
+    /// a memory-built snapshot can resume file-backed and vice versa) plus
+    /// `tree<label>.meta` (geometry + initialised bitmap, digest-sealed).
+    /// A file store persisting into its own live directory just flushes.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] on I/O failure.
+    fn persist_to(&self, dir: &Path, label: u32) -> Result<(), OramError>;
+}
+
+/// The subtree layout every tree file uses (base 0, `k` =
+/// [`FILE_SUBTREE_LEVELS`] capped at the tree height).
+fn file_layout(params: &OramParams) -> SubtreeLayout {
+    SubtreeLayout::new(
+        params.levels(),
+        params.bucket_bytes() as u64,
+        FILE_SUBTREE_LEVELS.min(params.levels()),
+        0,
+    )
+}
+
+/// Bytes of one full subtree extent under `layout`: the coalescing window
+/// (and staging-buffer size) of the file store's path reads.
+fn extent_bytes(layout: &SubtreeLayout, bucket_bytes: usize) -> usize {
+    (((1usize << layout.subtree_levels()) - 1) * bucket_bytes).max(bucket_bytes)
+}
+
+/// Tree file path for `label` under `dir`.
+fn tree_file_path(dir: &Path, label: u32) -> PathBuf {
+    dir.join(format!("tree{label}.oram"))
+}
+
+/// Tree metadata file path for `label` under `dir`.
+fn tree_meta_path(dir: &Path, label: u32) -> PathBuf {
+    dir.join(format!("tree{label}.meta"))
+}
+
+fn io_err(context: &str, path: &Path, e: std::io::Error) -> OramError {
+    OramError::Storage {
+        detail: format!("{context} {}: {e}", path.display()),
+    }
+}
+
+/// Serialises a tree metadata file: geometry plus the initialised bitmap.
+fn write_tree_meta(
+    path: &Path,
+    num_buckets: usize,
+    bucket_bytes: usize,
+    subtree_levels: u32,
+    initialized: &[u64],
+) -> Result<(), OramError> {
+    let mut payload = Vec::with_capacity(32 + initialized.len() * 8);
+    snapshot::put_u64(&mut payload, num_buckets as u64);
+    snapshot::put_u64(&mut payload, bucket_bytes as u64);
+    snapshot::put_u32(&mut payload, subtree_levels);
+    snapshot::put_u64(&mut payload, initialized.len() as u64);
+    for &word in initialized {
+        snapshot::put_u64(&mut payload, word);
+    }
+    snapshot::write_state_file(path, TREE_META_KIND, &payload)
+}
+
+/// Reads and validates a tree metadata file against the expected geometry,
+/// returning the initialised bitmap.
+fn read_tree_meta(
+    path: &Path,
+    num_buckets: usize,
+    bucket_bytes: usize,
+    expected_subtree_levels: u32,
+) -> Result<Vec<u64>, OramError> {
+    let (kind, payload) = snapshot::read_state_file(path)?;
+    if kind != TREE_META_KIND {
+        return Err(OramError::Snapshot {
+            detail: format!("{} is not a tree metadata file", path.display()),
+        });
+    }
+    let mut r = SnapReader::new(&payload);
+    let file_buckets = r.u64()? as usize;
+    let file_bucket_bytes = r.u64()? as usize;
+    let file_subtree_levels = r.u32()?;
+    if file_buckets != num_buckets || file_bucket_bytes != bucket_bytes {
+        return Err(OramError::Snapshot {
+            detail: format!(
+                "tree geometry mismatch: snapshot has {file_buckets} buckets x \
+                 {file_bucket_bytes} B, expected {num_buckets} x {bucket_bytes} B"
+            ),
+        });
+    }
+    // Every bucket's file offset is a function of the layout's k; a
+    // mismatch here would read all buckets from the wrong offsets, so it
+    // must be a hard error, not a recorded-and-ignored field.
+    if file_subtree_levels != expected_subtree_levels {
+        return Err(OramError::Snapshot {
+            detail: format!(
+                "tree layout mismatch: snapshot uses {file_subtree_levels} levels per subtree, \
+                 this build expects {expected_subtree_levels}"
+            ),
+        });
+    }
+    let words = r.len(num_buckets.div_ceil(64))?;
+    if words != num_buckets.div_ceil(64) {
+        return Err(OramError::Snapshot {
+            detail: format!(
+                "bitmap has {words} words, expected {}",
+                num_buckets.div_ceil(64)
+            ),
+        });
+    }
+    let mut bitmap = Vec::with_capacity(words);
+    for _ in 0..words {
+        bitmap.push(r.u64()?);
+    }
+    r.finish()?;
+    Ok(bitmap)
+}
+
+#[inline]
+fn bit_get(bitmap: &[u64], index: u64) -> bool {
+    bitmap[index as usize / 64] >> (index % 64) & 1 == 1
+}
+
+#[inline]
+fn bit_set(bitmap: &mut [u64], index: u64) {
+    bitmap[index as usize / 64] |= 1u64 << (index % 64);
+}
+
+#[inline]
+fn bit_clear(bitmap: &mut [u64], index: u64) {
+    bitmap[index as usize / 64] &= !(1u64 << (index % 64));
+}
+
+fn popcount_bytes(bitmap: &[u64], bucket_bytes: usize) -> u64 {
+    let buckets: u64 = bitmap.iter().map(|w| u64::from(w.count_ones())).sum();
+    buckets * bucket_bytes as u64
+}
+
+// =====================================================================
+// MemStore
+// =====================================================================
+
+/// The in-memory tree store: one flat, contiguous arena of encrypted bucket
+/// images.
+///
+/// Bucket `i` occupies `[i * bucket_bytes, (i + 1) * bucket_bytes)` of the
+/// arena, so a path read is `L + 1` slice views into one allocation.  The
+/// arena is allocated zeroed in one shot; on the platforms we target the
 /// allocator services large zeroed requests with untouched copy-on-write
-/// pages, so a mostly-empty tree (e.g. a 4 GB-geometry ORAM in a short test)
-/// costs physical memory only for the buckets actually written.
+/// pages, so a mostly-empty tree costs physical memory only for the buckets
+/// actually written.
 ///
-/// All adversarial capabilities (observe, corrupt, replay) are available
-/// through this type.
+/// Beyond the [`TreeStore`] contract, `MemStore` exposes the zero-copy
+/// arena accessors ([`MemStore::read_bucket`], [`MemStore::bucket_slot_mut`],
+/// [`MemStore::arena_mut`]) the backend's hot path is built on.
 #[derive(Debug, Clone)]
-pub struct TreeStorage {
+pub struct MemStore {
     arena: Vec<u8>,
     /// One bit per bucket: has this bucket ever been written?
     initialized: Vec<u64>,
     bucket_bytes: usize,
     num_buckets: usize,
+    levels: u32,
 }
 
-impl TreeStorage {
+impl MemStore {
     /// Allocates storage for every bucket of the tree described by `params`.
     /// All buckets start uninitialised (and all-zero).
     pub fn new(params: &OramParams) -> Self {
@@ -44,17 +423,39 @@ impl TreeStorage {
             initialized: vec![0u64; num_buckets.div_ceil(64)],
             bucket_bytes,
             num_buckets,
+            levels: params.levels(),
         }
     }
 
-    /// Number of buckets.
-    pub fn num_buckets(&self) -> usize {
-        self.num_buckets
-    }
-
-    /// Serialised bucket size in bytes.
-    pub fn bucket_bytes(&self) -> usize {
-        self.bucket_bytes
+    /// Loads a memory store from tree files persisted under `dir` (the
+    /// common on-disk format, see [`TreeStore::persist_to`]).
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] on I/O failure, [`OramError::Snapshot`] /
+    /// [`OramError::IntegrityViolation`] for bad metadata.
+    pub fn load(params: &OramParams, dir: &Path, label: u32) -> Result<Self, OramError> {
+        let mut store = Self::new(params);
+        let meta = tree_meta_path(dir, label);
+        store.initialized = read_tree_meta(
+            &meta,
+            store.num_buckets,
+            store.bucket_bytes,
+            FILE_SUBTREE_LEVELS.min(params.levels()),
+        )?;
+        let tree_path = tree_file_path(dir, label);
+        let file = File::open(&tree_path).map_err(|e| io_err("opening", &tree_path, e))?;
+        let layout = file_layout(params);
+        for index in 0..store.num_buckets as u64 {
+            if !bit_get(&store.initialized, index) {
+                continue;
+            }
+            let offset = layout.linear_bucket_address(index);
+            let range = store.range(index);
+            file.read_exact_at(&mut store.arena[range], offset)
+                .map_err(|e| io_err("reading bucket from", &tree_path, e))?;
+        }
+        Ok(store)
     }
 
     #[inline]
@@ -65,7 +466,7 @@ impl TreeStorage {
 
     /// Reads the raw (encrypted) image of a bucket: a `bucket_bytes`-long
     /// view into the arena.  A bucket that has never been written reads as
-    /// all zero bytes; check [`TreeStorage::is_initialized`] to distinguish.
+    /// all zero bytes; check [`TreeStore::is_initialized`] to distinguish.
     #[inline]
     pub fn read_bucket(&self, index: u64) -> &[u8] {
         &self.arena[self.range(index)]
@@ -82,7 +483,7 @@ impl TreeStorage {
     }
 
     /// Byte offset of a bucket's image within the arena (see
-    /// [`TreeStorage::arena_mut`]).
+    /// [`MemStore::arena_mut`]).
     #[inline]
     pub fn bucket_offset(&self, index: u64) -> usize {
         index as usize * self.bucket_bytes
@@ -90,60 +491,54 @@ impl TreeStorage {
 
     /// The whole arena, mutable.  This is the batched-cipher hook: the
     /// backend serialises a path's buckets into their slots via
-    /// [`TreeStorage::bucket_slot_mut`] (which marks them initialised), then
+    /// [`MemStore::bucket_slot_mut`] (which marks them initialised), then
     /// seals all of them in one keystream pass over this slice using
-    /// [`TreeStorage::bucket_offset`]-based spans.  Does **not** mark
-    /// anything initialised.
+    /// [`MemStore::bucket_offset`]-based spans.  Does **not** mark anything
+    /// initialised.
     #[inline]
     pub fn arena_mut(&mut self) -> &mut [u8] {
         &mut self.arena
     }
 
-    /// Writes the raw (encrypted) image of a bucket by copying `image` into
-    /// its arena slot.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the image length differs from the configured bucket size.
-    pub fn write_bucket(&mut self, index: u64, image: &[u8]) {
+    fn mark_initialized(&mut self, index: u64) {
+        bit_set(&mut self.initialized, index);
+    }
+}
+
+impl TreeStore for MemStore {
+    fn num_buckets(&self) -> usize {
+        self.num_buckets
+    }
+
+    fn bucket_bytes(&self) -> usize {
+        self.bucket_bytes
+    }
+
+    #[inline]
+    fn is_initialized(&self, index: u64) -> bool {
+        bit_get(&self.initialized, index)
+    }
+
+    fn read_bucket_into(&self, index: u64, out: &mut [u8]) -> Result<(), OramError> {
+        out.copy_from_slice(self.read_bucket(index));
+        Ok(())
+    }
+
+    fn write_bucket(&mut self, index: u64, image: &[u8]) -> Result<(), OramError> {
         assert_eq!(
             image.len(),
             self.bucket_bytes,
             "bucket image must be exactly bucket_bytes long"
         );
         self.bucket_slot_mut(index).copy_from_slice(image);
+        Ok(())
     }
 
-    fn mark_initialized(&mut self, index: u64) {
-        self.initialized[index as usize / 64] |= 1u64 << (index % 64);
+    fn resident_bytes(&self) -> u64 {
+        popcount_bytes(&self.initialized, self.bucket_bytes)
     }
 
-    /// Whether a bucket has ever been written.
-    #[inline]
-    pub fn is_initialized(&self, index: u64) -> bool {
-        self.initialized[index as usize / 64] >> (index % 64) & 1 == 1
-    }
-
-    /// Total bytes currently resident (diagnostics): initialised buckets
-    /// times the bucket size.
-    pub fn resident_bytes(&self) -> u64 {
-        let buckets: u64 = self
-            .initialized
-            .iter()
-            .map(|word| u64::from(word.count_ones()))
-            .sum();
-        buckets * self.bucket_bytes as u64
-    }
-
-    // ------------------------------------------------------------------
-    // Active-adversary API (§2): these model a malicious data centre.
-    // ------------------------------------------------------------------
-
-    /// Flips the bits of `mask` at `offset` within bucket `index`.
-    ///
-    /// Returns `false` (and does nothing) if the bucket is uninitialised or
-    /// the offset is out of range.
-    pub fn tamper_xor(&mut self, index: u64, offset: usize, mask: u8) -> bool {
+    fn tamper_xor(&mut self, index: u64, offset: usize, mask: u8) -> bool {
         if index as usize >= self.num_buckets
             || offset >= self.bucket_bytes
             || !self.is_initialized(index)
@@ -155,10 +550,7 @@ impl TreeStorage {
         true
     }
 
-    /// Takes a snapshot of a bucket's current ciphertext (for replay
-    /// attacks).  An uninitialised bucket snapshots as an empty vector,
-    /// mirroring how the adversary sees "never written".
-    pub fn snapshot_bucket(&self, index: u64) -> Vec<u8> {
+    fn snapshot_bucket(&self, index: u64) -> Vec<u8> {
         if self.is_initialized(index) {
             self.read_bucket(index).to_vec()
         } else {
@@ -166,13 +558,7 @@ impl TreeStorage {
         }
     }
 
-    /// Replays a previously snapshotted ciphertext into a bucket.  An empty
-    /// snapshot restores the bucket to its uninitialised (all-zero) state.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the snapshot length is neither zero nor a full bucket image.
-    pub fn replay_bucket(&mut self, index: u64, snapshot: &[u8]) {
+    fn replay_bucket(&mut self, index: u64, snapshot: &[u8]) {
         assert!(
             snapshot.is_empty() || snapshot.len() == self.bucket_bytes,
             "snapshot must be a full bucket image"
@@ -180,16 +566,14 @@ impl TreeStorage {
         if snapshot.is_empty() {
             let range = self.range(index);
             self.arena[range].fill(0);
-            self.initialized[index as usize / 64] &= !(1u64 << (index % 64));
+            bit_clear(&mut self.initialized, index);
         } else {
-            self.write_bucket(index, snapshot);
+            self.write_bucket(index, snapshot)
+                .expect("arena writes are infallible");
         }
     }
 
-    /// Rolls back the plaintext seed field in a bucket header by `delta`
-    /// (the seed is stored in the clear, §6.4).  Returns `false` if the
-    /// bucket is uninitialised.
-    pub fn rollback_seed(&mut self, index: u64, delta: u64) -> bool {
+    fn rollback_seed(&mut self, index: u64, delta: u64) -> bool {
         if !self.is_initialized(index) {
             return false;
         }
@@ -199,117 +583,865 @@ impl TreeStorage {
         header.copy_from_slice(&seed.wrapping_sub(delta).to_le_bytes());
         true
     }
+
+    fn persist_to(&self, dir: &Path, label: u32) -> Result<(), OramError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("creating", dir, e))?;
+        let tree_path = tree_file_path(dir, label);
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tree_path)
+            .map_err(|e| io_err("creating", &tree_path, e))?;
+        // The tree file carries bucket images at their subtree-layout
+        // offsets: the arena is linear heap order, so this is a permuting
+        // copy of the initialised buckets into a sparse file.
+        let layout = SubtreeLayout::new(
+            self.levels,
+            self.bucket_bytes as u64,
+            FILE_SUBTREE_LEVELS.min(self.levels),
+            0,
+        );
+        file.set_len(layout.total_bytes())
+            .map_err(|e| io_err("sizing", &tree_path, e))?;
+        for index in 0..self.num_buckets as u64 {
+            if !self.is_initialized(index) {
+                continue;
+            }
+            let offset = layout.linear_bucket_address(index);
+            file.write_all_at(self.read_bucket(index), offset)
+                .map_err(|e| io_err("writing bucket to", &tree_path, e))?;
+        }
+        file.sync_all()
+            .map_err(|e| io_err("syncing", &tree_path, e))?;
+        write_tree_meta(
+            &tree_meta_path(dir, label),
+            self.num_buckets,
+            self.bucket_bytes,
+            FILE_SUBTREE_LEVELS.min(self.levels),
+            &self.initialized,
+        )
+    }
+}
+
+// =====================================================================
+// FileStore
+// =====================================================================
+
+/// The file-backed tree store: bucket images in one sparse file at their
+/// [`dram_sim::SubtreeLayout`] offsets, accessed with positional I/O.
+///
+/// The initialised bitmap lives in memory while the store is live and is
+/// written to the sidecar `tree<label>.meta` file by
+/// [`TreeStore::persist_to`]; there is **no** crash consistency between
+/// `persist` calls (a fresh store that never persisted leaves no usable
+/// metadata behind).
+#[derive(Debug)]
+pub struct FileStore {
+    file: File,
+    tree_path: PathBuf,
+    dir: PathBuf,
+    label: u32,
+    layout: SubtreeLayout,
+    initialized: Vec<u64>,
+    bucket_bytes: usize,
+    num_buckets: usize,
+    /// Reusable staging buffer for coalesced path reads, sized to one
+    /// subtree extent (`(2^k - 1) * bucket_bytes`); allocated once so the
+    /// steady-state access path stays allocation-free.
+    extent_buf: Vec<u8>,
+    /// Set for [`StorageKind::TempFile`] stores: the directory is removed
+    /// on drop.
+    remove_on_drop: bool,
+}
+
+impl FileStore {
+    /// Creates a **fresh** file-backed tree under `dir` (truncating any
+    /// existing `tree<label>` files there).
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] on I/O failure.
+    pub fn create(params: &OramParams, dir: &Path, label: u32) -> Result<Self, OramError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("creating", dir, e))?;
+        let tree_path = tree_file_path(dir, label);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tree_path)
+            .map_err(|e| io_err("creating", &tree_path, e))?;
+        let layout = file_layout(params);
+        // A sparse file: the full tree geometry is reserved in the address
+        // space, but unwritten regions occupy no disk blocks (the file
+        // analogue of the arena's copy-on-write zero pages).
+        file.set_len(layout.total_bytes())
+            .map_err(|e| io_err("sizing", &tree_path, e))?;
+        let num_buckets = params.num_buckets() as usize;
+        let extent_buf = vec![0u8; extent_bytes(&layout, params.bucket_bytes())];
+        Ok(Self {
+            file,
+            tree_path,
+            dir: dir.to_path_buf(),
+            label,
+            layout,
+            initialized: vec![0u64; num_buckets.div_ceil(64)],
+            bucket_bytes: params.bucket_bytes(),
+            num_buckets,
+            extent_buf,
+            remove_on_drop: false,
+        })
+    }
+
+    /// Creates a fresh file-backed tree in a unique temporary directory
+    /// that is removed when the store is dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] on I/O failure.
+    pub fn create_temp(params: &OramParams, label: u32) -> Result<Self, OramError> {
+        let unique = format!(
+            "oram-tree-{}-{}",
+            std::process::id(),
+            TEMP_STORE_COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
+        let dir = std::env::temp_dir().join(unique);
+        let mut store = Self::create(params, &dir, label)?;
+        store.remove_on_drop = true;
+        Ok(store)
+    }
+
+    /// Reopens a persisted file-backed tree in place: the snapshot
+    /// directory becomes (or stays) the live storage directory.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] on I/O failure, [`OramError::Snapshot`] /
+    /// [`OramError::IntegrityViolation`] for missing or corrupt metadata.
+    pub fn open(params: &OramParams, dir: &Path, label: u32) -> Result<Self, OramError> {
+        let num_buckets = params.num_buckets() as usize;
+        let bucket_bytes = params.bucket_bytes();
+        let initialized = read_tree_meta(
+            &tree_meta_path(dir, label),
+            num_buckets,
+            bucket_bytes,
+            FILE_SUBTREE_LEVELS.min(params.levels()),
+        )?;
+        let tree_path = tree_file_path(dir, label);
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&tree_path)
+            .map_err(|e| io_err("opening", &tree_path, e))?;
+        let layout = file_layout(params);
+        let actual = file
+            .metadata()
+            .map_err(|e| io_err("inspecting", &tree_path, e))?
+            .len();
+        if actual < layout.total_bytes() {
+            return Err(OramError::Snapshot {
+                detail: format!(
+                    "tree file {} is short: {actual} bytes, expected {}",
+                    tree_path.display(),
+                    layout.total_bytes()
+                ),
+            });
+        }
+        let extent_buf = vec![0u8; extent_bytes(&layout, bucket_bytes)];
+        Ok(Self {
+            file,
+            tree_path,
+            dir: dir.to_path_buf(),
+            label,
+            layout,
+            initialized,
+            bucket_bytes,
+            num_buckets,
+            extent_buf,
+            remove_on_drop: false,
+        })
+    }
+
+    /// The directory holding this store's tree files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    #[inline]
+    fn offset(&self, index: u64) -> u64 {
+        self.layout.linear_bucket_address(index)
+    }
+}
+
+impl Drop for FileStore {
+    fn drop(&mut self) {
+        if self.remove_on_drop {
+            // Best-effort cleanup of a throwaway temp store.
+            let _ = std::fs::remove_file(&self.tree_path);
+            let _ = std::fs::remove_file(tree_meta_path(&self.dir, self.label));
+            let _ = std::fs::remove_dir(&self.dir);
+        }
+    }
+}
+
+impl TreeStore for FileStore {
+    fn num_buckets(&self) -> usize {
+        self.num_buckets
+    }
+
+    fn bucket_bytes(&self) -> usize {
+        self.bucket_bytes
+    }
+
+    #[inline]
+    fn is_initialized(&self, index: u64) -> bool {
+        bit_get(&self.initialized, index)
+    }
+
+    fn read_bucket_into(&self, index: u64, out: &mut [u8]) -> Result<(), OramError> {
+        debug_assert_eq!(out.len(), self.bucket_bytes);
+        self.file
+            .read_exact_at(out, self.offset(index))
+            .map_err(|e| io_err("reading bucket from", &self.tree_path, e))
+    }
+
+    fn write_bucket(&mut self, index: u64, image: &[u8]) -> Result<(), OramError> {
+        assert_eq!(
+            image.len(),
+            self.bucket_bytes,
+            "bucket image must be exactly bucket_bytes long"
+        );
+        self.file
+            .write_all_at(image, self.offset(index))
+            .map_err(|e| io_err("writing bucket to", &self.tree_path, e))?;
+        bit_set(&mut self.initialized, index);
+        Ok(())
+    }
+
+    fn read_path_into(&mut self, indices: &[u64], buf: &mut [u8]) -> Result<(), OramError> {
+        // Coalesced path read: sort the initialised buckets by file offset
+        // and read each run that fits one subtree-extent window with a
+        // single positional read.  Under the subtree layout every bucket of
+        // a path lies inside its level-group's extent, so a root-to-leaf
+        // path costs at most ⌈levels/k⌉ reads.  The window may cover
+        // buckets of *other* paths; their bytes are staged and discarded,
+        // never copied out.
+        let bb = self.bucket_bytes;
+        let window = self.extent_buf.len() as u64;
+        // (file offset, level) per initialised bucket; paths are at most
+        // `MAX_LEAF_LEVEL + 1` levels, far below this stack bound.
+        let mut runs = [(0u64, 0usize); 64];
+        let mut n = 0;
+        for (level, &index) in indices.iter().enumerate() {
+            if self.is_initialized(index) {
+                runs[n] = (self.offset(index), level);
+                n += 1;
+            }
+        }
+        runs[..n].sort_unstable();
+        let mut i = 0;
+        while i < n {
+            let start = runs[i].0;
+            let mut j = i;
+            while j + 1 < n && runs[j + 1].0 + bb as u64 - start <= window {
+                j += 1;
+            }
+            let len = (runs[j].0 + bb as u64 - start) as usize;
+            let chunk = &mut self.extent_buf[..len];
+            self.file
+                .read_exact_at(chunk, start)
+                .map_err(|e| io_err("reading path extent from", &self.tree_path, e))?;
+            for &(offset, level) in &runs[i..=j] {
+                let rel = (offset - start) as usize;
+                buf[level * bb..(level + 1) * bb].copy_from_slice(&chunk[rel..rel + bb]);
+            }
+            i = j + 1;
+        }
+        Ok(())
+    }
+
+    fn resident_bytes(&self) -> u64 {
+        popcount_bytes(&self.initialized, self.bucket_bytes)
+    }
+
+    fn tamper_xor(&mut self, index: u64, offset: usize, mask: u8) -> bool {
+        if index as usize >= self.num_buckets
+            || offset >= self.bucket_bytes
+            || !self.is_initialized(index)
+        {
+            return false;
+        }
+        let pos = self.offset(index) + offset as u64;
+        let mut byte = [0u8];
+        if self.file.read_exact_at(&mut byte, pos).is_err() {
+            return false;
+        }
+        byte[0] ^= mask;
+        self.file.write_all_at(&byte, pos).is_ok()
+    }
+
+    fn snapshot_bucket(&self, index: u64) -> Vec<u8> {
+        if !self.is_initialized(index) {
+            return Vec::new();
+        }
+        let mut out = vec![0u8; self.bucket_bytes];
+        self.read_bucket_into(index, &mut out)
+            .expect("snapshotting an initialised bucket");
+        out
+    }
+
+    fn replay_bucket(&mut self, index: u64, snapshot: &[u8]) {
+        assert!(
+            snapshot.is_empty() || snapshot.len() == self.bucket_bytes,
+            "snapshot must be a full bucket image"
+        );
+        if snapshot.is_empty() {
+            let zeros = vec![0u8; self.bucket_bytes];
+            self.file
+                .write_all_at(&zeros, self.offset(index))
+                .expect("zeroing a bucket on replay");
+            bit_clear(&mut self.initialized, index);
+        } else {
+            self.write_bucket(index, snapshot)
+                .expect("replaying a bucket image");
+        }
+    }
+
+    fn rollback_seed(&mut self, index: u64, delta: u64) -> bool {
+        if !self.is_initialized(index) {
+            return false;
+        }
+        let pos = self.offset(index);
+        let mut header = [0u8; 8];
+        if self.file.read_exact_at(&mut header, pos).is_err() {
+            return false;
+        }
+        let seed = u64::from_le_bytes(header);
+        self.file
+            .write_all_at(&seed.wrapping_sub(delta).to_le_bytes(), pos)
+            .is_ok()
+    }
+
+    fn persist_to(&self, dir: &Path, label: u32) -> Result<(), OramError> {
+        std::fs::create_dir_all(dir).map_err(|e| io_err("creating", dir, e))?;
+        let target = tree_file_path(dir, label);
+        let in_place = match (
+            std::fs::canonicalize(&target),
+            std::fs::canonicalize(&self.tree_path),
+        ) {
+            (Ok(a), Ok(b)) => a == b,
+            _ => false,
+        };
+        if in_place {
+            self.file
+                .sync_all()
+                .map_err(|e| io_err("syncing", &self.tree_path, e))?;
+        } else {
+            // Persisting into a different directory: copy the initialised
+            // buckets into a fresh sparse file at the same offsets.
+            let out = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&target)
+                .map_err(|e| io_err("creating", &target, e))?;
+            out.set_len(self.layout.total_bytes())
+                .map_err(|e| io_err("sizing", &target, e))?;
+            let mut buf = vec![0u8; self.bucket_bytes];
+            for index in 0..self.num_buckets as u64 {
+                if !self.is_initialized(index) {
+                    continue;
+                }
+                self.read_bucket_into(index, &mut buf)?;
+                out.write_all_at(&buf, self.offset(index))
+                    .map_err(|e| io_err("writing bucket to", &target, e))?;
+            }
+            out.sync_all().map_err(|e| io_err("syncing", &target, e))?;
+        }
+        write_tree_meta(
+            &tree_meta_path(dir, label),
+            self.num_buckets,
+            self.bucket_bytes,
+            self.layout.subtree_levels(),
+            &self.initialized,
+        )
+    }
+}
+
+// =====================================================================
+// TreeStorage: the enum the backend holds.
+// =====================================================================
+
+/// Untrusted tree storage behind the [`TreeStore`] seam: either the
+/// in-memory arena or the file-backed store, dispatched statically.
+///
+/// All trait methods are also available as inherent methods (delegating),
+/// so existing call sites — in particular the adversary API used by tests
+/// and examples — keep working without importing the trait.
+#[derive(Debug)]
+pub enum TreeStorage {
+    /// In-memory arena.
+    Mem(MemStore),
+    /// File-backed store.
+    File(FileStore),
+}
+
+macro_rules! delegate {
+    ($self:ident, $store:ident => $body:expr) => {
+        match $self {
+            TreeStorage::Mem($store) => $body,
+            TreeStorage::File($store) => $body,
+        }
+    };
+}
+
+impl TreeStorage {
+    /// Allocates in-memory storage for the tree described by `params`
+    /// (back-compatible constructor; use [`TreeStorage::create`] to choose
+    /// the store kind).
+    pub fn new(params: &OramParams) -> Self {
+        TreeStorage::Mem(MemStore::new(params))
+    }
+
+    /// Creates a fresh store of the given kind.  `label` distinguishes
+    /// several trees sharing one directory (the recursive frontend's
+    /// per-level ORAMs).
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] on I/O failure creating file-backed stores.
+    pub fn create(params: &OramParams, kind: &StorageKind, label: u32) -> Result<Self, OramError> {
+        Ok(match kind {
+            StorageKind::Mem => TreeStorage::Mem(MemStore::new(params)),
+            StorageKind::File { dir } => TreeStorage::File(FileStore::create(params, dir, label)?),
+            StorageKind::TempFile => TreeStorage::File(FileStore::create_temp(params, label)?),
+        })
+    }
+
+    /// Opens a store over tree files persisted under `dir`: memory stores
+    /// load the buckets into a fresh arena, file stores reopen the files in
+    /// place (the snapshot directory becomes the live directory).
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] on I/O failure, [`OramError::Snapshot`] /
+    /// [`OramError::IntegrityViolation`] for missing or corrupt metadata.
+    pub fn open_snapshot(
+        params: &OramParams,
+        kind: &StorageKind,
+        dir: &Path,
+        label: u32,
+    ) -> Result<Self, OramError> {
+        Ok(match kind {
+            StorageKind::Mem => TreeStorage::Mem(MemStore::load(params, dir, label)?),
+            StorageKind::File { dir: file_dir } => {
+                TreeStorage::File(FileStore::open(params, file_dir, label)?)
+            }
+            StorageKind::TempFile => {
+                return Err(OramError::Snapshot {
+                    detail: "cannot resume a snapshot into a temporary file store; \
+                             use StorageKind::File or StorageKind::Mem"
+                        .into(),
+                })
+            }
+        })
+    }
+
+    /// The memory store, if that is what this is — the backend's zero-copy
+    /// fast path keys off this.
+    #[inline]
+    pub fn as_mem(&self) -> Option<&MemStore> {
+        match self {
+            TreeStorage::Mem(m) => Some(m),
+            TreeStorage::File(_) => None,
+        }
+    }
+
+    /// Mutable variant of [`TreeStorage::as_mem`].
+    #[inline]
+    pub fn as_mem_mut(&mut self) -> Option<&mut MemStore> {
+        match self {
+            TreeStorage::Mem(m) => Some(m),
+            TreeStorage::File(_) => None,
+        }
+    }
+
+    /// Whether the tree lives in files.
+    pub fn is_file_backed(&self) -> bool {
+        matches!(self, TreeStorage::File(_))
+    }
+
+    // Inherent delegations so call sites don't need the trait in scope.
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> usize {
+        delegate!(self, s => TreeStore::num_buckets(s))
+    }
+
+    /// Serialised bucket size in bytes.
+    pub fn bucket_bytes(&self) -> usize {
+        delegate!(self, s => TreeStore::bucket_bytes(s))
+    }
+
+    /// Whether a bucket has ever been written.
+    #[inline]
+    pub fn is_initialized(&self, index: u64) -> bool {
+        delegate!(self, s => s.is_initialized(index))
+    }
+
+    /// See [`TreeStore::read_bucket_into`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TreeStore::read_bucket_into`].
+    pub fn read_bucket_into(&self, index: u64, out: &mut [u8]) -> Result<(), OramError> {
+        delegate!(self, s => s.read_bucket_into(index, out))
+    }
+
+    /// See [`TreeStore::write_bucket`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TreeStore::write_bucket`].
+    pub fn write_bucket(&mut self, index: u64, image: &[u8]) -> Result<(), OramError> {
+        delegate!(self, s => s.write_bucket(index, image))
+    }
+
+    /// See [`TreeStore::read_path_into`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TreeStore::read_path_into`].
+    pub fn read_path_into(&mut self, indices: &[u64], buf: &mut [u8]) -> Result<(), OramError> {
+        delegate!(self, s => s.read_path_into(indices, buf))
+    }
+
+    /// See [`TreeStore::write_path`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TreeStore::write_path`].
+    pub fn write_path(&mut self, indices: &[u64], buf: &[u8]) -> Result<(), OramError> {
+        delegate!(self, s => s.write_path(indices, buf))
+    }
+
+    /// See [`TreeStore::resident_bytes`].
+    pub fn resident_bytes(&self) -> u64 {
+        delegate!(self, s => s.resident_bytes())
+    }
+
+    /// See [`TreeStore::tamper_xor`].
+    pub fn tamper_xor(&mut self, index: u64, offset: usize, mask: u8) -> bool {
+        delegate!(self, s => s.tamper_xor(index, offset, mask))
+    }
+
+    /// See [`TreeStore::snapshot_bucket`].
+    pub fn snapshot_bucket(&self, index: u64) -> Vec<u8> {
+        delegate!(self, s => s.snapshot_bucket(index))
+    }
+
+    /// See [`TreeStore::replay_bucket`].
+    pub fn replay_bucket(&mut self, index: u64, snapshot: &[u8]) {
+        delegate!(self, s => s.replay_bucket(index, snapshot))
+    }
+
+    /// See [`TreeStore::rollback_seed`].
+    pub fn rollback_seed(&mut self, index: u64, delta: u64) -> bool {
+        delegate!(self, s => s.rollback_seed(index, delta))
+    }
+
+    /// See [`TreeStore::persist_to`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`TreeStore::persist_to`].
+    pub fn persist_to(&self, dir: &Path, label: u32) -> Result<(), OramError> {
+        delegate!(self, s => s.persist_to(dir, label))
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn storage() -> TreeStorage {
-        TreeStorage::new(&OramParams::new(64, 16, 4))
+    fn params() -> OramParams {
+        OramParams::new(64, 16, 4)
     }
 
-    #[test]
-    fn starts_uninitialized_and_zeroed() {
-        let s = storage();
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "oram-storage-test-{tag}-{}-{}",
+            std::process::id(),
+            TEMP_STORE_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Runs the shared store-contract checks against any store.
+    fn check_store_contract(s: &mut dyn TreeStore) {
         assert!(s.num_buckets() > 0);
         assert!(!s.is_initialized(0));
-        assert!(s.read_bucket(0).iter().all(|&b| b == 0));
-        assert_eq!(s.read_bucket(0).len(), s.bucket_bytes());
+        let bb = s.bucket_bytes();
+        let mut out = vec![0xFFu8; bb];
+        s.read_bucket_into(0, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0), "uninitialised reads as zero");
         assert_eq!(s.resident_bytes(), 0);
-    }
 
-    #[test]
-    fn write_then_read_roundtrip() {
-        let mut s = storage();
-        let image = vec![0xCD; s.bucket_bytes()];
-        s.write_bucket(3, &image);
+        // Write/read round trip.
+        let image = vec![0xCD; bb];
+        s.write_bucket(3, &image).unwrap();
         assert!(s.is_initialized(3));
         assert!(!s.is_initialized(2));
-        assert!(!s.is_initialized(4));
-        assert_eq!(s.read_bucket(3), &image[..]);
-        assert_eq!(s.resident_bytes(), s.bucket_bytes() as u64);
+        s.read_bucket_into(3, &mut out).unwrap();
+        assert_eq!(out, image);
+        assert_eq!(s.resident_bytes(), bb as u64);
+
+        // Tampering.
+        s.write_bucket(0, &vec![0u8; bb]).unwrap();
+        assert!(s.tamper_xor(0, 10, 0xFF));
+        s.read_bucket_into(0, &mut out).unwrap();
+        assert_eq!(out[10], 0xFF);
+        assert_eq!(out[9], 0x00);
+        assert!(!s.tamper_xor(0, 1 << 20, 1));
+        assert!(!s.tamper_xor(1, 0, 1));
+
+        // Snapshot and replay.
+        let old = vec![1u8; bb];
+        let new = vec![2u8; bb];
+        s.write_bucket(5, &old).unwrap();
+        let snap = s.snapshot_bucket(5);
+        s.write_bucket(5, &new).unwrap();
+        s.replay_bucket(5, &snap);
+        s.read_bucket_into(5, &mut out).unwrap();
+        assert_eq!(out, old);
+
+        // Empty replay uninitialises.
+        let empty = s.snapshot_bucket(7);
+        assert!(empty.is_empty());
+        s.write_bucket(7, &vec![9u8; bb]).unwrap();
+        s.replay_bucket(7, &empty);
+        assert!(!s.is_initialized(7));
+        s.read_bucket_into(7, &mut out).unwrap();
+        assert!(out.iter().all(|&b| b == 0));
+
+        // Seed rollback.
+        let mut image = vec![0u8; bb];
+        image[..8].copy_from_slice(&100u64.to_le_bytes());
+        s.write_bucket(2, &image).unwrap();
+        assert!(s.rollback_seed(2, 1));
+        s.read_bucket_into(2, &mut out).unwrap();
+        assert_eq!(u64::from_le_bytes(out[..8].try_into().unwrap()), 99);
+        assert!(!s.rollback_seed(6, 1));
+
+        // Batched path access.
+        let indices = [0u64, 2, 5];
+        let mut buf = vec![0u8; 3 * bb];
+        s.read_path_into(&indices, &mut buf).unwrap();
+        s.read_bucket_into(0, &mut out).unwrap();
+        assert_eq!(&buf[..bb], &out[..]);
+        let patterned: Vec<u8> = (0..3 * bb).map(|i| (i % 251) as u8).collect();
+        s.write_path(&indices, &patterned).unwrap();
+        for (level, &idx) in indices.iter().enumerate() {
+            s.read_bucket_into(idx, &mut out).unwrap();
+            assert_eq!(out, &patterned[level * bb..(level + 1) * bb]);
+            assert!(s.is_initialized(idx));
+        }
     }
 
     #[test]
-    fn buckets_are_contiguous_at_bucket_bytes_stride() {
-        let mut s = storage();
-        for idx in 0..s.num_buckets() as u64 {
-            let image = vec![idx as u8 + 1; s.bucket_bytes()];
-            s.write_bucket(idx, &image);
-        }
-        // Adjacent buckets sit back to back in the arena: writing one never
-        // disturbs its neighbours.
-        for idx in 0..s.num_buckets() as u64 {
-            assert!(s.read_bucket(idx).iter().all(|&b| b == idx as u8 + 1));
-        }
-        assert_eq!(
-            s.resident_bytes(),
-            (s.num_buckets() * s.bucket_bytes()) as u64
-        );
+    fn mem_store_satisfies_the_contract() {
+        let mut s = MemStore::new(&params());
+        check_store_contract(&mut s);
     }
 
     #[test]
-    fn bucket_slot_mut_marks_initialized() {
-        let mut s = storage();
+    fn file_store_satisfies_the_contract() {
+        let mut s = FileStore::create_temp(&params(), 0).unwrap();
+        check_store_contract(&mut s);
+    }
+
+    #[test]
+    fn mem_store_zero_copy_accessors_still_work() {
+        let p = params();
+        let mut s = MemStore::new(&p);
         s.bucket_slot_mut(5)[0] = 0xAB;
         assert!(s.is_initialized(5));
         assert_eq!(s.read_bucket(5)[0], 0xAB);
+        assert_eq!(s.bucket_offset(5), 5 * s.bucket_bytes());
+        // Adjacent buckets sit back to back in the arena.
+        for idx in 0..s.num_buckets() as u64 {
+            let image = vec![idx as u8 + 1; s.bucket_bytes()];
+            s.write_bucket(idx, &image).unwrap();
+        }
+        for idx in 0..s.num_buckets() as u64 {
+            assert!(s.read_bucket(idx).iter().all(|&b| b == idx as u8 + 1));
+        }
     }
 
     #[test]
     #[should_panic(expected = "bucket_bytes")]
-    fn rejects_wrong_size_image() {
-        let mut s = storage();
-        s.write_bucket(0, &[0u8; 3]);
+    fn mem_store_rejects_wrong_size_image() {
+        let mut s = MemStore::new(&params());
+        let _ = s.write_bucket(0, &[0u8; 3]);
     }
 
     #[test]
-    fn tamper_flips_exactly_the_requested_bits() {
-        let mut s = storage();
-        s.write_bucket(0, &vec![0u8; s.bucket_bytes()]);
-        assert!(s.tamper_xor(0, 10, 0xFF));
-        assert_eq!(s.read_bucket(0)[10], 0xFF);
-        assert_eq!(s.read_bucket(0)[9], 0x00);
-        // Out of range / uninitialised tampering reports failure.
-        assert!(!s.tamper_xor(0, 1 << 20, 1));
-        assert!(!s.tamper_xor(1, 0, 1));
+    #[should_panic(expected = "bucket_bytes")]
+    fn file_store_rejects_wrong_size_image() {
+        let mut s = FileStore::create_temp(&params(), 0).unwrap();
+        let _ = s.write_bucket(0, &[0u8; 3]);
     }
 
     #[test]
-    fn snapshot_and_replay_restore_old_contents() {
-        let mut s = storage();
-        let old = vec![1u8; s.bucket_bytes()];
-        let new = vec![2u8; s.bucket_bytes()];
-        s.write_bucket(5, &old);
-        let snap = s.snapshot_bucket(5);
-        s.write_bucket(5, &new);
-        s.replay_bucket(5, &snap);
-        assert_eq!(s.read_bucket(5), &old[..]);
+    fn stores_persist_into_a_common_interchangeable_format() {
+        let p = params();
+        let dir_a = temp_dir("interchange-a");
+        let dir_b = temp_dir("interchange-b");
+
+        // Populate a mem store and persist it.
+        let mut mem = MemStore::new(&p);
+        let image_a = vec![0xA1; mem.bucket_bytes()];
+        let image_b = vec![0xB2; mem.bucket_bytes()];
+        mem.write_bucket(1, &image_a).unwrap();
+        mem.write_bucket(30, &image_b).unwrap();
+        mem.persist_to(&dir_a, 0).unwrap();
+
+        // Resume it file-backed, verify contents, mutate, persist elsewhere.
+        let mut file = FileStore::open(&p, &dir_a, 0).unwrap();
+        let mut out = vec![0u8; file.bucket_bytes()];
+        file.read_bucket_into(1, &mut out).unwrap();
+        assert_eq!(out, image_a);
+        file.read_bucket_into(30, &mut out).unwrap();
+        assert_eq!(out, image_b);
+        assert!(!file.is_initialized(2));
+        let image_c = vec![0xC3; file.bucket_bytes()];
+        file.write_bucket(2, &image_c).unwrap();
+        file.persist_to(&dir_b, 0).unwrap();
+
+        // Resume *that* as a mem store.
+        let mem2 = MemStore::load(&p, &dir_b, 0).unwrap();
+        assert_eq!(mem2.read_bucket(1), &image_a[..]);
+        assert_eq!(mem2.read_bucket(2), &image_c[..]);
+        assert_eq!(mem2.read_bucket(30), &image_b[..]);
+        assert_eq!(mem2.resident_bytes(), 3 * mem2.bucket_bytes() as u64);
+
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
     }
 
     #[test]
-    fn replaying_an_empty_snapshot_uninitialises_the_bucket() {
-        let mut s = storage();
-        let snap = s.snapshot_bucket(7);
-        assert!(snap.is_empty());
-        s.write_bucket(7, &vec![9u8; s.bucket_bytes()]);
-        s.replay_bucket(7, &snap);
-        assert!(!s.is_initialized(7));
-        assert!(s.read_bucket(7).iter().all(|&b| b == 0));
+    fn file_store_persists_in_place_with_a_flush() {
+        let p = params();
+        let dir = temp_dir("inplace");
+        let mut s = FileStore::create(&p, &dir, 0).unwrap();
+        s.write_bucket(4, &vec![0x44; s.bucket_bytes()]).unwrap();
+        s.persist_to(&dir, 0).unwrap();
+        drop(s);
+        let s2 = FileStore::open(&p, &dir, 0).unwrap();
+        let mut out = vec![0u8; s2.bucket_bytes()];
+        s2.read_bucket_into(4, &mut out).unwrap();
+        assert_eq!(out, vec![0x44; s2.bucket_bytes()]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn rollback_seed_decrements_header() {
-        let mut s = storage();
-        let mut image = vec![0u8; s.bucket_bytes()];
-        image[..8].copy_from_slice(&100u64.to_le_bytes());
-        s.write_bucket(2, &image);
-        assert!(s.rollback_seed(2, 1));
+    fn opening_without_metadata_is_a_storage_error() {
+        let p = params();
+        let dir = temp_dir("nometa");
+        assert!(matches!(
+            FileStore::open(&p, &dir, 0),
+            Err(OramError::Storage { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_metadata_is_an_integrity_violation() {
+        let p = params();
+        let dir = temp_dir("badmeta");
+        let mut s = FileStore::create(&p, &dir, 0).unwrap();
+        s.write_bucket(0, &vec![7u8; s.bucket_bytes()]).unwrap();
+        s.persist_to(&dir, 0).unwrap();
+        drop(s);
+        let meta = tree_meta_path(&dir, 0);
+        let mut bytes = std::fs::read(&meta).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&meta, &bytes).unwrap();
+        assert!(matches!(
+            FileStore::open(&p, &dir, 0),
+            Err(OramError::IntegrityViolation { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn geometry_mismatch_is_a_snapshot_error() {
+        let dir = temp_dir("geom");
+        let s = FileStore::create(&params(), &dir, 0).unwrap();
+        s.persist_to(&dir, 0).unwrap();
+        drop(s);
+        // Different geometry: more blocks, different bucket size.
+        let other = OramParams::new(1 << 10, 64, 4);
+        assert!(matches!(
+            FileStore::open(&other, &dir, 0),
+            Err(OramError::Snapshot { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn temp_stores_clean_up_after_themselves() {
+        let p = params();
+        let s = FileStore::create_temp(&p, 0).unwrap();
+        let dir = s.dir().to_path_buf();
+        assert!(dir.exists());
+        drop(s);
+        assert!(!dir.exists(), "temp store directory should be removed");
+    }
+
+    #[test]
+    fn storage_kind_resolution_and_subdirs() {
+        assert_eq!(StorageKind::Mem.subdir("shard0"), StorageKind::Mem);
+        let file = StorageKind::File {
+            dir: PathBuf::from("/data/oram"),
+        };
         assert_eq!(
-            u64::from_le_bytes(s.read_bucket(2)[..8].try_into().unwrap()),
-            99
+            file.subdir("shard3"),
+            StorageKind::File {
+                dir: PathBuf::from("/data/oram/shard3")
+            }
         );
-        assert!(!s.rollback_seed(3, 1));
+        assert_eq!(StorageKind::Mem.tag(), 0);
+        assert_eq!(file.tag(), 1);
+        assert_eq!(StorageKind::TempFile.tag(), 1);
+        let root = Path::new("/snap");
+        assert_eq!(StorageKind::from_tag(0, root).unwrap(), StorageKind::Mem);
+        assert_eq!(
+            StorageKind::from_tag(1, root).unwrap(),
+            StorageKind::File {
+                dir: root.to_path_buf()
+            }
+        );
+        assert!(StorageKind::from_tag(9, root).is_err());
+    }
+
+    #[test]
+    fn tree_storage_enum_dispatches_to_both_stores() {
+        let p = params();
+        let mut mem = TreeStorage::create(&p, &StorageKind::Mem, 0).unwrap();
+        assert!(mem.as_mem().is_some());
+        assert!(!mem.is_file_backed());
+        mem.write_bucket(1, &vec![5u8; mem.bucket_bytes()]).unwrap();
+        assert_eq!(mem.snapshot_bucket(1), vec![5u8; mem.bucket_bytes()]);
+
+        let mut file = TreeStorage::create(&p, &StorageKind::TempFile, 0).unwrap();
+        assert!(file.as_mem().is_none());
+        assert!(file.is_file_backed());
+        file.write_bucket(1, &vec![5u8; file.bucket_bytes()])
+            .unwrap();
+        assert_eq!(file.snapshot_bucket(1), vec![5u8; file.bucket_bytes()]);
     }
 }

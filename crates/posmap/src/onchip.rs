@@ -88,6 +88,24 @@ impl OnChipPosMap {
     pub fn storage_bytes(&self, bits_per_entry: u32) -> u64 {
         (self.entries.len() as u64 * u64::from(bits_per_entry)).div_ceil(8)
     }
+
+    /// All entries in index order (the snapshot machinery persists the
+    /// on-chip PosMap through this view).
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
+    }
+
+    /// Replaces every entry from a snapshot; `entries` must have exactly
+    /// the current length.  Returns `false` (changing nothing) on a length
+    /// mismatch.
+    #[must_use]
+    pub fn load_entries(&mut self, entries: &[u64]) -> bool {
+        if entries.len() != self.entries.len() {
+            return false;
+        }
+        self.entries.copy_from_slice(entries);
+        true
+    }
 }
 
 #[cfg(test)]

@@ -232,6 +232,22 @@ impl<V> Plb<V> {
         }
         out
     }
+
+    /// Iterates over the sets in index order, each as its entries in LRU
+    /// order (least recently used first).  The snapshot machinery persists
+    /// the PLB through this view; re-inserting the entries set by set in
+    /// the same order restores both residency and LRU state exactly,
+    /// because [`Plb::insert`] routes by the same index function and
+    /// appends at the most-recently-used end.
+    pub fn iter_sets(&self) -> impl Iterator<Item = &[PlbEntry<V>]> {
+        self.sets.iter().map(Vec::as_slice)
+    }
+
+    /// Restores the statistics counters from a snapshot (resuming an
+    /// instance continues its hit/miss history rather than resetting it).
+    pub fn set_stats(&mut self, stats: PlbStats) {
+        self.stats = stats;
+    }
 }
 
 #[cfg(test)]

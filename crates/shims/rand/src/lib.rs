@@ -210,6 +210,23 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// The generator's full internal state.
+        ///
+        /// Extension over the rand 0.8 surface: the ORAM snapshot/restore
+        /// machinery persists the generator mid-stream so a resumed instance
+        /// draws exactly the numbers an uninterrupted run would have.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state previously captured with
+        /// [`StdRng::state`]; the stream continues exactly where it left off.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            Self { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256++ (Blackman & Vigna).

@@ -1,15 +1,14 @@
-//! Allocator-level proof that `PathOramBackend::access_into` is
-//! allocation-free in steady state.
-//!
-//! A counting global allocator wraps the system allocator; after a warm-up
-//! that touches every block (so the residency set, stash slab, classifier
-//! lists and scratch buffers have all reached their working capacities),
-//! two thousand further accesses must perform **zero** heap allocations.
+//! Allocator-level companion to `backend_zero_alloc.rs` for the
+//! **file-backed** tree store: after warm-up, steady-state accesses through
+//! `FileStore` must also perform zero heap allocations — positional I/O
+//! reads and writes go straight between the kernel and the backend's
+//! reusable scratch buffers (`path_buf` in, `write_buf` out), so the trait
+//! seam cannot silently reintroduce per-access allocation for either store.
 //!
 //! This file deliberately contains a single test: the counter is global, so
 //! a concurrently running test in the same binary would pollute it.
 
-use path_oram::{AccessOp, EncryptionMode, OramBackend, OramParams, PathOramBackend};
+use path_oram::{AccessOp, EncryptionMode, OramBackend, OramParams, PathOramBackend, StorageKind};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -43,32 +42,32 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
+/// The pinned allocation budget for 2000 steady-state file-store accesses.
+/// It is zero today; if a legitimate change ever needs to allocate on this
+/// path, raise the pin consciously in review rather than letting it drift.
+const STEADY_STATE_ALLOCATION_BUDGET: u64 = 0;
+
 #[test]
-fn steady_state_access_performs_zero_heap_allocations() {
+fn file_store_steady_state_allocation_count_is_pinned() {
     const N: u64 = 1 << 10;
     const BLOCK: usize = 64;
     let params = OramParams::new(N, BLOCK, 4);
-    // GlobalSeed: the proof covers the *encrypted* hot path, not just the
-    // plaintext fast path.  The storage kind is pinned to the in-memory
-    // arena explicitly (not left to `ORAM_STORAGE` resolution): this test
-    // is the MemStore hot-path guarantee, and its file-store companion
-    // lives in `backend_zero_alloc_file.rs`.
     let mut backend = PathOramBackend::new_with_storage(
         params,
         EncryptionMode::GlobalSeed,
         [3u8; 16],
         0,
-        &path_oram::StorageKind::Mem,
+        &StorageKind::TempFile,
         0,
     )
     .unwrap();
     assert!(
-        backend.storage().as_mem().is_some(),
-        "this test pins the arena store"
+        backend.storage().is_file_backed(),
+        "this test pins the file store"
     );
     let leaves = params.num_leaves();
 
-    let mut rng = StdRng::seed_from_u64(0x2E20_A110C);
+    let mut rng = StdRng::seed_from_u64(0xF11E_A110C);
     let mut posmap: Vec<u64> = (0..N).map(|_| rng.gen_range(0..leaves)).collect();
     let mut out = Vec::with_capacity(BLOCK);
     let mut write_data = vec![0u8; BLOCK];
@@ -102,9 +101,8 @@ fn steady_state_access_performs_zero_heap_allocations() {
         }
     };
 
-    // Warm-up: write every block once (populating the residency set to its
-    // final size), then run a mixed workload long enough for every scratch
-    // buffer and map to reach steady capacity.
+    // Warm-up: touch every block, then run the mixed workload until every
+    // scratch buffer and map has reached steady capacity.
     for addr in 0..N {
         let new_leaf = rng.gen_range(0..leaves);
         let old_leaf = posmap[addr as usize];
@@ -131,7 +129,6 @@ fn steady_state_access_performs_zero_heap_allocations() {
         );
     }
 
-    let slab_before = backend.stash_slot_capacity();
     let allocations_before = ALLOCATIONS.load(Ordering::Relaxed);
 
     for i in 0..2000u64 {
@@ -147,13 +144,8 @@ fn steady_state_access_performs_zero_heap_allocations() {
 
     let allocation_delta = ALLOCATIONS.load(Ordering::Relaxed) - allocations_before;
     assert_eq!(
-        allocation_delta, 0,
-        "steady-state accesses must not touch the heap"
-    );
-    assert_eq!(
-        backend.stash_slot_capacity(),
-        slab_before,
-        "stash slab capacity is stable"
+        allocation_delta, STEADY_STATE_ALLOCATION_BUDGET,
+        "file-store steady state must stay at its pinned allocation count"
     );
     assert!(
         backend.stats().max_stash_occupancy <= params.stash_capacity,
