@@ -97,8 +97,9 @@ fn measure_backend<B: OramBackend>(
     let one = |backend: &mut B, i: u64, posmap: &mut [u64], rng: &mut StdRng, out: &mut Vec<u8>| {
         let addr = rng.gen_range(0..n);
         let new_leaf = rng.gen_range(0..leaves);
-        let old_leaf = posmap[addr as usize];
-        posmap[addr as usize] = new_leaf;
+        let slot = usize::try_from(addr).expect("bench address fits usize");
+        let old_leaf = posmap[slot];
+        posmap[slot] = new_leaf;
         let op = if i.is_multiple_of(2) {
             AccessOp::Read
         } else {

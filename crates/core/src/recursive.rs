@@ -335,6 +335,7 @@ impl<B: OramBackend> RecursiveOram<B> {
         &self.backends[level as usize]
     }
 
+    // lint: ct-scope, no-alloc
     fn random_leaf(&mut self, level: u32) -> u64 {
         let leaves = self.backends[level as usize].params().num_leaves();
         self.rng.gen_range(0..leaves)
@@ -346,6 +347,7 @@ impl<B: OramBackend> RecursiveOram<B> {
         op: AccessOp,
         data: Option<&[u8]>,
     ) -> Result<Option<Vec<u8>>, OramError> {
+        // lint: allow(secret-branch, range validation of caller input; a malformed address aborts visibly before any memory touch)
         if addr >= self.config.num_blocks {
             return Err(OramError::AddressOutOfRange {
                 addr,
@@ -421,6 +423,7 @@ impl<B: OramBackend> RecursiveOram<B> {
         self.stats.backend = backend_totals;
         Ok(result)
     }
+    // lint: end
 
     /// Rejects write payloads of the wrong length before any tree is walked.
     fn check_write_size(&self, data: &[u8]) -> Result<(), FreecursiveError> {

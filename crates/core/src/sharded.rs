@@ -112,7 +112,7 @@ impl ShardRouter {
 
     /// The shard serving global address `addr` (its low bits mod N).
     pub fn shard_of(&self, addr: u64) -> usize {
-        (addr % self.num_shards) as usize
+        usize::try_from(addr % self.num_shards).expect("shard index bounded by N fits usize")
     }
 
     /// The intra-shard address of global address `addr`.

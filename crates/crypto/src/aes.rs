@@ -245,6 +245,7 @@ impl Aes128 {
     /// occupied lane) so the constant-time property holds for *every*
     /// non-AES-NI encryption, at the cost of a full batch per lone block —
     /// hot paths batch via [`Aes128::encrypt_blocks`] instead.
+    // lint: ct-scope, no-alloc
     pub fn encrypt_block(&self, block: [u8; BLOCK_BYTES]) -> [u8; BLOCK_BYTES] {
         match &self.state {
             #[cfg(target_arch = "x86_64")]
@@ -301,6 +302,7 @@ impl Aes128 {
             }
         }
     }
+    // lint: end
 
     /// The historical scalar implementation: S-box table plus explicit
     /// GF(2^8) `MixColumns` arithmetic.  Test-only reference the engines are

@@ -31,12 +31,16 @@ pub(crate) fn detected() -> bool {
 /// # Safety preconditions (checked by the caller)
 ///
 /// Must only be called after [`detected`] returned `true`.
+// lint: ct-scope, no-alloc
 pub(crate) fn encrypt_blocks(round_keys: &[[u8; 16]; ROUNDS + 1], data: &mut [u8]) {
     debug_assert!(data.len().is_multiple_of(BLOCK_BYTES));
     // SAFETY: the dispatch site verified AES-NI support via `detected()`.
     unsafe { encrypt_blocks_impl(round_keys, data) }
 }
 
+// SAFETY: caller must ensure the CPU supports AES-NI and SSE2 (the public
+// wrapper checks `detected()`); all pointer arithmetic stays inside `data`'s
+// whole-block chunks via the safe `chunks_exact_mut` iterators below.
 #[target_feature(enable = "aes,sse2")]
 unsafe fn encrypt_blocks_impl(round_keys: &[[u8; 16]; ROUNDS + 1], data: &mut [u8]) {
     let keys = load_keys(round_keys);
@@ -71,6 +75,9 @@ unsafe fn encrypt_blocks_impl(round_keys: &[[u8; 16]; ROUNDS + 1], data: &mut [u
     }
 }
 
+// SAFETY: caller must ensure SSE2 is available (implied by the AES-NI
+// detection at the dispatch site); the loads read exactly 16 bytes from each
+// 16-byte round-key array via unaligned-tolerant `_mm_loadu_si128`.
 #[target_feature(enable = "sse2")]
 unsafe fn load_keys(round_keys: &[[u8; 16]; ROUNDS + 1]) -> [__m128i; ROUNDS + 1] {
     let mut keys = [_mm_setzero_si128(); ROUNDS + 1];
@@ -79,6 +86,7 @@ unsafe fn load_keys(round_keys: &[[u8; 16]; ROUNDS + 1]) -> [__m128i; ROUNDS + 1
     }
     keys
 }
+// lint: end
 
 #[cfg(test)]
 mod tests {

@@ -109,6 +109,7 @@ impl CtrKeystream {
     /// `first_chunk` (chunk indices increment per 16 bytes; a trailing
     /// partial chunk receives the pad's prefix).  Runs through the batched
     /// engine: this *is* CTR encryption of whatever the caller later XORs.
+    // lint: ct-scope, no-alloc
     pub fn pad_blocks(&self, seed: u128, first_chunk: u32, out: &mut [u8]) {
         let exact = out.len() / BLOCK_BYTES * BLOCK_BYTES;
         for (i, chunk) in out[..exact].chunks_exact_mut(BLOCK_BYTES).enumerate() {
@@ -206,6 +207,7 @@ pub fn xor_in_place(dst: &mut [u8], src: &[u8]) {
         *d ^= *s;
     }
 }
+// lint: end
 
 #[cfg(test)]
 mod tests {

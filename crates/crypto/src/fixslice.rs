@@ -68,6 +68,7 @@ impl FixslicedKeys {
     }
 
     /// Encrypts eight 16-byte blocks in place.
+    // lint: ct-scope, no-alloc, no-panic
     pub(crate) fn encrypt8(&self, blocks: &mut [u8; BATCH_BYTES]) {
         let mut q = pack(blocks);
         add_round_key(&mut q, &self.rk[0]);
@@ -75,10 +76,12 @@ impl FixslicedKeys {
             sub_bytes(&mut q);
             shift_rows(&mut q);
             mix_columns(&mut q);
+            // lint: allow(no-panic, round is bounded by ROUNDS over a ROUNDS+1 array; the bound is compile-time)
             add_round_key(&mut q, &self.rk[round]);
         }
         sub_bytes(&mut q);
         shift_rows(&mut q);
+        // lint: allow(no-panic, ROUNDS indexes the last slot of a ROUNDS+1 array; the bound is compile-time)
         add_round_key(&mut q, &self.rk[ROUNDS]);
         unpack(&q, blocks);
     }
@@ -128,6 +131,7 @@ fn ortho(q: &mut [u128; 8]) {
 fn pack(blocks: &[u8; BATCH_BYTES]) -> [u128; 8] {
     let mut q = [0u128; 8];
     for (b, chunk) in blocks.chunks_exact(BLOCK_BYTES).enumerate() {
+        // lint: allow(no-panic, lane index and chunk width are fixed by chunks_exact over an 8-block batch)
         q[b] = u128::from_le_bytes(chunk.try_into().expect("16-byte block"));
     }
     ortho(&mut q);
@@ -139,6 +143,7 @@ fn unpack(q: &[u128; 8], blocks: &mut [u8; BATCH_BYTES]) {
     let mut q = *q;
     ortho(&mut q);
     for (b, chunk) in blocks.chunks_exact_mut(BLOCK_BYTES).enumerate() {
+        // lint: allow(no-panic, lane index is fixed by chunks_exact_mut over an 8-block batch)
         chunk.copy_from_slice(&q[b].to_le_bytes());
     }
 }
@@ -198,12 +203,15 @@ fn mix_columns(q: &mut [u128; 8]) {
     let mut r1 = [0u128; 8];
     let mut t = [0u128; 8];
     for i in 0..8 {
+        // lint: allow(no-panic, i ranges over 0..8 into [u128; 8] arrays; the bound is compile-time)
         r1[i] = rotate_rows_1(q[i]);
+        // lint: allow(no-panic, i ranges over 0..8 into [u128; 8] arrays; the bound is compile-time)
         t[i] = q[i] ^ r1[i];
     }
     // acc = rot1 ^ rot2 ^ rot3; rot2(a) ^ rot3(a) = rot2(a ^ rot1(a)) = rot2(t).
     let mut acc = [0u128; 8];
     for i in 0..8 {
+        // lint: allow(no-panic, i ranges over 0..8 into [u128; 8] arrays; the bound is compile-time)
         acc[i] = r1[i] ^ rotate_rows_1(rotate_rows_1(t[i]));
     }
     let c = t[7]; // carries out of the top bit
@@ -363,6 +371,7 @@ fn sub_bytes(q: &mut [u128; 8]) {
     q[1] = s6;
     q[0] = s7;
 }
+// lint: end
 
 #[cfg(test)]
 mod tests {

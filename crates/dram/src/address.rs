@@ -69,8 +69,10 @@ impl AddressMapping {
         let rank = (a % self.ranks as u64) as usize;
         a /= self.ranks as u64;
         let row = (a % self.rows as u64) as usize;
-        let column = burst_in_row * (self.burst_bytes / self.bus_bytes)
-            + ((addr as usize % self.burst_bytes) / self.bus_bytes);
+        let offset_in_burst = usize::try_from(addr % self.burst_bytes as u64)
+            .expect("burst offset bounded by burst_bytes fits usize");
+        let column =
+            burst_in_row * (self.burst_bytes / self.bus_bytes) + offset_in_burst / self.bus_bytes;
         DramLocation {
             channel,
             rank,

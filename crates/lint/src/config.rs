@@ -1,0 +1,243 @@
+//! `Lint.toml` — the checked-in configuration naming secret identifiers,
+//! address-typed identifiers, audited-unsafe modules, and required scopes.
+//!
+//! The workspace is offline and the linter std-only, so this is a hand-rolled
+//! parser for the small TOML subset the config actually uses: `[section]`
+//! tables, `[[section]]` arrays of tables, string values, and (possibly
+//! multi-line) arrays of strings.  Full-line `#` comments are allowed;
+//! inline comments are not.
+
+/// A scope that `Lint.toml` requires to exist, so annotations cannot rot:
+/// the token sequence `anchor` in `file` must sit inside scopes of every
+/// kind in `scopes`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequiredScope {
+    /// Workspace-relative path suffix of the file (e.g.
+    /// `crates/path-oram/src/backend.rs`).
+    pub file: String,
+    /// Source text to locate, matched as a token sequence (e.g.
+    /// `fn access_into`).  Satisfied if *any* occurrence is covered.
+    pub anchor: String,
+    /// Scope kinds that must be active: `ct-scope`, `no-alloc`, `no-panic`.
+    pub scopes: Vec<String>,
+}
+
+/// Parsed `Lint.toml`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintConfig {
+    /// Identifiers carrying secret values (leaf labels, block addresses,
+    /// stash metadata, PLB tags): branching on these inside a `ct-scope` is
+    /// flagged.
+    pub secret_idents: Vec<String>,
+    /// Types whose Debug/Display output would reveal secrets; formatting
+    /// them outside `#[cfg(test)]` is flagged.
+    pub secret_types: Vec<String>,
+    /// Identifiers holding addresses/leaves whose narrowing `as` casts are
+    /// flagged (the PR 2 truncation bug class).
+    pub address_idents: Vec<String>,
+    /// Files allowed to contain `unsafe` (path suffixes).
+    pub unsafe_allow: Vec<String>,
+    /// Path substrings excluded from the workspace walk.
+    pub exclude: Vec<String>,
+    /// Scopes that must exist (the annotation-rot self-check).
+    pub required: Vec<RequiredScope>,
+}
+
+/// A config-file syntax error with its 1-based line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Lint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn err(line: u32, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses the supported TOML subset into a [`LintConfig`].
+pub fn parse(source: &str) -> Result<LintConfig, ConfigError> {
+    let mut config = LintConfig::default();
+    let mut section = String::new();
+    let mut lines = source.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("[[").and_then(|s| s.strip_suffix("]]")) {
+            let name = name.trim();
+            if name != "required" {
+                return Err(err(lineno, format!("unknown array of tables [[{name}]]")));
+            }
+            config.required.push(RequiredScope {
+                file: String::new(),
+                anchor: String::new(),
+                scopes: Vec::new(),
+            });
+            section = "required".into();
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|s| s.strip_suffix(']')) {
+            section = name.trim().to_string();
+            match section.as_str() {
+                "secrets" | "unsafe" | "scan" => {}
+                other => return Err(err(lineno, format!("unknown section [{other}]"))),
+            }
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err(lineno, format!("expected `key = value`, got `{line}`")));
+        };
+        let key = key.trim();
+        let mut value = value.trim().to_string();
+        // Multi-line arrays: accumulate until the closing bracket.
+        if value.starts_with('[') {
+            while !value.trim_end().ends_with(']') {
+                match lines.next() {
+                    Some((_, cont)) => {
+                        value.push(' ');
+                        value.push_str(cont.trim());
+                    }
+                    None => return Err(err(lineno, "unterminated array")),
+                }
+            }
+        }
+        match (section.as_str(), key) {
+            ("secrets", "idents") => config.secret_idents = parse_array(&value, lineno)?,
+            ("secrets", "types") => config.secret_types = parse_array(&value, lineno)?,
+            ("secrets", "address_idents") => config.address_idents = parse_array(&value, lineno)?,
+            ("unsafe", "allow") => config.unsafe_allow = parse_array(&value, lineno)?,
+            ("scan", "exclude") => config.exclude = parse_array(&value, lineno)?,
+            ("required", "file") => {
+                required_mut(&mut config, lineno)?.file = parse_string(&value, lineno)?;
+            }
+            ("required", "anchor") => {
+                required_mut(&mut config, lineno)?.anchor = parse_string(&value, lineno)?;
+            }
+            ("required", "scopes") => {
+                required_mut(&mut config, lineno)?.scopes = parse_array(&value, lineno)?;
+            }
+            (s, k) => {
+                return Err(err(lineno, format!("unknown key `{k}` in section [{s}]")));
+            }
+        }
+    }
+    for (i, req) in config.required.iter().enumerate() {
+        if req.file.is_empty() || req.anchor.is_empty() || req.scopes.is_empty() {
+            return Err(err(
+                0,
+                format!("[[required]] entry {i} needs `file`, `anchor`, and `scopes`"),
+            ));
+        }
+    }
+    Ok(config)
+}
+
+fn required_mut(config: &mut LintConfig, line: u32) -> Result<&mut RequiredScope, ConfigError> {
+    config
+        .required
+        .last_mut()
+        .ok_or_else(|| err(line, "key outside a [[required]] entry"))
+}
+
+fn parse_string(value: &str, line: u32) -> Result<String, ConfigError> {
+    let v = value.trim();
+    v.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| err(line, format!("expected a quoted string, got `{v}`")))
+}
+
+fn parse_array(value: &str, line: u32) -> Result<Vec<String>, ConfigError> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected an array, got `{v}`")))?;
+    let mut out = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue; // trailing comma
+        }
+        out.push(parse_string(part, line)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_config() {
+        let src = r#"
+# comment
+[secrets]
+idents = ["leaf", "addr"]
+types = ["Stash"]
+address_idents = [
+    "addr",
+    "unified",
+]
+
+[unsafe]
+allow = ["crates/crypto/src/aesni.rs"]
+
+[scan]
+exclude = ["crates/shims/"]
+
+[[required]]
+file = "crates/path-oram/src/backend.rs"
+anchor = "fn access_into"
+scopes = ["ct-scope", "no-alloc"]
+
+[[required]]
+file = "b.rs"
+anchor = "fn g"
+scopes = ["no-panic"]
+"#;
+        let cfg = parse(src).unwrap();
+        assert_eq!(cfg.secret_idents, ["leaf", "addr"]);
+        assert_eq!(cfg.secret_types, ["Stash"]);
+        assert_eq!(cfg.address_idents, ["addr", "unified"]);
+        assert_eq!(cfg.unsafe_allow, ["crates/crypto/src/aesni.rs"]);
+        assert_eq!(cfg.exclude, ["crates/shims/"]);
+        assert_eq!(cfg.required.len(), 2);
+        assert_eq!(cfg.required[0].anchor, "fn access_into");
+        assert_eq!(cfg.required[0].scopes, ["ct-scope", "no-alloc"]);
+        assert_eq!(cfg.required[1].file, "b.rs");
+    }
+
+    #[test]
+    fn rejects_unknown_sections_and_keys() {
+        assert!(parse("[nope]\n").is_err());
+        assert!(parse("[secrets]\nwhat = [\"x\"]\n").is_err());
+        assert!(parse("[[other]]\n").is_err());
+    }
+
+    #[test]
+    fn rejects_incomplete_required_entries() {
+        let src = "[[required]]\nfile = \"a.rs\"\n";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse("[secrets]\nidents = \"not-an-array\"\n").is_err());
+        assert!(parse("[secrets]\nidents = [unquoted]\n").is_err());
+        assert!(parse("key = \"outside any section\"\n").is_err());
+    }
+}

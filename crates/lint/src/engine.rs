@@ -1,0 +1,917 @@
+//! The scope-tracked rule engine.
+//!
+//! Scopes are opened and closed by in-source annotations:
+//!
+//! ```text
+//! /* lint: ct-scope, no-alloc */  — open a scope with the listed kinds
+//! /* lint: end */                 — close the innermost scope
+//! /* lint: allow(rule, reason) */ — waive `rule` on this or the next line
+//! ```
+//!
+//! (written as `//`-style line comments in real code; block comments work
+//! too).  Scope rules (`secret-branch`, `no-alloc`, `no-panic`) fire only
+//! inside a scope carrying their kind; `truncating-cast`, `unsafe-audit`,
+//! and `secret-debug-leak` apply file-wide.  `#[cfg(test)]` items and
+//! modules are exempt from every rule.
+//!
+//! The engine works on the token stream — no AST — so rules are scoped,
+//! pattern-shaped heuristics by design.  What they cannot see (a branch
+//! hidden behind `Iterator::position`, a data-dependent load) is documented
+//! in `RULES.md`; what they flag spuriously is waived in source with a
+//! reason, which doubles as the audit trail the security argument wants.
+
+use crate::config::LintConfig;
+use crate::findings::Finding;
+use crate::lexer::{lex, TokKind, Token};
+use std::collections::HashSet;
+
+/// Rule identifiers (stable: they appear in waivers, baselines, reports).
+pub const SECRET_BRANCH: &str = "secret-branch";
+pub const NO_ALLOC: &str = "no-alloc";
+pub const NO_PANIC: &str = "no-panic";
+pub const TRUNCATING_CAST: &str = "truncating-cast";
+pub const UNSAFE_AUDIT: &str = "unsafe-audit";
+pub const SECRET_DEBUG_LEAK: &str = "secret-debug-leak";
+pub const MISSING_SCOPE: &str = "missing-scope";
+pub const ANNOTATION: &str = "annotation";
+
+/// Every rule a waiver may name.
+pub const ALL_RULES: &[&str] = &[
+    SECRET_BRANCH,
+    NO_ALLOC,
+    NO_PANIC,
+    TRUNCATING_CAST,
+    UNSAFE_AUDIT,
+    SECRET_DEBUG_LEAK,
+    MISSING_SCOPE,
+    ANNOTATION,
+];
+
+/// Scope-kind bits.
+const K_CT: u8 = 1;
+const K_NO_ALLOC: u8 = 2;
+const K_NO_PANIC: u8 = 4;
+
+/// Narrowing cast targets (the PR 2 bug class: a 64-bit unified address,
+/// level tag in bits 56+, silently truncated through a 4-byte field).
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32", "usize", "isize"];
+
+/// Allocation-capable method calls flagged inside `no-alloc` scopes.
+const ALLOC_METHODS: &[&str] = &[
+    "push",
+    "extend",
+    "extend_from_slice",
+    "resize",
+    "reserve",
+    "insert",
+    "append",
+    "to_vec",
+    "to_string",
+    "to_owned",
+    "collect",
+    "clone",
+];
+
+/// Panicking method calls flagged inside `no-panic` scopes.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Panicking macros flagged inside `no-panic` scopes.  `assert!` and
+/// friends are deliberately absent: invariant checks are wanted on the hot
+/// path, and their failure is a bug regardless of what the linter thinks.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Console-output macros: leak secrets to anyone watching the terminal.
+const CONSOLE_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+/// Formatting macros that materialise values into strings.
+const FORMAT_MACROS: &[&str] = &["format", "write", "writeln"];
+
+struct Scope {
+    kinds: u8,
+    line: u32,
+}
+
+struct Waiver {
+    line: u32,
+    rule: String,
+    used: bool,
+}
+
+struct Analyzer<'a> {
+    file: &'a str,
+    lines: Vec<&'a str>,
+    toks: Vec<Token>,
+    config: &'a LintConfig,
+    findings: Vec<Finding>,
+    emitted: HashSet<(&'static str, u32)>,
+    waivers: Vec<Waiver>,
+}
+
+/// Runs every rule over one file's source.  `file` is the workspace-relative
+/// path used in findings and matched against config path suffixes.
+pub fn analyze_source(file: &str, source: &str, config: &LintConfig) -> Vec<Finding> {
+    let mut a = Analyzer {
+        file,
+        lines: source.lines().collect(),
+        toks: lex(source),
+        config,
+        findings: Vec::new(),
+        emitted: HashSet::new(),
+        waivers: Vec::new(),
+    };
+    a.run();
+    a.findings
+        .sort_by(|x, y| (x.line, x.col, x.rule).cmp(&(y.line, y.col, y.rule)));
+    a.findings
+}
+
+impl Analyzer<'_> {
+    fn run(&mut self) {
+        // Pass 1: directives — scope masks per code token, waivers,
+        // annotation diagnostics.
+        let (codes, masks) = self.scan_directives();
+        // Pass 2: `#[cfg(test)]` regions over the code tokens.
+        let in_test = self.mark_test_regions(&codes);
+        // Pass 3: the rules.
+        self.check_tokens(&codes, &masks, &in_test);
+        self.check_required_scopes(&codes, &masks, &in_test);
+        // Unused waivers rot just like stale scopes: report them.
+        for w in std::mem::take(&mut self.waivers) {
+            if !w.used {
+                self.push_raw(
+                    ANNOTATION,
+                    w.line,
+                    1,
+                    format!("waiver for `{}` matches no finding; remove it", w.rule),
+                );
+            }
+        }
+    }
+
+    // -- pass 1: directives ------------------------------------------------
+
+    /// Walks the full token stream, interpreting `lint:` comments.  Returns
+    /// the code-token indices and the scope mask active at each.
+    fn scan_directives(&mut self) -> (Vec<usize>, Vec<u8>) {
+        let mut stack: Vec<Scope> = Vec::new();
+        let mut codes = Vec::new();
+        let mut masks = Vec::new();
+        for i in 0..self.toks.len() {
+            let tok = self.toks[i].clone();
+            if !tok.is_comment() {
+                codes.push(i);
+                masks.push(stack.iter().fold(0u8, |m, s| m | s.kinds));
+                continue;
+            }
+            let body = tok.text.trim();
+            // Doc comments (`///`, `//!`) never carry directives, so prose
+            // that merely *mentions* the annotation syntax is inert.
+            if matches!(tok.kind, TokKind::LineComment)
+                && (tok.text.starts_with('/') || tok.text.starts_with('!'))
+            {
+                continue;
+            }
+            let Some(directive) = body.strip_prefix("lint:") else {
+                continue;
+            };
+            let directive = directive.trim();
+            if directive == "end" {
+                if stack.pop().is_none() {
+                    self.push_raw(
+                        ANNOTATION,
+                        tok.line,
+                        tok.col,
+                        "`lint: end` with no open scope".to_string(),
+                    );
+                }
+            } else if let Some(args) = directive
+                .strip_prefix("allow(")
+                .and_then(|s| s.strip_suffix(')'))
+            {
+                match args.split_once(',') {
+                    Some((rule, reason)) if !reason.trim().is_empty() => {
+                        let rule = rule.trim().to_string();
+                        if ALL_RULES.contains(&rule.as_str()) {
+                            self.waivers.push(Waiver {
+                                line: tok.line,
+                                rule,
+                                used: false,
+                            });
+                        } else {
+                            self.push_raw(
+                                ANNOTATION,
+                                tok.line,
+                                tok.col,
+                                format!("waiver names unknown rule `{rule}`"),
+                            );
+                        }
+                    }
+                    _ => self.push_raw(
+                        ANNOTATION,
+                        tok.line,
+                        tok.col,
+                        "waiver needs a reason: `lint: allow(rule, reason)`".to_string(),
+                    ),
+                }
+            } else {
+                let mut kinds = 0u8;
+                let mut ok = true;
+                for part in directive.split(',') {
+                    match part.trim() {
+                        "ct-scope" => kinds |= K_CT,
+                        "no-alloc" => kinds |= K_NO_ALLOC,
+                        "no-panic" => kinds |= K_NO_PANIC,
+                        other => {
+                            ok = false;
+                            self.push_raw(
+                                ANNOTATION,
+                                tok.line,
+                                tok.col,
+                                format!("unknown lint directive `{other}`"),
+                            );
+                        }
+                    }
+                }
+                if ok && kinds != 0 {
+                    stack.push(Scope {
+                        kinds,
+                        line: tok.line,
+                    });
+                }
+            }
+        }
+        for scope in stack {
+            self.push_raw(
+                ANNOTATION,
+                scope.line,
+                1,
+                "scope opened here is never closed with `lint: end`".to_string(),
+            );
+        }
+        (codes, masks)
+    }
+
+    // -- pass 2: cfg(test) regions -----------------------------------------
+
+    /// Marks code tokens inside `#[cfg(test)]` items (including whole test
+    /// modules).  `#[cfg(not(test))]` and `#[cfg_attr(test, …)]` are *not*
+    /// test regions.
+    fn mark_test_regions(&self, codes: &[usize]) -> Vec<bool> {
+        let n = codes.len();
+        let mut in_test = vec![false; n];
+        let text = |k: usize| self.toks[codes[k]].text.as_str();
+        let mut k = 0;
+        while k < n {
+            if !(text(k) == "#" && k + 1 < n && text(k + 1) == "[") {
+                k += 1;
+                continue;
+            }
+            let Some(close) = self.matching(codes, k + 1, "[", "]") else {
+                break;
+            };
+            let attr: Vec<&str> = (k + 2..close).map(text).collect();
+            let is_test =
+                attr.first() == Some(&"cfg") && attr.contains(&"test") && !attr.contains(&"not");
+            if !is_test {
+                k = close + 1;
+                continue;
+            }
+            // Skip further attributes, then find the item body: the first
+            // `{` or `;` outside parens/brackets.
+            let mut m = close + 1;
+            while m + 1 < n && text(m) == "#" && text(m + 1) == "[" {
+                match self.matching(codes, m + 1, "[", "]") {
+                    Some(c) => m = c + 1,
+                    None => break,
+                }
+            }
+            let mut depth = 0i32;
+            while m < n {
+                match text(m) {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => break,
+                    ";" if depth == 0 => break,
+                    _ => {}
+                }
+                m += 1;
+            }
+            let end = if m < n && text(m) == "{" {
+                self.matching(codes, m, "{", "}").unwrap_or(n - 1)
+            } else {
+                m.min(n - 1)
+            };
+            for flag in in_test.iter_mut().take(end + 1).skip(k) {
+                *flag = true;
+            }
+            k = end + 1;
+        }
+        in_test
+    }
+
+    /// Index of the token matching the opener at `codes[start]`.
+    fn matching(&self, codes: &[usize], start: usize, open: &str, close: &str) -> Option<usize> {
+        let mut depth = 0i32;
+        for (k, &i) in codes.iter().enumerate().skip(start) {
+            let t = self.toks[i].text.as_str();
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+        None
+    }
+
+    // -- pass 3: rules -----------------------------------------------------
+
+    fn check_tokens(&mut self, codes: &[usize], masks: &[u8], in_test: &[bool]) {
+        let n = codes.len();
+        let mut stmt: Vec<usize> = Vec::new(); // code-token indices of the current statement
+        for k in 0..n {
+            if in_test[k] {
+                stmt.clear();
+                continue;
+            }
+            let mask = masks[k];
+            self.rule_unsafe_audit(codes, k);
+            self.rule_debug_leak(codes, k, in_test);
+            self.rule_truncating_cast(codes, k);
+            if mask & K_NO_ALLOC != 0 {
+                self.rule_no_alloc(codes, k);
+            }
+            if mask & K_NO_PANIC != 0 {
+                self.rule_no_panic(codes, k);
+            }
+            if mask & K_CT != 0 {
+                self.rule_secret_question(codes, k);
+            }
+            match self.tok(codes, k).text.as_str() {
+                "{" => {
+                    if masks
+                        .get(stmt.first().copied().unwrap_or(k))
+                        .copied()
+                        .unwrap_or(0)
+                        & K_CT
+                        != 0
+                    {
+                        self.check_condition(codes, &stmt);
+                        self.check_shortcircuit(codes, &stmt);
+                    }
+                    stmt.clear();
+                }
+                ";" | "}" | "," => {
+                    if masks
+                        .get(stmt.first().copied().unwrap_or(k))
+                        .copied()
+                        .unwrap_or(0)
+                        & K_CT
+                        != 0
+                    {
+                        self.check_shortcircuit(codes, &stmt);
+                    }
+                    stmt.clear();
+                }
+                _ => stmt.push(k),
+            }
+        }
+    }
+
+    fn tok(&self, codes: &[usize], k: usize) -> &Token {
+        &self.toks[codes[k]]
+    }
+
+    fn text_at(&self, codes: &[usize], k: usize) -> Option<&str> {
+        codes.get(k).map(|&i| self.toks[i].text.as_str())
+    }
+
+    fn is_secret(&self, name: &str) -> bool {
+        self.config.secret_idents.iter().any(|s| s == name)
+    }
+
+    /// `if`/`while`/`match` whose condition region (keyword → `{`) mentions a
+    /// secret identifier.
+    fn check_condition(&mut self, codes: &[usize], stmt: &[usize]) {
+        let Some(pos) = stmt.iter().position(|&k| {
+            let t = self.tok(codes, k);
+            t.kind == TokKind::Ident && matches!(t.text.as_str(), "if" | "while" | "match")
+        }) else {
+            return;
+        };
+        let keyword = self.tok(codes, stmt[pos]).text.clone();
+        for &k in &stmt[pos + 1..] {
+            let t = self.tok(codes, k);
+            if t.kind == TokKind::Ident && self.is_secret(&t.text) {
+                let (line, col, name) = (t.line, t.col, t.text.clone());
+                self.push(
+                    SECRET_BRANCH,
+                    line,
+                    col,
+                    format!("`{keyword}` in ct-scope conditioned on secret `{name}`"),
+                );
+                return;
+            }
+        }
+    }
+
+    /// Short-circuit `&&`/`||` in a statement that also mentions a secret:
+    /// evaluation of the right-hand side is itself a branch.
+    fn check_shortcircuit(&mut self, codes: &[usize], stmt: &[usize]) {
+        let has_secret = stmt.iter().any(|&k| {
+            let t = self.tok(codes, k);
+            t.kind == TokKind::Ident && self.is_secret(&t.text)
+        });
+        if !has_secret {
+            return;
+        }
+        for (j, &k) in stmt.iter().enumerate() {
+            let t = self.tok(codes, k);
+            if t.kind != TokKind::Punct || !matches!(t.text.as_str(), "&&" | "||") {
+                continue;
+            }
+            // Binary position only: `&&x` is a double reference, not an op.
+            let binary = j > 0 && {
+                let p = self.tok(codes, stmt[j - 1]);
+                matches!(
+                    p.kind,
+                    TokKind::Ident | TokKind::Num | TokKind::Str | TokKind::Char
+                ) || matches!(p.text.as_str(), ")" | "]")
+            };
+            if binary {
+                let (line, col, op) = (t.line, t.col, t.text.clone());
+                self.push(
+                    SECRET_BRANCH,
+                    line,
+                    col,
+                    format!("short-circuit `{op}` in ct-scope involving a secret identifier"),
+                );
+                return;
+            }
+        }
+    }
+
+    /// `secret?` — error propagation directly conditioned on a secret value.
+    fn rule_secret_question(&mut self, codes: &[usize], k: usize) {
+        let t = self.tok(codes, k);
+        if t.text != "?" || t.kind != TokKind::Punct {
+            return;
+        }
+        if self.text_at(codes, k + 1) == Some("Sized") {
+            return; // `?Sized` bound
+        }
+        if k == 0 {
+            return;
+        }
+        let prev = self.tok(codes, k - 1);
+        if prev.kind == TokKind::Ident && self.is_secret(&prev.text) {
+            let (line, col, name) = (t.line, t.col, prev.text.clone());
+            self.push(
+                SECRET_BRANCH,
+                line,
+                col,
+                format!("`?` in ct-scope propagates on secret `{name}`"),
+            );
+        }
+    }
+
+    fn rule_no_alloc(&mut self, codes: &[usize], k: usize) {
+        let t = self.tok(codes, k);
+        let next = self.text_at(codes, k + 1);
+        let next2 = self.text_at(codes, k + 2);
+        if t.kind == TokKind::Ident {
+            let ctor = match (t.text.as_str(), next, next2) {
+                ("Vec", Some("::"), Some(m @ ("new" | "with_capacity" | "from"))) => Some(m),
+                ("Box", Some("::"), Some(m @ "new")) => Some(m),
+                ("String", Some("::"), Some(m @ ("new" | "with_capacity" | "from"))) => Some(m),
+                _ => None,
+            };
+            if let Some(m) = ctor {
+                let msg = format!("`{}::{m}` allocates inside a no-alloc scope", t.text);
+                let (line, col) = (t.line, t.col);
+                self.push(NO_ALLOC, line, col, msg);
+                return;
+            }
+            if matches!(t.text.as_str(), "vec" | "format") && next == Some("!") {
+                let msg = format!("`{}!` allocates inside a no-alloc scope", t.text);
+                let (line, col) = (t.line, t.col);
+                self.push(NO_ALLOC, line, col, msg);
+                return;
+            }
+        }
+        if t.text == "." && t.kind == TokKind::Punct {
+            if let (Some(m), Some("(")) = (next, next2) {
+                if ALLOC_METHODS.contains(&m) {
+                    let method = self.tok(codes, k + 1).clone();
+                    self.push(
+                        NO_ALLOC,
+                        method.line,
+                        method.col,
+                        format!("`.{}()` may allocate inside a no-alloc scope", method.text),
+                    );
+                }
+            }
+        }
+    }
+
+    fn rule_no_panic(&mut self, codes: &[usize], k: usize) {
+        let t = self.tok(codes, k);
+        let next = self.text_at(codes, k + 1);
+        let next2 = self.text_at(codes, k + 2);
+        if t.text == "." && t.kind == TokKind::Punct {
+            if let (Some(m), Some("(")) = (next, next2) {
+                if PANIC_METHODS.contains(&m) {
+                    let method = self.tok(codes, k + 1).clone();
+                    self.push(
+                        NO_PANIC,
+                        method.line,
+                        method.col,
+                        format!("`.{}()` can panic inside a no-panic scope", method.text),
+                    );
+                }
+            }
+            return;
+        }
+        if t.kind == TokKind::Ident && PANIC_MACROS.contains(&t.text.as_str()) && next == Some("!")
+        {
+            let msg = format!("`{}!` inside a no-panic scope", t.text);
+            let (line, col) = (t.line, t.col);
+            self.push(NO_PANIC, line, col, msg);
+            return;
+        }
+        // Direct indexing `expr[i]` panics on out-of-bounds.  Literal-only
+        // subscripts (`buf[..8]`, `arr[0]`) are compile-checkable shapes and
+        // exempt; `$metavar` subscripts in macro definitions are unjudgeable.
+        if t.text == "[" && t.kind == TokKind::Punct && k > 0 {
+            let prev = self.tok(codes, k - 1);
+            let indexable = matches!(prev.kind, TokKind::Ident) && !is_keyword(&prev.text)
+                || matches!(prev.text.as_str(), ")" | "]");
+            if !indexable {
+                return;
+            }
+            let Some(close) = self.matching(codes, k, "[", "]") else {
+                return;
+            };
+            let mut all_literal = true;
+            let mut has_metavar = false;
+            for j in k + 1..close {
+                let inner = self.tok(codes, j);
+                match inner.kind {
+                    TokKind::Num => {}
+                    TokKind::Punct if inner.text == "$" => has_metavar = true,
+                    TokKind::Punct => {}
+                    _ => all_literal = false,
+                }
+            }
+            if !all_literal && !has_metavar && close > k + 1 {
+                let (line, col) = (t.line, t.col);
+                self.push(
+                    NO_PANIC,
+                    line,
+                    col,
+                    "direct indexing can panic inside a no-panic scope; \
+                     use `get`/`get_mut` or waive with the bound invariant"
+                        .to_string(),
+                );
+            }
+        }
+    }
+
+    /// `expr as u8/u16/u32/…` where the expression mentions an
+    /// address/leaf-typed identifier.  File-wide: truncation corrupts data
+    /// no matter which function it sits in.
+    fn rule_truncating_cast(&mut self, codes: &[usize], k: usize) {
+        let t = self.tok(codes, k);
+        if t.kind != TokKind::Ident || t.text != "as" {
+            return;
+        }
+        let Some(target) = self.text_at(codes, k + 1) else {
+            return;
+        };
+        if !NARROW_TYPES.contains(&target) {
+            return;
+        }
+        let target = target.to_string();
+        // Walk the postfix expression backwards, collecting identifiers.
+        let mut j = k as i64 - 1;
+        let mut depth = 0i32;
+        let mut culprit: Option<Token> = None;
+        while j >= 0 {
+            let cur = self.tok(codes, j as usize);
+            let prev_text = if j > 0 {
+                Some(self.tok(codes, j as usize - 1).text.as_str())
+            } else {
+                None
+            };
+            match cur.text.as_str() {
+                ")" | "]" => depth += 1,
+                "(" | "[" => {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                    // A closed group at depth 0 continues only as a call
+                    // (`f(x) as u32`) or method chain.
+                    if depth == 0
+                        && !matches!(prev_text, Some(".") | Some("::"))
+                        && !prev_text.is_some_and(|p| {
+                            p.chars()
+                                .next()
+                                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                        })
+                    {
+                        break;
+                    }
+                }
+                "." | "::" => {}
+                _ if depth > 0 => {
+                    if cur.kind == TokKind::Ident && self.is_address(&cur.text) {
+                        culprit = Some(cur.clone());
+                    }
+                }
+                _ if cur.kind == TokKind::Ident && !is_keyword(&cur.text) => {
+                    if self.is_address(&cur.text) {
+                        culprit = Some(cur.clone());
+                    }
+                    if !matches!(prev_text, Some(".") | Some("::")) {
+                        break;
+                    }
+                }
+                _ if cur.kind == TokKind::Num => {
+                    if !matches!(prev_text, Some(".")) {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+            j -= 1;
+        }
+        if let Some(culprit) = culprit {
+            self.push(
+                TRUNCATING_CAST,
+                culprit.line,
+                culprit.col,
+                format!(
+                    "`{} as {target}` can silently truncate an address/leaf value; \
+                     use `try_into`/`try_from` or waive with a range argument",
+                    culprit.text
+                ),
+            );
+        }
+    }
+
+    fn is_address(&self, name: &str) -> bool {
+        self.config.address_idents.iter().any(|s| s == name)
+    }
+
+    /// Every `unsafe` must sit in an allowlisted module and carry a nearby
+    /// `// SAFETY:` comment.
+    fn rule_unsafe_audit(&mut self, codes: &[usize], k: usize) {
+        let t = self.tok(codes, k);
+        if t.kind != TokKind::Ident || t.text != "unsafe" {
+            return;
+        }
+        let (line, col) = (t.line, t.col);
+        let allowed = self
+            .config
+            .unsafe_allow
+            .iter()
+            .any(|suffix| self.file.ends_with(suffix.as_str()));
+        if !allowed {
+            self.push(
+                UNSAFE_AUDIT,
+                line,
+                col,
+                "`unsafe` outside the audited modules listed in Lint.toml".to_string(),
+            );
+        }
+        // A SAFETY comment within the five preceding lines (above any
+        // attributes) or trailing on the same/next line satisfies the audit.
+        let documented = self.toks.iter().any(|c| {
+            c.is_comment() && c.line + 5 >= line && c.line <= line + 1 && c.text.contains("SAFETY:")
+        });
+        if !documented {
+            self.push(
+                UNSAFE_AUDIT,
+                line,
+                col,
+                "`unsafe` without a `// SAFETY:` comment explaining the invariant".to_string(),
+            );
+        }
+    }
+
+    /// Formatting of secret values/types outside `#[cfg(test)]`.
+    fn rule_debug_leak(&mut self, codes: &[usize], k: usize, in_test: &[bool]) {
+        let t = self.tok(codes, k);
+        if t.kind != TokKind::Ident || self.text_at(codes, k + 1) != Some("!") {
+            return;
+        }
+        let console = CONSOLE_MACROS.contains(&t.text.as_str());
+        let fmt = FORMAT_MACROS.contains(&t.text.as_str());
+        if !console && !fmt {
+            return;
+        }
+        let Some(open) = codes.get(k + 2).map(|&i| self.toks[i].text.as_str()) else {
+            return;
+        };
+        let (open, close) = match open {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => return,
+        };
+        let Some(end) = self.matching(codes, k + 2, open, close) else {
+            return;
+        };
+        let macro_name = t.text.clone();
+        let (line, col) = (t.line, t.col);
+        for (&i, &arg_in_test) in codes[k + 3..end].iter().zip(&in_test[k + 3..end]) {
+            if arg_in_test {
+                continue;
+            }
+            let arg = &self.toks[i];
+            let leaked = match arg.kind {
+                TokKind::Ident => {
+                    self.config.secret_types.iter().any(|s| s == &arg.text)
+                        || (console && self.is_secret(&arg.text))
+                }
+                // Inline captures: `"{leaf}"`, `"{stash:?}"`.
+                TokKind::Str => self.str_captures_secret(&arg.text, console),
+                _ => false,
+            };
+            if leaked {
+                let what = arg.text.clone();
+                self.push(
+                    SECRET_DEBUG_LEAK,
+                    line,
+                    col,
+                    format!("`{macro_name}!` formats secret-listed `{what}` outside tests"),
+                );
+                return;
+            }
+        }
+    }
+
+    /// Does a format string contain `{name}` / `{name:…}` for a secret?
+    fn str_captures_secret(&self, s: &str, console: bool) -> bool {
+        let mut rest = s;
+        while let Some(start) = rest.find('{') {
+            rest = &rest[start + 1..];
+            let Some(end) = rest.find(['}', ':']) else {
+                break;
+            };
+            let name = &rest[..end];
+            if self.config.secret_types.iter().any(|t| t == name)
+                || (console && self.is_secret(name))
+            {
+                return true;
+            }
+            rest = &rest[end..];
+        }
+        false
+    }
+
+    /// The annotation-rot self-check: `Lint.toml`-required anchors must be
+    /// covered by scopes of every required kind.
+    fn check_required_scopes(&mut self, codes: &[usize], masks: &[u8], in_test: &[bool]) {
+        let required: Vec<_> = self
+            .config
+            .required
+            .iter()
+            .filter(|r| self.file.ends_with(r.file.as_str()))
+            .cloned()
+            .collect();
+        for req in required {
+            let anchor: Vec<String> = lex(&req.anchor)
+                .into_iter()
+                .filter(|t| !t.is_comment())
+                .map(|t| t.text)
+                .collect();
+            if anchor.is_empty() {
+                continue;
+            }
+            let want = req.scopes.iter().fold(0u8, |m, s| {
+                m | match s.as_str() {
+                    "ct-scope" => K_CT,
+                    "no-alloc" => K_NO_ALLOC,
+                    "no-panic" => K_NO_PANIC,
+                    _ => 0,
+                }
+            });
+            let mut first_seen: Option<(u32, u32)> = None;
+            let mut satisfied = false;
+            for k in 0..codes.len() {
+                if in_test[k] || k + anchor.len() > codes.len() {
+                    continue;
+                }
+                let matches = anchor
+                    .iter()
+                    .enumerate()
+                    .all(|(d, want_text)| self.tok(codes, k + d).text == *want_text);
+                if !matches {
+                    continue;
+                }
+                let t = self.tok(codes, k);
+                first_seen.get_or_insert((t.line, t.col));
+                if masks[k] & want == want {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if satisfied {
+                continue;
+            }
+            let msg = match first_seen {
+                Some(_) => format!(
+                    "`{}` is required to be inside {} scope(s) but is not — \
+                     the annotation has rotted",
+                    req.anchor,
+                    req.scopes.join(" + ")
+                ),
+                None => format!(
+                    "required anchor `{}` not found in this file — \
+                     update Lint.toml or restore the code",
+                    req.anchor
+                ),
+            };
+            let (line, col) = first_seen.unwrap_or((1, 1));
+            self.push(MISSING_SCOPE, line, col, msg);
+        }
+    }
+
+    // -- emission ----------------------------------------------------------
+
+    /// Emits a finding unless a waiver covers it; one finding per
+    /// (rule, line).
+    fn push(&mut self, rule: &'static str, line: u32, col: u32, message: String) {
+        for w in &mut self.waivers {
+            if w.rule == rule && (w.line == line || w.line + 1 == line) {
+                w.used = true;
+                return;
+            }
+        }
+        if !self.emitted.insert((rule, line)) {
+            return;
+        }
+        self.push_raw(rule, line, col, message);
+    }
+
+    /// Emits without waiver/dedup processing (annotation diagnostics).
+    fn push_raw(&mut self, rule: &'static str, line: u32, col: u32, message: String) {
+        let snippet = self
+            .lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default();
+        self.findings.push(Finding {
+            rule,
+            file: self.file.to_string(),
+            line,
+            col,
+            message,
+            snippet,
+        });
+    }
+}
+
+/// Keywords that can directly precede `[` or appear in expressions without
+/// being value identifiers.
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "as" | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "static"
+            | "struct"
+            | "trait"
+            | "true"
+            | "type"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+    )
+}

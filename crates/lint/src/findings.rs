@@ -1,0 +1,331 @@
+//! Findings, the machine-readable JSON report, and the committed baseline.
+//!
+//! The baseline file holds grandfathered findings as a JSON array of
+//! `{rule, file, snippet}` objects.  Matching is positional-drift-tolerant:
+//! a finding is baselined when an unconsumed entry matches its rule, file,
+//! and trimmed source line, so unrelated edits that shift line numbers do
+//! not resurrect old findings.  The repository policy is an *empty*
+//! baseline — every finding fixed or waived in source — but the mechanism
+//! exists so future rule tightening can land without blocking CI.
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`secret-branch`, `no-alloc`, …).
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+    /// The trimmed source line, for reports and baseline matching.
+    pub snippet: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// A grandfathered finding from the baseline file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    pub snippet: String,
+}
+
+/// Splits findings into `(new, baselined)` against the baseline entries.
+/// Each entry absolves at most one finding.
+pub fn apply_baseline(
+    findings: Vec<Finding>,
+    baseline: &[BaselineEntry],
+) -> (Vec<Finding>, Vec<Finding>) {
+    let mut used = vec![false; baseline.len()];
+    let mut fresh = Vec::new();
+    let mut grandfathered = Vec::new();
+    for finding in findings {
+        let hit = baseline.iter().enumerate().position(|(i, entry)| {
+            !used[i]
+                && entry.rule == finding.rule
+                && entry.file == finding.file
+                && entry.snippet == finding.snippet
+        });
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                grandfathered.push(finding);
+            }
+            None => fresh.push(finding),
+        }
+    }
+    (fresh, grandfathered)
+}
+
+// ---------------------------------------------------------------------------
+// JSON writing
+// ---------------------------------------------------------------------------
+
+/// Escapes `s` as a JSON string body.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full report: every finding (new and baselined), plus counts.
+pub fn report_json(new: &[Finding], baselined: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"new_findings\": {},\n", new.len()));
+    out.push_str(&format!("  \"baselined_findings\": {},\n", baselined.len()));
+    out.push_str("  \"findings\": [\n");
+    let rows: Vec<String> = new
+        .iter()
+        .map(|f| (f, false))
+        .chain(baselined.iter().map(|f| (f, true)))
+        .map(|(f, grandfathered)| {
+            format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \
+                 \"baselined\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}",
+                json_escape(f.rule),
+                json_escape(&f.file),
+                f.line,
+                f.col,
+                grandfathered,
+                json_escape(&f.message),
+                json_escape(&f.snippet),
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    if !rows.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders findings as a baseline file (for `--write-baseline`).
+pub fn baseline_json(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str("[\n");
+    let rows: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "  {{\"rule\": \"{}\", \"file\": \"{}\", \"snippet\": \"{}\"}}",
+                json_escape(f.rule),
+                json_escape(&f.file),
+                json_escape(&f.snippet),
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    if !rows.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// JSON parsing (baseline files only)
+// ---------------------------------------------------------------------------
+
+/// Parses a baseline file: a JSON array of objects with string values.
+/// Only the subset emitted by [`baseline_json`] is supported.
+pub fn parse_baseline(source: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut p = JsonCursor {
+        chars: source.chars().peekable(),
+    };
+    p.skip_ws();
+    p.expect('[')?;
+    let mut entries = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(']') {
+        p.next();
+        return Ok(entries);
+    }
+    loop {
+        let obj = p.parse_object()?;
+        let field = |name: &str| -> Result<String, String> {
+            obj.iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| format!("baseline entry missing `{name}`"))
+        };
+        entries.push(BaselineEntry {
+            rule: field("rule")?,
+            file: field("file")?,
+            snippet: field("snippet")?,
+        });
+        p.skip_ws();
+        match p.next() {
+            Some(',') => p.skip_ws(),
+            Some(']') => break,
+            other => return Err(format!("expected `,` or `]`, got {other:?}")),
+        }
+    }
+    Ok(entries)
+}
+
+struct JsonCursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl JsonCursor<'_> {
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn next(&mut self) -> Option<char> {
+        self.chars.next()
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|c| c.is_whitespace()) {
+            self.next();
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.next() {
+            Some(c) if c == want => Ok(()),
+            other => Err(format!("expected `{want}`, got {other:?}")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Vec<(String, String)>, String> {
+        self.skip_ws();
+        self.expect('{')?;
+        let mut fields = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('}') {
+                self.next();
+                break;
+            }
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(':')?;
+            self.skip_ws();
+            let value = self.parse_string()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(',') => {
+                    self.next();
+                }
+                Some('}') => {}
+                other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+            }
+        }
+        Ok(fields)
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some('"') => break,
+                Some('\\') => match self.next() {
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next().ok_or("truncated \\u escape")?;
+                            code = code * 16 + d.to_digit(16).ok_or("bad \\u escape")?;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                    }
+                    Some(c) => out.push(c),
+                    None => return Err("truncated escape".into()),
+                },
+                Some(c) => out.push(c),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            file: file.into(),
+            line: 1,
+            col: 1,
+            message: "m".into(),
+            snippet: snippet.into(),
+        }
+    }
+
+    #[test]
+    fn baseline_roundtrip_through_json() {
+        let findings = vec![
+            finding("no-alloc", "a.rs", "let v = Vec::new();"),
+            finding("secret-branch", "b.rs", "if leaf == 3 { \"quote\\\\\" }"),
+        ];
+        let json = baseline_json(&findings);
+        let parsed = parse_baseline(&json).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].rule, "no-alloc");
+        assert_eq!(parsed[1].snippet, "if leaf == 3 { \"quote\\\\\" }");
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        assert_eq!(parse_baseline("[]").unwrap(), vec![]);
+        assert_eq!(parse_baseline("[\n]\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn apply_baseline_consumes_entries_once() {
+        let f1 = finding("no-alloc", "a.rs", "x");
+        let f2 = finding("no-alloc", "a.rs", "x");
+        let baseline = parse_baseline(&baseline_json(std::slice::from_ref(&f1))).unwrap();
+        let (new, old) = apply_baseline(vec![f1, f2], &baseline);
+        // One matching entry absolves only one of the two identical findings.
+        assert_eq!(new.len(), 1);
+        assert_eq!(old.len(), 1);
+    }
+
+    #[test]
+    fn report_json_counts_new_and_baselined() {
+        let report = report_json(&[finding("no-panic", "a.rs", "s")], &[], 3);
+        assert!(report.contains("\"new_findings\": 1"));
+        assert!(report.contains("\"files_scanned\": 3"));
+        assert!(report.contains("\"baselined\": false"));
+        // The empty-report shape is also valid JSON-ish.
+        let empty = report_json(&[], &[], 0);
+        assert!(empty.contains("\"findings\": [\n  ]"));
+    }
+}

@@ -1,0 +1,596 @@
+//! A hand-rolled Rust lexer: just enough token structure for the rule engine.
+//!
+//! The lexer understands everything that can *hide* code from a naive text
+//! scan — line and nested block comments, plain/byte/raw string literals,
+//! char literals vs. lifetimes — and surfaces comments as tokens so the rule
+//! engine can read `lint:` annotations out of them.  It does not attempt
+//! full fidelity (numeric literal grammar is approximate); rule matching
+//! only needs identifier/punctuation structure to be exact.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`if`, `leaf`, `u32`, …).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — distinguished from char literals.
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// String literal of any flavour: `"…"`, `r#"…"#`, `b"…"`, `br"…"`.
+    Str,
+    /// Char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// Punctuation / operator, longest-match (`&&`, `::`, `..=`, `->`, …).
+    Punct,
+    /// `// …` comment; `text` is everything after the `//`.
+    LineComment,
+    /// `/* … */` comment (nesting-aware); `text` is the interior.
+    BlockComment,
+}
+
+/// One lexeme with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// True for the comment kinds.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Multi-character operators, longest first so maximal munch works.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "&&", "||", "::", "..", "->", "=>", "==", "!=", "<=", ">=", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream, comments included.
+///
+/// Unterminated constructs (string/comment at EOF) are tolerated: the token
+/// simply extends to the end of input.  A linter must never panic on the
+/// code it scans.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' {
+            // Comment or division: decide after consuming the slash.
+            cur.bump();
+            match cur.peek() {
+                Some('/') => {
+                    cur.bump();
+                    let mut text = String::new();
+                    while let Some(ch) = cur.peek() {
+                        if ch == '\n' {
+                            break;
+                        }
+                        text.push(ch);
+                        cur.bump();
+                    }
+                    out.push(Token {
+                        kind: TokKind::LineComment,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                Some('*') => {
+                    cur.bump();
+                    let mut depth = 1usize;
+                    let mut text = String::new();
+                    while depth > 0 {
+                        match cur.bump() {
+                            None => break,
+                            Some('*') if cur.peek() == Some('/') => {
+                                cur.bump();
+                                depth -= 1;
+                                if depth > 0 {
+                                    text.push_str("*/");
+                                }
+                            }
+                            Some('/') if cur.peek() == Some('*') => {
+                                cur.bump();
+                                depth += 1;
+                                text.push_str("/*");
+                            }
+                            Some(ch) => text.push(ch),
+                        }
+                    }
+                    out.push(Token {
+                        kind: TokKind::BlockComment,
+                        text,
+                        line,
+                        col,
+                    });
+                }
+                Some('=') => {
+                    cur.bump();
+                    out.push(Token {
+                        kind: TokKind::Punct,
+                        text: "/=".into(),
+                        line,
+                        col,
+                    });
+                }
+                _ => out.push(Token {
+                    kind: TokKind::Punct,
+                    text: "/".into(),
+                    line,
+                    col,
+                }),
+            }
+            continue;
+        }
+        if c == '\'' {
+            out.push(lex_quote(&mut cur, line, col));
+            continue;
+        }
+        if c == '"' {
+            cur.bump();
+            out.push(Token {
+                kind: TokKind::Str,
+                text: lex_string_body(&mut cur),
+                line,
+                col,
+            });
+            continue;
+        }
+        if is_ident_start(c) {
+            // `r`/`b`/`br`/`rb` prefixes may introduce raw/byte literals.
+            let mut ident = String::new();
+            ident.push(c);
+            cur.bump();
+            if let Some(tok) = try_literal_prefix(&mut cur, &mut ident, line, col) {
+                out.push(tok);
+                continue;
+            }
+            while let Some(ch) = cur.peek() {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                ident.push(ch);
+                cur.bump();
+            }
+            out.push(Token {
+                kind: TokKind::Ident,
+                text: ident,
+                line,
+                col,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.push(lex_number(&mut cur, line, col));
+            continue;
+        }
+        // Punctuation, longest match first.
+        let mut matched = None;
+        for p in PUNCTS {
+            if starts_with(&mut cur, p) {
+                matched = Some(*p);
+                break;
+            }
+        }
+        if let Some(p) = matched {
+            for _ in 0..p.chars().count() {
+                cur.bump();
+            }
+            out.push(Token {
+                kind: TokKind::Punct,
+                text: p.into(),
+                line,
+                col,
+            });
+        } else {
+            cur.bump();
+            out.push(Token {
+                kind: TokKind::Punct,
+                text: c.to_string(),
+                line,
+                col,
+            });
+        }
+    }
+    out
+}
+
+/// Whether the remaining input starts with `prefix` (cannot consume —
+/// `Peekable` only looks one ahead, so clone the iterator).
+fn starts_with(cur: &mut Cursor<'_>, prefix: &str) -> bool {
+    let mut it = cur.chars.clone();
+    prefix.chars().all(|p| it.next() == Some(p))
+}
+
+/// After consuming an identifier's first char, checks for the raw/byte
+/// literal prefixes (`r"`, `r#"`, `b"`, `b'`, `br"`, `rb` is not valid Rust).
+fn try_literal_prefix(
+    cur: &mut Cursor<'_>,
+    ident: &mut String,
+    line: u32,
+    col: u32,
+) -> Option<Token> {
+    let lead = ident.as_str();
+    match (lead, cur.peek()) {
+        ("r", Some('"')) | ("r", Some('#')) => raw_string(cur, line, col),
+        ("b", Some('"')) => {
+            cur.bump();
+            Some(Token {
+                kind: TokKind::Str,
+                text: lex_string_body(cur),
+                line,
+                col,
+            })
+        }
+        ("b", Some('\'')) => Some(lex_quote(cur, line, col)),
+        ("b", Some('r')) => {
+            // Could be `br"…"` / `br#"…"#`, or an identifier like `broken`.
+            let mut it = cur.chars.clone();
+            it.next();
+            match it.next() {
+                Some('"') | Some('#') => {
+                    cur.bump();
+                    raw_string(cur, line, col)
+                }
+                _ => {
+                    ident.push('r');
+                    cur.bump();
+                    None
+                }
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Lexes `#*"…"#*` after the `r`/`br` prefix.  Returns `None` when the `#`s
+/// are not followed by a quote (e.g. the raw identifier `r#try`): the caller
+/// falls back to identifier lexing, which is close enough for linting.
+fn raw_string(cur: &mut Cursor<'_>, line: u32, col: u32) -> Option<Token> {
+    let mut hashes = 0usize;
+    {
+        let mut it = cur.chars.clone();
+        while it.next() == Some('#') {
+            hashes += 1;
+        }
+    }
+    let mut it = cur.chars.clone();
+    for _ in 0..hashes {
+        it.next();
+    }
+    if it.next() != Some('"') {
+        return None;
+    }
+    for _ in 0..=hashes {
+        cur.bump(); // the hashes and the opening quote
+    }
+    let mut text = String::new();
+    'scan: while let Some(c) = cur.bump() {
+        if c == '"' {
+            let mut it = cur.chars.clone();
+            for _ in 0..hashes {
+                if it.next() != Some('#') {
+                    text.push('"');
+                    continue 'scan;
+                }
+            }
+            for _ in 0..hashes {
+                cur.bump();
+            }
+            break;
+        }
+        text.push(c);
+    }
+    Some(Token {
+        kind: TokKind::Str,
+        text,
+        line,
+        col,
+    })
+}
+
+/// Lexes a non-raw string body after the opening quote, honouring escapes.
+fn lex_string_body(cur: &mut Cursor<'_>) -> String {
+    let mut text = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '"' => break,
+            '\\' => {
+                text.push('\\');
+                if let Some(e) = cur.bump() {
+                    text.push(e);
+                }
+            }
+            _ => text.push(c),
+        }
+    }
+    text
+}
+
+/// Disambiguates `'a'` (char literal) from `'a` (lifetime) after peeking a
+/// single quote.  Also consumes the quote for byte-char literals (`b'…'`,
+/// where the caller already ate the `b`).
+fn lex_quote(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
+    cur.bump(); // the opening quote
+    match cur.peek() {
+        Some('\\') => {
+            // Escaped char literal: consume until the closing quote.
+            let mut text = String::new();
+            cur.bump();
+            text.push('\\');
+            if let Some(e) = cur.bump() {
+                text.push(e); // the escape selector; covers '\'' too
+            }
+            while let Some(c) = cur.bump() {
+                if c == '\'' {
+                    break;
+                }
+                text.push(c); // \u{…} and friends
+            }
+            Token {
+                kind: TokKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        Some(c) if is_ident_start(c) => {
+            // `'x'` is a char literal, `'x` (no closing quote) a lifetime.
+            let mut text = String::new();
+            text.push(c);
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+                return Token {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                    col,
+                };
+            }
+            while let Some(ch) = cur.peek() {
+                if !is_ident_continue(ch) {
+                    break;
+                }
+                text.push(ch);
+                cur.bump();
+            }
+            Token {
+                kind: TokKind::Lifetime,
+                text,
+                line,
+                col,
+            }
+        }
+        Some(c) => {
+            // Non-identifier char literal: `' '`, `'('`, multi-byte chars.
+            let mut text = String::new();
+            text.push(c);
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+            Token {
+                kind: TokKind::Char,
+                text,
+                line,
+                col,
+            }
+        }
+        None => Token {
+            kind: TokKind::Punct,
+            text: "'".into(),
+            line,
+            col,
+        },
+    }
+}
+
+/// Approximate numeric literal: digits, `_`, base/type-suffix letters, and a
+/// decimal point only when followed by a digit (so `1..n` and `x.0.sqrt()`
+/// tokenize usefully).
+fn lex_number(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else if c == '.' {
+            let mut it = cur.chars.clone();
+            it.next();
+            match it.next() {
+                Some(d) if d.is_ascii_digit() && !text.contains('.') => {
+                    text.push('.');
+                    cur.bump();
+                }
+                _ => break,
+            }
+        } else {
+            break;
+        }
+    }
+    Token {
+        kind: TokKind::Num,
+        text,
+        line,
+        col,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let toks = kinds("if leaf == 3 && x { y?; }");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["if", "leaf", "==", "3", "&&", "x", "{", "y", "?", ";", "}"]
+        );
+        assert_eq!(toks[2].0, TokKind::Punct);
+        assert_eq!(toks[4].0, TokKind::Punct);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[0], (TokKind::Ident, "a".into()));
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert!(toks[1].1.contains("inner"));
+        assert!(toks[1].1.contains("still comment"));
+        assert_eq!(toks[2], (TokKind::Ident, "b".into()));
+    }
+
+    #[test]
+    fn line_comment_stops_at_newline() {
+        let toks = kinds("x // if secret { panic!() }\ny");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokKind::LineComment);
+        assert_eq!(toks[2], (TokKind::Ident, "y".into()));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let toks = kinds(r###"let s = r#"if leaf { "quoted" }"#;"###);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].1, r#"if leaf { "quoted" }"#);
+        // Nothing inside the raw string surfaced as an identifier.
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "if"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = kinds(r##"(b"ab", br#"c"d"#, broken)"##);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, ["ab", r#"c"d"#]);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "broken"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a u8) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Char)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(chars, ["x"]);
+    }
+
+    #[test]
+    fn escaped_char_literals_and_static_lifetime() {
+        let toks = kinds(r"('\n', '\'', '\u{1F600}', &'static str)");
+        let chars = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(chars, 3);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Lifetime && t == "static"));
+    }
+
+    #[test]
+    fn string_escapes_do_not_end_the_literal() {
+        let toks = kinds(r#"let s = "a\"b\\"; x"#);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Str)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(strs, [r#"a\"b\\"#]);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = lex("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn range_vs_float() {
+        let texts: Vec<String> = lex("0..n 1.5 x.0 1..=2")
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(
+            texts,
+            ["0", "..", "n", "1.5", "x", ".", "0", "1", "..=", "2"]
+        );
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_panic() {
+        for src in ["\"abc", "/* never closed", "r#\"open", "'"] {
+            let _ = lex(src);
+        }
+    }
+}

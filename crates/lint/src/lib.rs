@@ -1,0 +1,138 @@
+//! `oram-lint` — in-workspace static analysis for the ORAM hot path.
+//!
+//! The security argument of the paper rests on source-level invariants the
+//! compiler cannot check: no secret-dependent branching on the encrypted
+//! hot path, no steady-state allocation, no silent truncation of unified
+//! addresses, audited `unsafe`, and no debug-formatting of secret state.
+//! This crate enforces them with a hand-rolled lexer and a scope-tracked
+//! rule engine driven by `// lint:` annotations and a checked-in
+//! `Lint.toml`.  See `RULES.md` for the rule catalog and the README's
+//! "Static analysis" section for the workflow.
+//!
+//! std-only and dependency-free on purpose: the linter that polices the
+//! workspace must never be broken by the workspace's own dependency policy.
+
+pub mod config;
+pub mod engine;
+pub mod findings;
+pub mod lexer;
+
+pub use config::{ConfigError, LintConfig};
+pub use findings::{apply_baseline, baseline_json, parse_baseline, report_json, Finding};
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Result of scanning a set of files.
+#[derive(Debug)]
+pub struct Analysis {
+    /// All findings, sorted by (file, line, col).
+    pub findings: Vec<Finding>,
+    /// Workspace-relative paths scanned, sorted.
+    pub files: Vec<String>,
+}
+
+/// Directory names never scanned: generated output, version control, and
+/// test/bench/fixture code (`#[cfg(test)]` exemption extended to whole
+/// test trees).
+const SKIP_DIRS: &[&str] = &["target", ".git", "tests", "benches", "examples", "fixtures"];
+
+/// Collects the production `.rs` files under `root`: files inside a `src`
+/// directory, excluding [`SKIP_DIRS`] and the config's `exclude` list.
+pub fn workspace_files(root: &Path, config: &LintConfig) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue, // unreadable directory: skip, don't fail the lint
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if SKIP_DIRS.contains(&name.as_ref()) {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let rel = relative(root, &path);
+                if !rel.contains("/src/") && !rel.starts_with("src/") {
+                    continue;
+                }
+                if config.exclude.iter().any(|e| rel.contains(e.as_str())) {
+                    continue;
+                }
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Workspace-relative path with forward slashes.
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Scans `paths` (or the whole workspace when `None`), returning every
+/// finding including the cross-file `missing-scope` checks for required
+/// anchors whose file was not scanned at all.
+pub fn run(root: &Path, paths: Option<&[PathBuf]>, config: &LintConfig) -> io::Result<Analysis> {
+    let files = match paths {
+        Some(explicit) => {
+            let mut out = Vec::new();
+            for p in explicit {
+                if p.is_dir() {
+                    let sub = workspace_files(p, config)?;
+                    out.extend(sub);
+                } else {
+                    out.push(p.clone());
+                }
+            }
+            out.sort();
+            out
+        }
+        None => workspace_files(root, config)?,
+    };
+    let mut findings = Vec::new();
+    let mut rels = Vec::new();
+    for path in &files {
+        let rel = relative(root, path);
+        let source = std::fs::read_to_string(path)?;
+        findings.extend(engine::analyze_source(&rel, &source, config));
+        rels.push(rel);
+    }
+    // Required anchors in files that were not scanned at all (deleted,
+    // renamed, or excluded) are annotation rot too — but only when the run
+    // covered the whole workspace; a partial run cannot judge coverage.
+    if paths.is_none() {
+        for req in &config.required {
+            if !rels.iter().any(|f| f.ends_with(req.file.as_str())) {
+                findings.push(Finding {
+                    rule: engine::MISSING_SCOPE,
+                    file: req.file.clone(),
+                    line: 1,
+                    col: 1,
+                    message: format!(
+                        "required file `{}` was not scanned — update Lint.toml if it moved",
+                        req.file
+                    ),
+                    snippet: String::new(),
+                });
+            }
+        }
+    }
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.col, a.rule).cmp(&(b.file.as_str(), b.line, b.col, b.rule))
+    });
+    Ok(Analysis {
+        findings,
+        files: rels,
+    })
+}

@@ -1,0 +1,153 @@
+//! `oram-lint` command-line interface.
+//!
+//! ```text
+//! cargo run -p oram-lint -- --workspace            # lint everything
+//! cargo run -p oram-lint -- crates/path-oram       # lint a subtree
+//! cargo run -p oram-lint -- --workspace --json report.json
+//! cargo run -p oram-lint -- --workspace --write-baseline
+//! ```
+//!
+//! Exit codes: 0 — clean (or fully baselined); 1 — new findings; 2 — usage
+//! or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    workspace: bool,
+    root: PathBuf,
+    config: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    json: Option<PathBuf>,
+    write_baseline: bool,
+    paths: Vec<PathBuf>,
+}
+
+const USAGE: &str = "usage: oram-lint [--workspace] [--root DIR] [--config FILE] \
+[--baseline FILE] [--json FILE|-] [--write-baseline] [PATH...]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        root: PathBuf::from("."),
+        config: None,
+        baseline: None,
+        json: None,
+        write_baseline: false,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--config" => args.config = Some(PathBuf::from(value("--config")?)),
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--json" => args.json = Some(PathBuf::from(value("--json")?)),
+            "--write-baseline" => args.write_baseline = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`\n{USAGE}"));
+            }
+            path => args.paths.push(PathBuf::from(path)),
+        }
+    }
+    if !args.workspace && args.paths.is_empty() {
+        return Err(format!("give --workspace or explicit paths\n{USAGE}"));
+    }
+    if args.workspace && !args.paths.is_empty() {
+        return Err(format!("--workspace and explicit paths conflict\n{USAGE}"));
+    }
+    Ok(args)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let root = &args.root;
+
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| root.join("Lint.toml"));
+    let config_src = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
+    let config = oram_lint::config::parse(&config_src).map_err(|e| e.to_string())?;
+
+    let paths = if args.workspace {
+        None
+    } else {
+        Some(args.paths.as_slice())
+    };
+    let analysis = oram_lint::run(root, paths, &config).map_err(|e| format!("scan failed: {e}"))?;
+
+    if args.write_baseline {
+        let path = args
+            .baseline
+            .clone()
+            .unwrap_or_else(|| root.join("lint-baseline.json"));
+        std::fs::write(&path, oram_lint::baseline_json(&analysis.findings))
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        println!(
+            "wrote {} finding(s) to {}",
+            analysis.findings.len(),
+            path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("lint-baseline.json"));
+    let baseline = match std::fs::read_to_string(&baseline_path) {
+        Ok(src) => oram_lint::parse_baseline(&src)
+            .map_err(|e| format!("{}: {e}", baseline_path.display()))?,
+        Err(_) => Vec::new(), // no baseline file means an empty baseline
+    };
+    let (new, grandfathered) = oram_lint::apply_baseline(analysis.findings, &baseline);
+
+    if let Some(json_path) = &args.json {
+        let report = oram_lint::report_json(&new, &grandfathered, analysis.files.len());
+        if json_path.as_os_str() == "-" {
+            print!("{report}");
+        } else {
+            std::fs::write(json_path, report)
+                .map_err(|e| format!("cannot write {}: {e}", json_path.display()))?;
+        }
+    }
+
+    for finding in &new {
+        println!("{finding}");
+        if !finding.snippet.is_empty() {
+            println!("    | {}", finding.snippet);
+        }
+    }
+    println!(
+        "oram-lint: {} file(s), {} new finding(s), {} baselined",
+        analysis.files.len(),
+        new.len(),
+        grandfathered.len()
+    );
+    Ok(if new.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("oram-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Golden fixture: fully annotated hot-path code with zero findings.
+
+// lint: ct-scope, no-alloc, no-panic
+pub fn xor_fold(words: &[u64; 8]) -> u64 {
+    let mut acc = 0u64;
+    for w in words.iter() {
+        acc ^= *w;
+    }
+    acc
+}
+// lint: end
+
+pub fn widen(addr: u64) -> u128 {
+    u128::from(addr)
+}

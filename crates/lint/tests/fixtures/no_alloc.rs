@@ -1,0 +1,9 @@
+//! Golden fixture: allocation inside a no-alloc scope.
+
+// lint: no-alloc
+pub fn gather(src: &[u8], dst: &mut Vec<u8>) {
+    for &b in src {
+        dst.push(b);
+    }
+}
+// lint: end

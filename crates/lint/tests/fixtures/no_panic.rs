@@ -1,0 +1,7 @@
+//! Golden fixture: a panicking call inside a no-panic scope.
+
+// lint: no-panic
+pub fn last(values: &[u64]) -> u64 {
+    *values.last().unwrap()
+}
+// lint: end

@@ -1,0 +1,5 @@
+//! Golden fixture: a required anchor whose scope annotation is missing.
+
+pub fn access_into(x: u64) -> u64 {
+    x
+}

@@ -1,0 +1,14 @@
+//! Golden fixture: a secret-dependent branch inside a ct-scope.
+
+// lint: ct-scope
+pub fn classify(addr: u64, of_interest: u64, table: &mut [u64]) -> u64 {
+    let mut hits = 0;
+    if addr == of_interest {
+        hits += 1;
+    }
+    for slot in table.iter_mut() {
+        *slot ^= hits;
+    }
+    hits
+}
+// lint: end

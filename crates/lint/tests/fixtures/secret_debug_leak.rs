@@ -1,0 +1,5 @@
+//! Golden fixture: debug-formatting secret state outside tests.
+
+pub fn trace(addr: u64) {
+    println!("accessing {addr}");
+}

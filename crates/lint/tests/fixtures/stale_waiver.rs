@@ -1,0 +1,6 @@
+//! Golden fixture: an unused waiver is itself reported.
+
+// lint: allow(no-alloc, nothing here allocates)
+pub fn identity(x: u64) -> u64 {
+    x
+}

@@ -1,0 +1,6 @@
+//! Golden fixture: the PR 2 bug class — a level-tagged unified address
+//! silently truncated through a 32-bit field.
+
+pub fn bucket_field(unified_addr: u64) -> u32 {
+    unified_addr as u32
+}

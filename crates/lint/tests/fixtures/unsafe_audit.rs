@@ -1,0 +1,6 @@
+//! Golden fixture: `unsafe` outside the audited modules and without a
+//! SAFETY comment.
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}

@@ -1,0 +1,11 @@
+//! Golden fixture: a waived finding produces no output.
+
+// lint: ct-scope
+pub fn probe(addr: u64, of_interest: u64) -> bool {
+    // lint: allow(secret-branch, fixture demonstrating the waiver syntax)
+    if addr == of_interest {
+        return true;
+    }
+    false
+}
+// lint: end

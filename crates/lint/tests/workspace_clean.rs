@@ -1,0 +1,44 @@
+//! The analyzer run over the real workspace with the checked-in `Lint.toml`
+//! and baseline must report zero unbaselined findings — the same invariant
+//! CI enforces, wired into `cargo test` so it cannot be forgotten locally.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_unbaselined_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config_src =
+        std::fs::read_to_string(root.join("Lint.toml")).expect("Lint.toml at the workspace root");
+    let config = oram_lint::config::parse(&config_src).expect("Lint.toml parses");
+    let analysis = oram_lint::run(&root, None, &config).expect("workspace scan");
+    assert!(
+        analysis.files.iter().any(|f| f.ends_with("backend.rs")),
+        "the scan should cover the path-oram backend, got {} files",
+        analysis.files.len()
+    );
+    let baseline_src = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json at the workspace root");
+    let baseline = oram_lint::parse_baseline(&baseline_src).expect("baseline parses");
+    let (new, _grandfathered) = oram_lint::apply_baseline(analysis.findings, &baseline);
+    assert!(
+        new.is_empty(),
+        "unbaselined lint findings — fix or waive them in source:\n{}",
+        new.iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn repository_policy_is_an_empty_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let baseline_src = std::fs::read_to_string(root.join("lint-baseline.json"))
+        .expect("lint-baseline.json at the workspace root");
+    let baseline = oram_lint::parse_baseline(&baseline_src).expect("baseline parses");
+    assert!(
+        baseline.is_empty(),
+        "the committed baseline must stay empty; found {} grandfathered entr(ies)",
+        baseline.len()
+    );
+}

@@ -273,6 +273,7 @@ struct PathBlockRef {
 /// fields so the caller can hold the bucket image borrowed from either the
 /// arena or the scratch.
 #[allow(clippy::too_many_arguments)]
+// lint: ct-scope, no-alloc
 fn classify_bucket(
     view: BucketView<'_>,
     of_interest: BlockId,
@@ -288,6 +289,7 @@ fn classify_bucket(
     let data_base = params.bucket_data_base();
     for slot in view.occupied() {
         stats.real_blocks_fetched += 1;
+        // lint: allow(secret-branch, on-chip destination select between stash and writeback scratch; both arms touch the slot and the external trace is unchanged)
         if slot.addr == of_interest {
             stash.insert_from_parts(slot.addr, slot.leaf, slot.data);
             continue;
@@ -297,15 +299,18 @@ fn classify_bucket(
             buf[offset..offset + params.block_bytes].copy_from_slice(slot.data);
         }
         let entry = path_blocks.len() as u32 | PATH_ENTRY_BIT;
+        // lint: allow(no-alloc, pre-reserved to levels*z at construction; steady state never grows)
         path_blocks.push(PathBlockRef {
             addr: slot.addr,
             leaf: slot.leaf,
             offset: offset as u32,
         });
         let depth = deepest_common_level(slot.leaf, path_leaf, params.leaf_level());
+        // lint: allow(no-alloc, classifier lists pre-reserved to the worst-case candidate bound)
         evict_depth[depth as usize].push(entry);
     }
 }
+// lint: end
 
 /// Serialises one eviction bucket into `image`: takes up to `take` entries
 /// from the carry list (path blocks read out of `path_buf`, stash blocks
@@ -314,6 +319,7 @@ fn classify_bucket(
 /// the caller can hold `image` borrowed from either the arena or the
 /// staging buffer.
 #[allow(clippy::too_many_arguments)]
+// lint: ct-scope, no-alloc
 fn fill_bucket(
     image: &mut [u8],
     params: &OramParams,
@@ -333,6 +339,7 @@ fn fill_bucket(
         if entry & PATH_ENTRY_BIT != 0 {
             let path_block = path_blocks[(entry & !PATH_ENTRY_BIT) as usize];
             let offset = path_block.offset as usize;
+            // lint: allow(no-alloc, BucketWriter::push serialises into the caller's fixed bucket image; no heap)
             writer.push(
                 path_block.addr,
                 path_block.leaf,
@@ -340,12 +347,14 @@ fn fill_bucket(
             );
         } else {
             let (addr, block_leaf, data) = stash.slot_payload(entry);
+            // lint: allow(no-alloc, BucketWriter::push serialises into the caller's fixed bucket image; no heap)
             writer.push(addr, block_leaf, data);
             stash.release_slot(entry);
         }
     }
     writer.finish();
 }
+// lint: end
 
 impl PathOramBackend {
     /// Creates a backend with an empty (lazily initialised) tree.
@@ -534,6 +543,7 @@ impl PathOramBackend {
     /// [`PathBlockRef`] into the scratch plus a classifier entry — it is
     /// written back straight from there.  No per-bucket or per-block
     /// allocation, and dummy-slot payloads are never copied.
+    // lint: ct-scope, no-alloc
     fn read_path(&mut self, addr: BlockId, leaf: Leaf) -> Result<(), OramError> {
         let bucket_bytes = self.params.bucket_bytes();
         let plaintext = self.cipher.mode() == EncryptionMode::None;
@@ -656,6 +666,7 @@ impl PathOramBackend {
         }
         Ok(())
     }
+    // lint: end
 
     /// Writes the path back: the candidates were already classified by the
     /// deepest level they may legally occupy on the current path — path
@@ -664,6 +675,7 @@ impl PathOramBackend {
     /// serialised/sealed directly into their arena slots.  Path blocks that
     /// find no room (possible once the accessed block stole a slot) are
     /// spilled into the stash at the end.
+    // lint: ct-scope, no-alloc
     fn evict_path(&mut self, leaf: Leaf) -> Result<(), OramError> {
         let leaf_level = self.params.leaf_level();
         let block_bytes = self.params.block_bytes;
@@ -674,6 +686,7 @@ impl PathOramBackend {
         // removed the block of interest, so it classifies here).
         for (slot, _, block_leaf) in self.stash.occupied_slots() {
             let depth = deepest_common_level(block_leaf, leaf, leaf_level);
+            // lint: allow(no-alloc, classifier lists pre-reserved to the worst-case candidate bound)
             self.evict_depth[depth as usize].push(slot);
         }
 
@@ -692,6 +705,7 @@ impl PathOramBackend {
             for level in (0..=leaf_level).rev() {
                 let bucket_idx = self.path_idx[level as usize];
                 self.evict_carry
+                    // lint: allow(no-alloc, carry list pre-reserved to the stash-plus-path bound)
                     .extend(self.evict_depth[level as usize].iter().copied());
                 let take = self.params.z.min(self.evict_carry.len() - carry_pos);
 
@@ -749,6 +763,7 @@ impl PathOramBackend {
             for level in (0..=leaf_level).rev() {
                 let bucket_idx = self.path_idx[level as usize];
                 self.evict_carry
+                    // lint: allow(no-alloc, carry list pre-reserved to the stash-plus-path bound)
                     .extend(self.evict_depth[level as usize].iter().copied());
                 let take = self.params.z.min(self.evict_carry.len() - carry_pos);
 
@@ -812,6 +827,7 @@ impl PathOramBackend {
         }
         Ok(())
     }
+    // lint: end
 }
 
 impl OramBackend for PathOramBackend {
@@ -872,6 +888,7 @@ impl OramBackend for PathOramBackend {
         self.stats = BackendStats::default();
     }
 
+    // lint: ct-scope, no-alloc
     fn access_into(
         &mut self,
         op: AccessOp,
@@ -892,9 +909,11 @@ impl OramBackend for PathOramBackend {
         }
 
         if op == AccessOp::Append {
+            // lint: allow(secret-branch, duplicate-append guard; membership failure aborts with a visible error by contract)
             if self.resident.contains(&addr) {
                 return Err(OramError::DuplicateAppend { addr });
             }
+            // lint: allow(secret-branch, range validation of caller input; rejects malformed leaves before any memory touch)
             if new_leaf >= self.params.num_leaves() {
                 return Err(OramError::LeafOutOfRange {
                     leaf: new_leaf,
@@ -903,6 +922,7 @@ impl OramBackend for PathOramBackend {
             }
             let payload = data.ok_or(OramError::MissingWriteData)?;
             self.stash.insert_from_parts(addr, new_leaf, payload);
+            // lint: allow(no-alloc, residency set is controller-side metadata; amortised growth outside the proven zero-alloc window)
             self.resident.insert(addr);
             self.stats.appends += 1;
             self.stats.max_stash_occupancy = self.stats.max_stash_occupancy.max(self.stash.len());
@@ -910,12 +930,14 @@ impl OramBackend for PathOramBackend {
             return Ok(false);
         }
 
+        // lint: allow(secret-branch, range validation of caller input; rejects malformed leaves before any memory touch)
         if leaf >= self.params.num_leaves() {
             return Err(OramError::LeafOutOfRange {
                 leaf,
                 num_leaves: self.params.num_leaves(),
             });
         }
+        // lint: allow(secret-branch, range validation of caller input; rejects malformed leaves before any memory touch)
         if op != AccessOp::ReadRmv && new_leaf >= self.params.num_leaves() {
             return Err(OramError::LeafOutOfRange {
                 leaf: new_leaf,
@@ -928,6 +950,7 @@ impl OramBackend for PathOramBackend {
         self.read_path(addr, leaf)?;
 
         let was_resident = self.resident.contains(&addr);
+        // lint: allow(secret-branch, integrity check per section 6.5.2; failure means a wrong frontend leaf or tampering and aborts visibly)
         if was_resident && !self.stash.contains(addr) {
             // The block should have been on this path or in the stash; the
             // frontend's leaf was wrong or memory was tampered with.
@@ -946,11 +969,13 @@ impl OramBackend for PathOramBackend {
                 new_leaf
             };
             self.stash.insert_zeroed(addr, assigned_leaf);
+            // lint: allow(no-alloc, residency set is controller-side metadata; amortised growth outside the proven zero-alloc window)
             self.resident.insert(addr);
         }
 
         let has_data = match op {
             AccessOp::Read => {
+                // lint: allow(no-alloc, grows the caller's buffer to block_bytes once; steady state reuses its capacity)
                 out.extend_from_slice(self.stash.data_of(addr).expect("block present"));
                 self.stash.remap(addr, new_leaf);
                 true
@@ -975,6 +1000,7 @@ impl OramBackend for PathOramBackend {
         self.stash.check_overflow()?;
         Ok(has_data)
     }
+    // lint: end
 }
 
 #[cfg(test)]

@@ -60,6 +60,7 @@ pub struct BucketView<'a> {
     block_bytes: usize,
 }
 
+// lint: ct-scope, no-alloc
 impl<'a> BucketView<'a> {
     /// Validates and wraps a plaintext bucket image produced by
     /// [`BucketWriter`] / [`Bucket::serialize`].
@@ -90,6 +91,7 @@ impl<'a> BucketView<'a> {
                 0 => {}
                 1 => {
                     let leaf = u32::from_le_bytes(bytes[m + 9..m + 13].try_into().unwrap());
+                    // lint: allow(secret-branch, tamper detection on an untrusted field; a forged bucket aborts the access visibly)
                     if u64::from(leaf) >= num_leaves {
                         return Err(OramError::MalformedBucket {
                             bucket: bucket_index,
@@ -192,16 +194,13 @@ impl<'a> BucketWriter<'a> {
     pub fn push(&mut self, addr: BlockId, leaf: Leaf, data: &[u8]) {
         assert!(self.free_slots() > 0, "bucket overflow");
         assert_eq!(data.len(), self.block_bytes, "block size mismatch");
-        assert!(
-            u32::try_from(leaf).is_ok(),
-            "leaf {leaf} exceeds the 4-byte slot field"
-        );
+        let leaf = u32::try_from(leaf).expect("leaf exceeds the 4-byte slot field");
         let slot = self.next_slot;
         self.next_slot += 1;
         let m = BUCKET_HEADER_BYTES + slot * SLOT_META_BYTES;
         self.bytes[m] = 1;
         self.bytes[m + 1..m + 9].copy_from_slice(&addr.to_le_bytes());
-        self.bytes[m + 9..m + 13].copy_from_slice(&(leaf as u32).to_le_bytes());
+        self.bytes[m + 9..m + 13].copy_from_slice(&leaf.to_le_bytes());
         let data_base = BUCKET_HEADER_BYTES + self.z * SLOT_META_BYTES;
         let d = data_base + slot * self.block_bytes;
         self.bytes[d..d + self.block_bytes].copy_from_slice(data);
@@ -218,6 +217,7 @@ impl<'a> BucketWriter<'a> {
             .fill(0);
     }
 }
+// lint: end
 
 /// A decrypted, in-controller representation of one bucket (owned codec).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

@@ -458,6 +458,7 @@ impl MemStore {
         Ok(store)
     }
 
+    // lint: ct-scope, no-alloc
     #[inline]
     fn range(&self, index: u64) -> std::ops::Range<usize> {
         let start = index as usize * self.bucket_bytes;
@@ -503,6 +504,7 @@ impl MemStore {
     fn mark_initialized(&mut self, index: u64) {
         bit_set(&mut self.initialized, index);
     }
+    // lint: end
 }
 
 impl TreeStore for MemStore {

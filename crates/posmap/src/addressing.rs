@@ -127,7 +127,8 @@ impl RecursionAddressing {
     /// level-`i` PosMap block.
     pub fn entry_index(&self, level: u32, a0: u64) -> usize {
         assert!(level >= 1, "entry_index is defined for PosMap levels only");
-        (self.posmap_block_addr(level - 1, a0) % self.x) as usize
+        usize::try_from(self.posmap_block_addr(level - 1, a0) % self.x)
+            .expect("entry index bounded by X fits usize")
     }
 
     /// The unified-tree address `i‖a_i` of the level-`i` block covering `a0`
@@ -157,7 +158,7 @@ pub fn tag_address(level: u32, index: u64) -> u64 {
 /// Splits a unified address into `(level, index)`.
 pub fn untag_address(unified: u64) -> (u32, u64) {
     (
-        (unified >> LEVEL_TAG_SHIFT) as u32,
+        u32::try_from(unified >> LEVEL_TAG_SHIFT).expect("8-bit level tag fits u32"),
         unified & ((1u64 << LEVEL_TAG_SHIFT) - 1),
     )
 }

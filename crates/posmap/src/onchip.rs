@@ -52,6 +52,7 @@ impl OnChipPosMap {
     /// # Panics
     ///
     /// Panics if `index` is out of range.
+    // lint: ct-scope, no-alloc
     pub fn get(&self, index: u64) -> u64 {
         self.entries[index as usize]
     }
@@ -82,6 +83,7 @@ impl OnChipPosMap {
         *e = e.checked_add(1).expect("64-bit counter overflow");
         *e
     }
+    // lint: end
 
     /// On-chip storage footprint in bytes, assuming `bits_per_entry` bits per
     /// entry (leaves need L bits; counters 64).  Used by the area model.

@@ -65,8 +65,9 @@ impl UncompressedPosMapBlock {
         );
         let mut out = vec![0u8; block_bytes];
         for (i, leaf) in self.leaves.iter().enumerate() {
+            let leaf = u32::try_from(*leaf).expect("leaf exceeds the 4-byte PosMap entry");
             out[i * LEAF_ENTRY_BYTES..(i + 1) * LEAF_ENTRY_BYTES]
-                .copy_from_slice(&(*leaf as u32).to_le_bytes());
+                .copy_from_slice(&leaf.to_le_bytes());
         }
         out
     }
