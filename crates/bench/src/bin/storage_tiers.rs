@@ -171,6 +171,7 @@ fn main() {
             [2u8; 16],
             0,
             &kind,
+            path_oram::Durability::None,
             0,
         )
         .expect("backend construction");

@@ -32,7 +32,7 @@ use crate::scheme::SchemePoint;
 use crate::service::OramService;
 use crate::sharded::ShardedOram;
 use crate::traits::Oram;
-use path_oram::{EncryptionMode, OramBackend, PathOramBackend, StorageKind};
+use path_oram::{Durability, EncryptionMode, OramBackend, PathOramBackend, StorageKind};
 use std::path::Path;
 
 /// Builder for every ORAM design point of the evaluation.
@@ -55,6 +55,7 @@ pub struct OramBuilder {
     seed: Option<u64>,
     shards: u64,
     storage: Option<StorageKind>,
+    durability: Option<Durability>,
 }
 
 impl OramBuilder {
@@ -76,6 +77,7 @@ impl OramBuilder {
             seed: None,
             shards: 1,
             storage: None,
+            durability: None,
         }
     }
 
@@ -189,6 +191,22 @@ impl OramBuilder {
         self.storage.clone().unwrap_or_else(StorageKind::from_env)
     }
 
+    /// Sets the write-ahead-log discipline for file-backed trees:
+    /// [`Durability::None`] (no log, the default), `Batch(n)` (fsync the log
+    /// every `n` path writebacks) or `Strict` (fsync every writeback).
+    /// Unset, the ambient [`Durability::from_env`] resolution applies
+    /// (`ORAM_DURABILITY=strict|batch:<n>`).  Memory-backed trees ignore it.
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = Some(durability);
+        self
+    }
+
+    /// The durability discipline in effect (explicit override or environment
+    /// default).
+    pub fn durability_in_effect(&self) -> Durability {
+        self.durability.unwrap_or_else(Durability::from_env)
+    }
+
     /// The block size in effect (explicit override or scheme default).
     pub fn block_bytes_in_effect(&self) -> usize {
         self.block_bytes
@@ -260,6 +278,9 @@ impl OramBuilder {
         if let Some(kind) = &self.storage {
             config.storage = kind.clone();
         }
+        if let Some(durability) = self.durability {
+            config.durability = durability;
+        }
         config.validate()?;
         Ok(config)
     }
@@ -291,6 +312,9 @@ impl OramBuilder {
         }
         if let Some(kind) = &self.storage {
             config.storage = kind.clone();
+        }
+        if let Some(durability) = self.durability {
+            config.durability = durability;
         }
         Ok(config)
     }

@@ -18,7 +18,7 @@
 //! rather than calling the presets directly.
 
 use crate::error::ConfigError;
-use path_oram::{EncryptionMode, StorageKind};
+use path_oram::{Durability, EncryptionMode, StorageKind};
 use posmap::compressed::{CompressedPosMapBlock, DEFAULT_ALPHA, DEFAULT_BETA};
 use serde::{Deserialize, Serialize};
 
@@ -110,6 +110,13 @@ pub struct FreecursiveConfig {
     /// Defaults to the ambient [`StorageKind::from_env`] resolution, so the
     /// `ORAM_STORAGE=file` test leg covers every construction site.
     pub storage: StorageKind,
+    /// Write-ahead-log discipline for file-backed trees (see
+    /// [`path_oram::wal`]): `None` (no log, the default), `Batch(n)` or
+    /// `Strict`.  Defaults to the ambient [`Durability::from_env`]
+    /// resolution (`ORAM_DURABILITY=strict|batch:<n>`), so the
+    /// crash-recovery CI leg can switch every construction site at once.
+    /// Memory-backed trees ignore it.
+    pub durability: Durability,
 }
 
 impl Default for FreecursiveConfig {
@@ -134,6 +141,7 @@ impl FreecursiveConfig {
             stash_capacity: path_oram::params::DEFAULT_STASH_CAPACITY,
             seed: 1,
             storage: StorageKind::from_env(),
+            durability: Durability::from_env(),
         }
     }
 
@@ -197,6 +205,12 @@ impl FreecursiveConfig {
     /// Overrides X explicitly.
     pub fn with_x(mut self, x: u64) -> Self {
         self.x_override = Some(x);
+        self
+    }
+
+    /// Sets the write-ahead-log discipline for file-backed trees.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
         self
     }
 

@@ -156,6 +156,7 @@ impl<B: OramBackend> FreecursiveOram<B> {
             derived.enc_key,
             config.seed,
             &config.storage,
+            config.durability,
             0,
         )?;
         Ok(Self::assemble(config, derived, backend))
@@ -265,6 +266,7 @@ impl<B: OramBackend> FreecursiveOram<B> {
             stash_capacity,
             seed,
             storage,
+            durability,
         } = config;
         put_u64(out, *num_blocks);
         put_u64(out, *block_bytes as u64);
@@ -279,6 +281,7 @@ impl<B: OramBackend> FreecursiveOram<B> {
         put_u64(out, *stash_capacity as u64);
         put_u64(out, *seed);
         put_u8(out, storage.tag());
+        durability.save(out);
     }
 
     fn get_config(
@@ -299,6 +302,7 @@ impl<B: OramBackend> FreecursiveOram<B> {
             stash_capacity: r.u64()? as usize,
             seed: r.u64()?,
             storage: path_oram::StorageKind::from_tag(r.u8()?, dir)?,
+            durability: path_oram::Durability::load(r)?,
         })
     }
 
@@ -409,6 +413,7 @@ impl<B: OramBackend> FreecursiveOram<B> {
             derived.enc_key,
             config.seed,
             &config.storage,
+            config.durability,
             dir,
             0,
             &backend_state,

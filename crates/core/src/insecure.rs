@@ -98,6 +98,7 @@ impl InsecureOram {
             [0u8; 16],
             0,
             &StorageKind::Mem,
+            path_oram::Durability::None,
             dir,
             0,
             &backend_state,

@@ -99,7 +99,8 @@ pub use traits::{Oram, Request, Response};
 
 // Re-export the substrate types callers commonly need alongside the frontend.
 pub use path_oram::{
-    EncryptionMode, InsecureBackend, OramBackend, OramError, PathOramBackend, StorageKind,
+    Durability, EncryptionMode, InsecureBackend, OramBackend, OramError, PathOramBackend,
+    StorageKind,
 };
 
 // `Oram: Send` is a supertrait promise; pin it down for every frontend (the

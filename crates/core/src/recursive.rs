@@ -11,7 +11,8 @@ use crate::error::FreecursiveError;
 use crate::stats::FrontendStats;
 use crate::traits::{Oram, Request, Response};
 use path_oram::{
-    AccessOp, EncryptionMode, OramBackend, OramError, OramParams, PathOramBackend, StorageKind,
+    AccessOp, Durability, EncryptionMode, OramBackend, OramError, OramParams, PathOramBackend,
+    StorageKind,
 };
 use posmap::addressing::RecursionAddressing;
 use posmap::onchip::{OnChipEntryKind, OnChipPosMap};
@@ -40,6 +41,9 @@ pub struct RecursiveOramConfig {
     /// Where the per-level trees live; every level shares one storage
     /// directory, distinguished by its level label.
     pub storage: StorageKind,
+    /// Write-ahead-log discipline for file-backed trees (see
+    /// [`path_oram::wal`]); memory-backed trees ignore it.
+    pub durability: Durability,
 }
 
 impl RecursiveOramConfig {
@@ -55,6 +59,7 @@ impl RecursiveOramConfig {
             encryption: EncryptionMode::GlobalSeed,
             seed: 1,
             storage: StorageKind::from_env(),
+            durability: Durability::from_env(),
         }
     }
 
@@ -147,6 +152,7 @@ impl<B: OramBackend> RecursiveOram<B> {
                 key,
                 config.seed,
                 &config.storage,
+                config.durability,
                 level,
             )?);
         }
@@ -195,6 +201,7 @@ impl<B: OramBackend> RecursiveOram<B> {
             encryption,
             seed,
             storage,
+            durability,
         } = config;
         put_u64(out, *num_blocks);
         put_u64(out, *data_block_bytes as u64);
@@ -204,6 +211,7 @@ impl<B: OramBackend> RecursiveOram<B> {
         crate::persist::put_encryption(out, *encryption);
         put_u64(out, *seed);
         put_u8(out, storage.tag());
+        durability.save(out);
     }
 
     fn get_config(
@@ -219,6 +227,7 @@ impl<B: OramBackend> RecursiveOram<B> {
             encryption: crate::persist::get_encryption(r)?,
             seed: r.u64()?,
             storage: StorageKind::from_tag(r.u8()?, dir)?,
+            durability: Durability::load(r)?,
         })
     }
 
@@ -302,6 +311,7 @@ impl<B: OramBackend> RecursiveOram<B> {
                 key,
                 config.seed,
                 &config.storage,
+                config.durability,
                 dir,
                 level,
                 state,

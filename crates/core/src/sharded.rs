@@ -396,6 +396,9 @@ impl<O: Oram> Oram for ShardedOram<O> {
         // A composite snapshot: a top-level manifest recording the shard
         // count, plus one complete per-shard snapshot in `shard<i>/`.
         // `OramBuilder::resume` reassembles the composite from those.
+        // Durability is likewise per shard: with a logged mode each
+        // file-backed shard keeps its own WAL inside its `shard<i>/`
+        // subdirectory, so shards checkpoint and recover independently.
         use path_oram::snapshot::put_u64;
         std::fs::create_dir_all(dir).map_err(|e| crate::persist::dir_error(dir, e))?;
         let mut payload = Vec::new();

@@ -38,7 +38,7 @@ pub struct Analysis {
 const SKIP_DIRS: &[&str] = &["target", ".git", "tests", "benches", "examples", "fixtures"];
 
 /// Collects the production `.rs` files under `root`: files inside a `src`
-/// directory, excluding [`SKIP_DIRS`] and the config's `exclude` list.
+/// directory, excluding `SKIP_DIRS` and the config's `exclude` list.
 pub fn workspace_files(root: &Path, config: &LintConfig) -> io::Result<Vec<PathBuf>> {
     let mut out = Vec::new();
     let mut stack = vec![root.to_path_buf()];

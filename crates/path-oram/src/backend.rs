@@ -17,6 +17,7 @@ use crate::stats::BackendStats;
 use crate::storage::{StorageKind, TreeStorage, TreeStore};
 use crate::tree::{deepest_common_level, path_linear_indices_into};
 use crate::types::{AccessOp, BlockData, BlockId, Leaf};
+use crate::wal::Durability;
 use oram_crypto::ctr::KeystreamSpan;
 use std::collections::HashSet;
 use std::path::Path;
@@ -54,11 +55,13 @@ pub trait OramBackend: Send {
     where
         Self: Sized;
 
-    /// Builds a backend whose tree lives in the given [`StorageKind`].
-    /// `label` distinguishes several trees sharing one storage directory
-    /// (the recursive frontend passes its level index).
+    /// Builds a backend whose tree lives in the given [`StorageKind`],
+    /// under the given [`Durability`] discipline (file-backed stores keep a
+    /// write-ahead log for anything but [`Durability::None`]).  `label`
+    /// distinguishes several trees sharing one storage directory (the
+    /// recursive frontend passes its level index).
     ///
-    /// The default ignores the hint and delegates to
+    /// The default ignores the hints and delegates to
     /// [`OramBackend::new_backend`] — correct for backends without
     /// untrusted tree storage (the flat insecure baseline keeps its map in
     /// RAM regardless); backends that *do* own a tree override this.
@@ -66,18 +69,20 @@ pub trait OramBackend: Send {
     /// # Errors
     ///
     /// As for [`OramBackend::new_backend`], plus storage I/O failures.
+    #[allow(clippy::too_many_arguments)]
     fn new_backend_with(
         params: OramParams,
         encryption: EncryptionMode,
         key: [u8; 16],
         seed: u64,
         storage: &StorageKind,
+        durability: Durability,
         label: u32,
     ) -> Result<Self, OramError>
     where
         Self: Sized,
     {
-        let _ = (storage, label);
+        let _ = (storage, durability, label);
         Self::new_backend(params, encryption, key, seed)
     }
 
@@ -128,6 +133,7 @@ pub trait OramBackend: Send {
         key: [u8; 16],
         seed: u64,
         storage: &StorageKind,
+        durability: Durability,
         dir: &Path,
         label: u32,
         state: &[u8],
@@ -135,7 +141,9 @@ pub trait OramBackend: Send {
     where
         Self: Sized,
     {
-        let _ = (params, encryption, key, seed, storage, dir, label, state);
+        let _ = (
+            params, encryption, key, seed, storage, durability, dir, label, state,
+        );
         Err(OramError::Snapshot {
             detail: "this backend does not support persistence".into(),
         })
@@ -382,20 +390,24 @@ impl PathOramBackend {
 
     /// Creates a backend over a freshly created store of the given kind
     /// (the [`crate::TreeStore`] seam's front door; `label` distinguishes
-    /// trees sharing a storage directory).
+    /// trees sharing a storage directory).  `durability` selects the
+    /// write-ahead-log discipline for file-backed stores (see
+    /// [`crate::wal`]); memory stores ignore it.
     ///
     /// # Errors
     ///
     /// [`OramError::Storage`] if file-backed storage cannot be created.
+    #[allow(clippy::too_many_arguments)]
     pub fn new_with_storage(
         params: OramParams,
         encryption: EncryptionMode,
         key: [u8; 16],
         _seed: u64,
         storage: &StorageKind,
+        durability: Durability,
         label: u32,
     ) -> Result<Self, OramError> {
-        let storage = TreeStorage::create(&params, storage, label)?;
+        let storage = TreeStorage::create(&params, storage, label, durability)?;
         Ok(Self::from_parts(params, encryption, key, storage))
     }
 
@@ -492,8 +504,10 @@ impl PathOramBackend {
 
     /// Serialises the controller-side state: cipher counter, residency set,
     /// the stash (exact slot layout included, so a resumed instance evicts
-    /// identically), and statistics.  The tree itself is persisted
-    /// separately by [`PathOramBackend::persist_tree_to`].
+    /// identically), statistics, and the WAL sequence barrier — the
+    /// writeback sequence number the tree stood at when this state was
+    /// captured.  The tree itself is persisted separately by
+    /// [`PathOramBackend::persist_tree_to`].
     pub fn save_controller_state(&self, out: &mut Vec<u8>) {
         snapshot::put_u64(out, self.cipher.global_seed());
         let mut resident: Vec<BlockId> = self.resident.iter().copied().collect();
@@ -504,14 +518,23 @@ impl PathOramBackend {
         }
         self.stash.save(out);
         self.stats.save(out);
+        snapshot::put_u64(out, self.storage.wal_seq());
     }
 
     /// Restores the state written by
     /// [`PathOramBackend::save_controller_state`].
     ///
+    /// The trailing barrier is checked against the (possibly WAL-recovered)
+    /// store: controller state — stash, residency, cipher counter — is a
+    /// point-in-time capture, so resuming it against a tree that has
+    /// advanced past (or fallen behind) that point would silently
+    /// desynchronise the two.  WAL recovery makes this *detectable*: the
+    /// store knows exactly which writeback its contents cover.
+    ///
     /// # Errors
     ///
-    /// [`OramError::Snapshot`] on truncation or geometry mismatch.
+    /// [`OramError::Snapshot`] on truncation, geometry mismatch, or a
+    /// barrier mismatch (the tree does not match the controller snapshot).
     fn load_controller_state(&mut self, state: &[u8]) -> Result<(), OramError> {
         let mut r = SnapReader::new(state);
         self.cipher.set_global_seed(r.u64()?);
@@ -523,7 +546,20 @@ impl PathOramBackend {
         }
         self.stash.load(&mut r)?;
         self.stats = BackendStats::load(&mut r)?;
-        r.finish()
+        let barrier = r.u64()?;
+        r.finish()?;
+        let store_seq = self.storage.wal_seq();
+        if store_seq != barrier {
+            return Err(OramError::Snapshot {
+                detail: format!(
+                    "tree/controller snapshot mismatch: the recovered tree covers \
+                     writeback {store_seq}, but the controller state was captured at \
+                     writeback {barrier}; resume from a snapshot whose persist() \
+                     completed, or rebuild the instance"
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Persists the tree into `dir` (see [`crate::TreeStore::persist_to`]).
@@ -846,9 +882,10 @@ impl OramBackend for PathOramBackend {
         key: [u8; 16],
         seed: u64,
         storage: &StorageKind,
+        durability: Durability,
         label: u32,
     ) -> Result<Self, OramError> {
-        Self::new_with_storage(params, encryption, key, seed, storage, label)
+        Self::new_with_storage(params, encryption, key, seed, storage, durability, label)
     }
 
     fn save_state(&self, out: &mut Vec<u8>) -> Result<(), OramError> {
@@ -860,17 +897,19 @@ impl OramBackend for PathOramBackend {
         self.persist_tree_to(dir, label)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn resume_backend(
         params: OramParams,
         encryption: EncryptionMode,
         key: [u8; 16],
         _seed: u64,
         storage: &StorageKind,
+        durability: Durability,
         dir: &Path,
         label: u32,
         state: &[u8],
     ) -> Result<Self, OramError> {
-        let storage = TreeStorage::open_snapshot(&params, storage, dir, label)?;
+        let storage = TreeStorage::open_snapshot(&params, storage, dir, label, durability)?;
         let mut backend = Self::from_parts(params, encryption, key, storage);
         backend.load_controller_state(state)?;
         Ok(backend)
@@ -1287,6 +1326,7 @@ mod tests {
                 [7u8; 16],
                 0,
                 kind,
+                Durability::None,
                 0,
             )
             .unwrap();
@@ -1337,6 +1377,7 @@ mod tests {
                 [9u8; 16],
                 0,
                 &kind,
+                Durability::None,
                 0,
             )
             .unwrap();
@@ -1375,6 +1416,7 @@ mod tests {
                 [9u8; 16],
                 0,
                 &resume_kind,
+                Durability::None,
                 &dir,
                 0,
                 &state,

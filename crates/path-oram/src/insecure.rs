@@ -156,12 +156,14 @@ impl OramBackend for InsecureBackend {
         Ok(())
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn resume_backend(
         params: OramParams,
         _encryption: EncryptionMode,
         _key: [u8; 16],
         _seed: u64,
         _storage: &crate::StorageKind,
+        _durability: crate::Durability,
         _dir: &std::path::Path,
         _label: u32,
         state: &[u8],

@@ -20,6 +20,10 @@
 //!   ([`storage::FileStore`]) in the subtree layout of \[26\].  Both expose
 //!   an explicit tampering API for the active-adversary model, and both
 //!   persist to a common on-disk snapshot format.
+//! * [`wal`] — the write-ahead log behind the file store's crash
+//!   consistency: sealed path writebacks are logged (per the
+//!   [`wal::Durability`] fsync discipline) before the tree file is touched,
+//!   folded into checkpoints, and replayed on resume.
 //! * [`encryption::BucketCipher`] — probabilistic bucket encryption in the
 //!   per-bucket-seed style of \[26\] or the global-seed style the paper
 //!   introduces to defeat pad-replay attacks (§6.4).
@@ -69,6 +73,7 @@ pub mod stats;
 pub mod storage;
 pub mod tree;
 pub mod types;
+pub mod wal;
 
 pub use backend::{OramBackend, PathOramBackend};
 pub use encryption::{BucketCipher, EncryptionMode};
@@ -79,6 +84,7 @@ pub use stash::Stash;
 pub use stats::BackendStats;
 pub use storage::{FileStore, MemStore, StorageKind, TreeStorage, TreeStore};
 pub use types::{AccessOp, BlockData, BlockId, Leaf};
+pub use wal::{Durability, Wal};
 
 // `OramBackend: Send` is a supertrait promise (backends move into per-shard
 // worker threads in a sharded deployment); pin it down at compile time for
@@ -92,6 +98,7 @@ const _: () = {
     assert_send::<TreeStorage>();
     assert_send::<MemStore>();
     assert_send::<FileStore>();
+    assert_send::<Wal>();
     assert_send::<Stash>();
     assert_send::<BucketCipher>();
     assert_send::<Box<dyn OramBackend>>();

@@ -35,8 +35,10 @@ use oram_crypto::Sha3_224;
 /// Snapshot").
 pub const STATE_MAGIC: [u8; 4] = *b"FORS";
 
-/// Current snapshot format version.
-pub const STATE_VERSION: u16 = 1;
+/// Current snapshot format version.  Version 2 added the WAL sequence
+/// barrier to tree metadata and controller state (see [`crate::wal`]);
+/// version-1 files are rejected with a clean version error.
+pub const STATE_VERSION: u16 = 2;
 
 /// SHA3-224 digest length, the integrity trailer of every state file.
 pub const DIGEST_BYTES: usize = 28;
@@ -300,33 +302,67 @@ pub fn open_state(data: &[u8]) -> Result<(u8, &[u8]), OramError> {
     Ok((kind, payload))
 }
 
-/// Writes a sealed state file to `path` (atomically via a sibling temp file,
-/// so a crash mid-write never leaves a half-written `oram.state` that could
-/// shadow an older valid one — note this is the only atomicity the snapshot
-/// format promises; see the README's persistence section).
+/// Writes a sealed state file to `path` atomically *and durably*: the
+/// sealed bytes go to a sibling temp file which is fsynced, renamed into
+/// place, and pinned by an fsync of the parent directory.  A crash at any
+/// point leaves either the old file or the new one — never a torn state
+/// file, and never a rename that evaporates with the directory's dirty
+/// metadata.
 ///
 /// # Errors
 ///
 /// [`OramError::Storage`] on any I/O failure.
 pub fn write_state_file(path: &std::path::Path, kind: u8, payload: &[u8]) -> Result<(), OramError> {
+    use std::io::Write;
     let sealed = seal_state(kind, payload);
     let tmp = path.with_extension("state.tmp");
-    std::fs::write(&tmp, &sealed).map_err(|e| OramError::Storage {
+    let mut file = std::fs::File::create(&tmp).map_err(|e| OramError::Storage {
+        detail: format!("creating {}: {e}", tmp.display()),
+    })?;
+    file.write_all(&sealed).map_err(|e| OramError::Storage {
         detail: format!("writing {}: {e}", tmp.display()),
     })?;
+    // The temp file's bytes must be on stable storage *before* the rename:
+    // otherwise the rename can survive a crash while the contents do not,
+    // leaving a valid-looking path to a torn file.
+    file.sync_all().map_err(|e| OramError::Storage {
+        detail: format!("syncing {}: {e}", tmp.display()),
+    })?;
+    drop(file);
     std::fs::rename(&tmp, path).map_err(|e| OramError::Storage {
         detail: format!("renaming {} into place: {e}", tmp.display()),
     })?;
+    // The rename itself lives in the directory's metadata; fsync it so the
+    // new file is reachable after a crash (POSIX renames are atomic but not
+    // durable until the directory is flushed).
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        let dir = std::fs::File::open(parent).map_err(|e| OramError::Storage {
+            detail: format!("opening directory {}: {e}", parent.display()),
+        })?;
+        dir.sync_all().map_err(|e| OramError::Storage {
+            detail: format!("syncing directory {}: {e}", parent.display()),
+        })?;
+    }
     Ok(())
 }
 
 /// Reads and verifies a state file, returning `(kind, payload)`.
+///
+/// Also removes an orphaned sibling temp file if one is lying around: a
+/// crash inside [`write_state_file`] before the rename leaves a
+/// `*.state.tmp` that is dead weight (the rename never happened, so `path`
+/// still holds the previous good state) and would otherwise accumulate.
 ///
 /// # Errors
 ///
 /// [`OramError::Storage`] if the file cannot be read, otherwise as for
 /// [`open_state`].
 pub fn read_state_file(path: &std::path::Path) -> Result<(u8, Vec<u8>), OramError> {
+    let tmp = path.with_extension("state.tmp");
+    if tmp.exists() {
+        // Best effort: a failure to clean up must not block a resume.
+        let _ = std::fs::remove_file(&tmp);
+    }
     let data = std::fs::read(path).map_err(|e| OramError::Storage {
         detail: format!("reading {}: {e}", path.display()),
     })?;

@@ -21,6 +21,14 @@
 //! replaying stale buckets, and rolling back bucket seeds — for the file
 //! store these tamper with the actual bytes on disk.
 //!
+//! With a [`Durability`] discipline other than `None`, the file store keeps
+//! a write-ahead log (see [`crate::wal`]): every path writeback is appended
+//! to `tree<label>.wal` before the tree file is touched, the log is folded
+//! into the `tree<label>.meta` checkpoint every `checkpoint_interval`
+//! writebacks, and [`FileStore::open`] replays the checksum-valid log tail
+//! past the last checkpoint — so a kill at any instant recovers to a
+//! consistent prefix of the access history.
+//!
 //! # What the file store does and does not leak
 //!
 //! File offsets are a deterministic function of bucket indices, exactly as
@@ -34,6 +42,7 @@
 use crate::error::OramError;
 use crate::params::OramParams;
 use crate::snapshot::{self, SnapReader};
+use crate::wal::{self, Durability, Wal};
 use dram_sim::SubtreeLayout;
 use std::fs::{File, OpenOptions};
 use std::os::unix::fs::FileExt;
@@ -47,6 +56,13 @@ pub const FILE_SUBTREE_LEVELS: u32 = 4;
 
 /// State-file kind byte of a tree metadata file (see [`crate::snapshot`]).
 const TREE_META_KIND: u8 = 0x10;
+
+/// Writebacks between automatic WAL checkpoints (see
+/// [`FileStore::checkpoint`]).  At the paper's ~320-byte buckets and
+/// ~20-level paths this folds the log roughly every 6 MB, keeping replay
+/// time and log residue bounded without making checkpoint fsyncs a
+/// per-access cost.
+pub const DEFAULT_CHECKPOINT_INTERVAL: u64 = 1024;
 
 /// Where a backend keeps its ORAM tree.
 ///
@@ -292,15 +308,28 @@ fn io_err(context: &str, path: &Path, e: std::io::Error) -> OramError {
     }
 }
 
-/// Serialises a tree metadata file: geometry plus the initialised bitmap.
+/// Bucket-granular variant of [`io_err`]: records the operation *and* the
+/// bucket index, so a recovery-suite failure names the exact slot (e.g.
+/// `write_path bucket 12 @ tree0.oram: ...`).  Only runs on the error path,
+/// so the allocation never touches a successful access.
+fn io_err_bucket(op: &str, index: u64, path: &Path, e: std::io::Error) -> OramError {
+    OramError::Storage {
+        detail: format!("{op} bucket {index} @ {}: {e}", path.display()),
+    }
+}
+
+/// Serialises a tree metadata file: geometry, the initialised bitmap, and
+/// the WAL sequence number the tree file is known to cover (`wal_seq`; 0
+/// for trees that never logged).
 fn write_tree_meta(
     path: &Path,
     num_buckets: usize,
     bucket_bytes: usize,
     subtree_levels: u32,
     initialized: &[u64],
+    wal_seq: u64,
 ) -> Result<(), OramError> {
-    let mut payload = Vec::with_capacity(32 + initialized.len() * 8);
+    let mut payload = Vec::with_capacity(40 + initialized.len() * 8);
     snapshot::put_u64(&mut payload, num_buckets as u64);
     snapshot::put_u64(&mut payload, bucket_bytes as u64);
     snapshot::put_u32(&mut payload, subtree_levels);
@@ -308,17 +337,19 @@ fn write_tree_meta(
     for &word in initialized {
         snapshot::put_u64(&mut payload, word);
     }
+    snapshot::put_u64(&mut payload, wal_seq);
     snapshot::write_state_file(path, TREE_META_KIND, &payload)
 }
 
 /// Reads and validates a tree metadata file against the expected geometry,
-/// returning the initialised bitmap.
+/// returning the initialised bitmap and the checkpointed WAL sequence
+/// number.
 fn read_tree_meta(
     path: &Path,
     num_buckets: usize,
     bucket_bytes: usize,
     expected_subtree_levels: u32,
-) -> Result<Vec<u64>, OramError> {
+) -> Result<(Vec<u64>, u64), OramError> {
     let (kind, payload) = snapshot::read_state_file(path)?;
     if kind != TREE_META_KIND {
         return Err(OramError::Snapshot {
@@ -361,8 +392,9 @@ fn read_tree_meta(
     for _ in 0..words {
         bitmap.push(r.u64()?);
     }
+    let wal_seq = r.u64()?;
     r.finish()?;
-    Ok(bitmap)
+    Ok((bitmap, wal_seq))
 }
 
 #[inline]
@@ -410,6 +442,12 @@ pub struct MemStore {
     bucket_bytes: usize,
     num_buckets: usize,
     levels: u32,
+    /// The WAL sequence number this store's contents cover: 0 for a fresh
+    /// arena, the recovered sequence number after [`MemStore::load`].  The
+    /// memory store never logs (there is nothing to make durable), but it
+    /// carries the counter so a file-backed WAL'd snapshot can resume
+    /// in-memory and the controller barrier check still lines up.
+    wal_seq: u64,
 }
 
 impl MemStore {
@@ -424,6 +462,7 @@ impl MemStore {
             bucket_bytes,
             num_buckets,
             levels: params.levels(),
+            wal_seq: 0,
         }
     }
 
@@ -437,12 +476,14 @@ impl MemStore {
     pub fn load(params: &OramParams, dir: &Path, label: u32) -> Result<Self, OramError> {
         let mut store = Self::new(params);
         let meta = tree_meta_path(dir, label);
-        store.initialized = read_tree_meta(
+        let (initialized, meta_seq) = read_tree_meta(
             &meta,
             store.num_buckets,
             store.bucket_bytes,
             FILE_SUBTREE_LEVELS.min(params.levels()),
         )?;
+        store.initialized = initialized;
+        store.wal_seq = meta_seq;
         let tree_path = tree_file_path(dir, label);
         let file = File::open(&tree_path).map_err(|e| io_err("opening", &tree_path, e))?;
         let layout = file_layout(params);
@@ -453,9 +494,46 @@ impl MemStore {
             let offset = layout.linear_bucket_address(index);
             let range = store.range(index);
             file.read_exact_at(&mut store.arena[range], offset)
-                .map_err(|e| io_err("reading bucket from", &tree_path, e))?;
+                .map_err(|e| io_err_bucket("load bucket", index, &tree_path, e))?;
+        }
+        // If the snapshot directory carries a WAL (a WAL'd file store that
+        // crashed or simply never re-checkpointed), replay its checksum-valid
+        // tail into the arena so the memory resume sees the same recovered
+        // tree a file resume would.
+        let num_buckets = store.num_buckets as u64;
+        let bucket_bytes = store.bucket_bytes;
+        let wal_path = wal::wal_file_path(dir, label);
+        let summary = wal::replay(&wal_path, bucket_bytes, |seq, indices, images| {
+            for (i, &index) in indices.iter().enumerate() {
+                if index >= num_buckets {
+                    return Err(OramError::Storage {
+                        detail: format!(
+                            "WAL record {seq} names bucket {index} outside the \
+                             {num_buckets}-bucket tree @ {}",
+                            wal_path.display()
+                        ),
+                    });
+                }
+                let range = store.range(index);
+                store.arena[range]
+                    .copy_from_slice(&images[i * bucket_bytes..(i + 1) * bucket_bytes]);
+                bit_set(&mut store.initialized, index);
+            }
+            Ok(())
+        })?;
+        if let Some(s) = summary {
+            if s.header_valid {
+                store.wal_seq = store.wal_seq.max(s.last_seq);
+            }
         }
         Ok(store)
+    }
+
+    /// The WAL sequence number this store's contents cover (see the field
+    /// docs; always 0 for a store that was never loaded from a WAL'd
+    /// snapshot).
+    pub fn wal_seq(&self) -> u64 {
+        self.wal_seq
     }
 
     // lint: ct-scope, no-alloc
@@ -612,16 +690,20 @@ impl TreeStore for MemStore {
             }
             let offset = layout.linear_bucket_address(index);
             file.write_all_at(self.read_bucket(index), offset)
-                .map_err(|e| io_err("writing bucket to", &tree_path, e))?;
+                .map_err(|e| io_err_bucket("persist bucket", index, &tree_path, e))?;
         }
         file.sync_all()
             .map_err(|e| io_err("syncing", &tree_path, e))?;
+        // A stale WAL beside the target would replay over the fresh tree on
+        // resume; this snapshot is complete, so drop it.
+        let _ = std::fs::remove_file(wal::wal_file_path(dir, label));
         write_tree_meta(
             &tree_meta_path(dir, label),
             self.num_buckets,
             self.bucket_bytes,
             FILE_SUBTREE_LEVELS.min(self.levels),
             &self.initialized,
+            self.wal_seq,
         )
     }
 }
@@ -635,9 +717,13 @@ impl TreeStore for MemStore {
 ///
 /// The initialised bitmap lives in memory while the store is live and is
 /// written to the sidecar `tree<label>.meta` file by
-/// [`TreeStore::persist_to`]; there is **no** crash consistency between
-/// `persist` calls (a fresh store that never persisted leaves no usable
-/// metadata behind).
+/// [`TreeStore::persist_to`] and by WAL checkpoints.  Crash consistency
+/// depends on the [`Durability`] discipline the store was built with:
+/// under [`Durability::None`] the tree is consistent only at successful
+/// `persist` boundaries (the pre-WAL behaviour); under `Batch`/`Strict`
+/// every writeback is logged to `tree<label>.wal` before it is applied and
+/// [`FileStore::open`] replays the checksum-valid log tail, so a kill at
+/// any instant recovers to a consistent prefix of the access history.
 #[derive(Debug)]
 pub struct FileStore {
     file: File,
@@ -655,16 +741,38 @@ pub struct FileStore {
     /// Set for [`StorageKind::TempFile`] stores: the directory is removed
     /// on drop.
     remove_on_drop: bool,
+    /// The write-ahead log; `None` under [`Durability::None`], in which
+    /// case the whole logging/checkpointing machinery is inert.
+    wal: Option<Wal>,
+    /// Sequence number of the last writeback applied to the tree (== the
+    /// last WAL append when logging, frozen at its recovered value when
+    /// not).
+    wal_seq: u64,
+    /// Writebacks since the last checkpoint fold.
+    records_since_checkpoint: u64,
+    /// Auto-checkpoint cadence in writebacks.
+    checkpoint_interval: u64,
+    /// Fault injection (kill-point suite): remaining bucket writes the
+    /// tree file will accept before a simulated kill.
+    fail_tree_writes_after: Option<u64>,
 }
 
 impl FileStore {
     /// Creates a **fresh** file-backed tree under `dir` (truncating any
-    /// existing `tree<label>` files there).
+    /// existing `tree<label>` files there).  Under a logged [`Durability`]
+    /// the store also writes an initial (empty) checkpoint and opens a
+    /// fresh WAL, so a kill before the first explicit `persist` already
+    /// recovers instead of leaving an unreadable directory.
     ///
     /// # Errors
     ///
     /// [`OramError::Storage`] on I/O failure.
-    pub fn create(params: &OramParams, dir: &Path, label: u32) -> Result<Self, OramError> {
+    pub fn create(
+        params: &OramParams,
+        dir: &Path,
+        label: u32,
+        durability: Durability,
+    ) -> Result<Self, OramError> {
         std::fs::create_dir_all(dir).map_err(|e| io_err("creating", dir, e))?;
         let tree_path = tree_file_path(dir, label);
         let file = OpenOptions::new()
@@ -680,9 +788,12 @@ impl FileStore {
         // analogue of the arena's copy-on-write zero pages).
         file.set_len(layout.total_bytes())
             .map_err(|e| io_err("sizing", &tree_path, e))?;
+        // A fresh tree owes nothing to any previous occupant of the
+        // directory: a leftover log would replay a stranger's buckets.
+        let _ = std::fs::remove_file(wal::wal_file_path(dir, label));
         let num_buckets = params.num_buckets() as usize;
         let extent_buf = vec![0u8; extent_bytes(&layout, params.bucket_bytes())];
-        Ok(Self {
+        let mut store = Self {
             file,
             tree_path,
             dir: dir.to_path_buf(),
@@ -693,7 +804,23 @@ impl FileStore {
             num_buckets,
             extent_buf,
             remove_on_drop: false,
-        })
+            wal: None,
+            wal_seq: 0,
+            records_since_checkpoint: 0,
+            checkpoint_interval: DEFAULT_CHECKPOINT_INTERVAL,
+            fail_tree_writes_after: None,
+        };
+        if durability.is_logged() {
+            store.checkpoint()?;
+            store.wal = Some(Wal::create(
+                &store.dir,
+                label,
+                store.bucket_bytes,
+                0,
+                durability,
+            )?);
+        }
+        Ok(store)
     }
 
     /// Creates a fresh file-backed tree in a unique temporary directory
@@ -702,14 +829,18 @@ impl FileStore {
     /// # Errors
     ///
     /// [`OramError::Storage`] on I/O failure.
-    pub fn create_temp(params: &OramParams, label: u32) -> Result<Self, OramError> {
+    pub fn create_temp(
+        params: &OramParams,
+        label: u32,
+        durability: Durability,
+    ) -> Result<Self, OramError> {
         let unique = format!(
             "oram-tree-{}-{}",
             std::process::id(),
             TEMP_STORE_COUNTER.fetch_add(1, Ordering::Relaxed)
         );
         let dir = std::env::temp_dir().join(unique);
-        let mut store = Self::create(params, &dir, label)?;
+        let mut store = Self::create(params, &dir, label, durability)?;
         store.remove_on_drop = true;
         Ok(store)
     }
@@ -717,14 +848,28 @@ impl FileStore {
     /// Reopens a persisted file-backed tree in place: the snapshot
     /// directory becomes (or stays) the live storage directory.
     ///
+    /// Recovery happens here: if a `tree<label>.wal` is present its
+    /// checksum-valid tail is replayed into the tree (stopping cleanly at
+    /// the first torn or invalid record — the expected shape of a crash),
+    /// the recovered state is folded into a fresh checkpoint, and — under
+    /// a logged [`Durability`] — a new log generation is opened.  Replay is
+    /// idempotent (records are full bucket post-images), so it does not
+    /// matter how much of the log the tree file had already absorbed before
+    /// the kill.
+    ///
     /// # Errors
     ///
     /// [`OramError::Storage`] on I/O failure, [`OramError::Snapshot`] /
     /// [`OramError::IntegrityViolation`] for missing or corrupt metadata.
-    pub fn open(params: &OramParams, dir: &Path, label: u32) -> Result<Self, OramError> {
+    pub fn open(
+        params: &OramParams,
+        dir: &Path,
+        label: u32,
+        durability: Durability,
+    ) -> Result<Self, OramError> {
         let num_buckets = params.num_buckets() as usize;
         let bucket_bytes = params.bucket_bytes();
-        let initialized = read_tree_meta(
+        let (mut initialized, meta_seq) = read_tree_meta(
             &tree_meta_path(dir, label),
             num_buckets,
             bucket_bytes,
@@ -750,8 +895,36 @@ impl FileStore {
                 ),
             });
         }
+        // Replay the checksum-valid WAL tail (if any) over the tree file.
+        let wal_path = wal::wal_file_path(dir, label);
+        let summary = wal::replay(&wal_path, bucket_bytes, |seq, indices, images| {
+            for (i, &index) in indices.iter().enumerate() {
+                if index >= num_buckets as u64 {
+                    return Err(OramError::Storage {
+                        detail: format!(
+                            "WAL record {seq} names bucket {index} outside the \
+                             {num_buckets}-bucket tree @ {}",
+                            wal_path.display()
+                        ),
+                    });
+                }
+                file.write_all_at(
+                    &images[i * bucket_bytes..(i + 1) * bucket_bytes],
+                    layout.linear_bucket_address(index),
+                )
+                .map_err(|e| io_err_bucket("replay bucket", index, &tree_path, e))?;
+                bit_set(&mut initialized, index);
+            }
+            Ok(())
+        })?;
+        let mut wal_seq = meta_seq;
+        if let Some(s) = &summary {
+            if s.header_valid {
+                wal_seq = wal_seq.max(s.last_seq);
+            }
+        }
         let extent_buf = vec![0u8; extent_bytes(&layout, bucket_bytes)];
-        Ok(Self {
+        let mut store = Self {
             file,
             tree_path,
             dir: dir.to_path_buf(),
@@ -762,12 +935,105 @@ impl FileStore {
             num_buckets,
             extent_buf,
             remove_on_drop: false,
-        })
+            wal: None,
+            wal_seq,
+            records_since_checkpoint: 0,
+            checkpoint_interval: DEFAULT_CHECKPOINT_INTERVAL,
+            fail_tree_writes_after: None,
+        };
+        if summary.is_some() {
+            // Fold whatever the log contributed into a fresh checkpoint so
+            // the recovered state stands on its own...
+            store.checkpoint()?;
+            if !durability.is_logged() {
+                // ...and drop the log when the new discipline won't keep one.
+                let _ = std::fs::remove_file(&wal_path);
+            }
+        }
+        if durability.is_logged() {
+            store.wal = Some(Wal::create(
+                &store.dir,
+                label,
+                bucket_bytes,
+                store.wal_seq,
+                durability,
+            )?);
+        }
+        Ok(store)
     }
 
     /// The directory holding this store's tree files.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Sequence number of the last writeback applied to this tree.
+    pub fn wal_seq(&self) -> u64 {
+        self.wal_seq
+    }
+
+    /// Whether this store keeps a write-ahead log.
+    pub fn has_wal(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Folds the applied log into the on-disk checkpoint: flush the tree
+    /// file, rewrite `tree<label>.meta` (atomically, see
+    /// [`crate::snapshot::write_state_file`]) to cover sequence number
+    /// `wal_seq`, then truncate the log back to a bare header.  A crash
+    /// between any two of these steps is safe: before the meta write the
+    /// old checkpoint + full log still recover everything; after it the new
+    /// checkpoint covers every record the truncation is about to drop.
+    ///
+    /// Runs automatically every `checkpoint_interval` writebacks; callable
+    /// directly for an explicit fold.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] on I/O failure.
+    // lint: no-panic
+    pub fn checkpoint(&mut self) -> Result<(), OramError> {
+        self.file
+            .sync_all()
+            .map_err(|e| io_err("syncing", &self.tree_path, e))?;
+        write_tree_meta(
+            &tree_meta_path(&self.dir, self.label),
+            self.num_buckets,
+            self.bucket_bytes,
+            self.layout.subtree_levels(),
+            &self.initialized,
+            self.wal_seq,
+        )?;
+        if let Some(wal) = self.wal.as_mut() {
+            wal.truncate_to(self.wal_seq)?;
+        }
+        self.records_since_checkpoint = 0;
+        Ok(())
+    }
+    // lint: end
+
+    /// Overrides the auto-checkpoint cadence (clamped to ≥ 1).  Test
+    /// harness hook; the default is [`DEFAULT_CHECKPOINT_INTERVAL`].
+    #[doc(hidden)]
+    pub fn set_checkpoint_interval(&mut self, records: u64) {
+        self.checkpoint_interval = records.max(1);
+    }
+
+    /// Fault-injection hook (kill-point suite): permit at most `bytes`
+    /// further WAL bytes, then fail appends leaving a torn record.  No-op
+    /// without a WAL.
+    #[doc(hidden)]
+    pub fn set_fail_after_wal_bytes(&mut self, bytes: u64) {
+        if let Some(wal) = self.wal.as_mut() {
+            wal.set_crash_after_bytes(bytes);
+        }
+    }
+
+    /// Fault-injection hook (kill-point suite): permit at most `writes`
+    /// further bucket writes to the tree file, then fail.
+    #[doc(hidden)]
+    pub fn set_fail_after_tree_writes(&mut self, writes: u64) {
+        self.fail_tree_writes_after = Some(writes);
     }
 
     #[inline]
@@ -782,6 +1048,7 @@ impl Drop for FileStore {
             // Best-effort cleanup of a throwaway temp store.
             let _ = std::fs::remove_file(&self.tree_path);
             let _ = std::fs::remove_file(tree_meta_path(&self.dir, self.label));
+            let _ = std::fs::remove_file(wal::wal_file_path(&self.dir, self.label));
             let _ = std::fs::remove_dir(&self.dir);
         }
     }
@@ -805,7 +1072,7 @@ impl TreeStore for FileStore {
         debug_assert_eq!(out.len(), self.bucket_bytes);
         self.file
             .read_exact_at(out, self.offset(index))
-            .map_err(|e| io_err("reading bucket from", &self.tree_path, e))
+            .map_err(|e| io_err_bucket("read_bucket", index, &self.tree_path, e))
     }
 
     fn write_bucket(&mut self, index: u64, image: &[u8]) -> Result<(), OramError> {
@@ -814,10 +1081,43 @@ impl TreeStore for FileStore {
             self.bucket_bytes,
             "bucket image must be exactly bucket_bytes long"
         );
+        if let Some(budget) = self.fail_tree_writes_after.as_mut() {
+            if *budget == 0 {
+                return Err(OramError::Storage {
+                    detail: format!(
+                        "injected crash before tree write of bucket {index} @ {}",
+                        self.tree_path.display()
+                    ),
+                });
+            }
+            *budget -= 1;
+        }
         self.file
             .write_all_at(image, self.offset(index))
-            .map_err(|e| io_err("writing bucket to", &self.tree_path, e))?;
+            .map_err(|e| io_err_bucket("write_bucket", index, &self.tree_path, e))?;
         bit_set(&mut self.initialized, index);
+        Ok(())
+    }
+
+    fn write_path(&mut self, indices: &[u64], buf: &[u8]) -> Result<(), OramError> {
+        // WAL-before-tree: the sealed path image is appended (and, per the
+        // fsync discipline, made durable) before the first in-place tree
+        // write starts.  A kill anywhere in here leaves either a torn log
+        // record (the writeback never happened) or a complete one (replay
+        // finishes the tree writes on open).
+        if let Some(wal) = self.wal.as_mut() {
+            self.wal_seq = wal.append(indices, buf)?;
+        }
+        let bb = self.bucket_bytes;
+        for (level, &index) in indices.iter().enumerate() {
+            self.write_bucket(index, &buf[level * bb..(level + 1) * bb])?;
+        }
+        if self.wal.is_some() {
+            self.records_since_checkpoint += 1;
+            if self.records_since_checkpoint >= self.checkpoint_interval {
+                self.checkpoint()?;
+            }
+        }
         Ok(())
     }
 
@@ -957,16 +1257,22 @@ impl TreeStore for FileStore {
                 }
                 self.read_bucket_into(index, &mut buf)?;
                 out.write_all_at(&buf, self.offset(index))
-                    .map_err(|e| io_err("writing bucket to", &target, e))?;
+                    .map_err(|e| io_err_bucket("persist bucket", index, &target, e))?;
             }
             out.sync_all().map_err(|e| io_err("syncing", &target, e))?;
+            // The copy is complete as of wal_seq; a stale log beside the
+            // target would replay foreign buckets over it on resume.
+            let _ = std::fs::remove_file(wal::wal_file_path(dir, label));
         }
+        // In place, the live WAL stays as is: replay is idempotent, and the
+        // meta written below covers everything applied so far anyway.
         write_tree_meta(
             &tree_meta_path(dir, label),
             self.num_buckets,
             self.bucket_bytes,
             self.layout.subtree_levels(),
             &self.initialized,
+            self.wal_seq,
         )
     }
 }
@@ -981,6 +1287,10 @@ impl TreeStore for FileStore {
 /// All trait methods are also available as inherent methods (delegating),
 /// so existing call sites — in particular the adversary API used by tests
 /// and examples — keep working without importing the trait.
+// One instance exists per ORAM tree, so the size gap between the slim
+// arena handle and the WAL-carrying file store is irrelevant; boxing the
+// file variant would buy nothing but an extra indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum TreeStorage {
     /// In-memory arena.
@@ -1008,22 +1318,34 @@ impl TreeStorage {
 
     /// Creates a fresh store of the given kind.  `label` distinguishes
     /// several trees sharing one directory (the recursive frontend's
-    /// per-level ORAMs).
+    /// per-level ORAMs).  `durability` selects the WAL discipline for
+    /// file-backed kinds; memory stores have nothing to log and ignore it.
     ///
     /// # Errors
     ///
     /// [`OramError::Storage`] on I/O failure creating file-backed stores.
-    pub fn create(params: &OramParams, kind: &StorageKind, label: u32) -> Result<Self, OramError> {
+    pub fn create(
+        params: &OramParams,
+        kind: &StorageKind,
+        label: u32,
+        durability: Durability,
+    ) -> Result<Self, OramError> {
         Ok(match kind {
             StorageKind::Mem => TreeStorage::Mem(MemStore::new(params)),
-            StorageKind::File { dir } => TreeStorage::File(FileStore::create(params, dir, label)?),
-            StorageKind::TempFile => TreeStorage::File(FileStore::create_temp(params, label)?),
+            StorageKind::File { dir } => {
+                TreeStorage::File(FileStore::create(params, dir, label, durability)?)
+            }
+            StorageKind::TempFile => {
+                TreeStorage::File(FileStore::create_temp(params, label, durability)?)
+            }
         })
     }
 
     /// Opens a store over tree files persisted under `dir`: memory stores
     /// load the buckets into a fresh arena, file stores reopen the files in
-    /// place (the snapshot directory becomes the live directory).
+    /// place (the snapshot directory becomes the live directory).  Either
+    /// way, a checksum-valid WAL tail left behind by a crash is replayed
+    /// first (see [`FileStore::open`]).
     ///
     /// # Errors
     ///
@@ -1034,11 +1356,12 @@ impl TreeStorage {
         kind: &StorageKind,
         dir: &Path,
         label: u32,
+        durability: Durability,
     ) -> Result<Self, OramError> {
         Ok(match kind {
             StorageKind::Mem => TreeStorage::Mem(MemStore::load(params, dir, label)?),
             StorageKind::File { dir: file_dir } => {
-                TreeStorage::File(FileStore::open(params, file_dir, label)?)
+                TreeStorage::File(FileStore::open(params, file_dir, label, durability)?)
             }
             StorageKind::TempFile => {
                 return Err(OramError::Snapshot {
@@ -1161,6 +1484,55 @@ impl TreeStorage {
     pub fn persist_to(&self, dir: &Path, label: u32) -> Result<(), OramError> {
         delegate!(self, s => s.persist_to(dir, label))
     }
+
+    /// Sequence number of the last writeback this store's contents cover
+    /// (0 for stores that never logged; see [`FileStore::wal_seq`] and
+    /// [`MemStore::wal_seq`]).  The controller barrier recorded in
+    /// snapshots compares against this on resume.
+    pub fn wal_seq(&self) -> u64 {
+        match self {
+            TreeStorage::Mem(m) => m.wal_seq(),
+            TreeStorage::File(f) => f.wal_seq(),
+        }
+    }
+
+    /// Explicit WAL checkpoint fold (see [`FileStore::checkpoint`]); a
+    /// no-op for memory stores.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FileStore::checkpoint`].
+    pub fn checkpoint(&mut self) -> Result<(), OramError> {
+        match self {
+            TreeStorage::Mem(_) => Ok(()),
+            TreeStorage::File(f) => f.checkpoint(),
+        }
+    }
+
+    /// See [`FileStore::set_checkpoint_interval`]; no-op for memory stores.
+    #[doc(hidden)]
+    pub fn set_checkpoint_interval(&mut self, records: u64) {
+        if let TreeStorage::File(f) = self {
+            f.set_checkpoint_interval(records);
+        }
+    }
+
+    /// See [`FileStore::set_fail_after_wal_bytes`]; no-op for memory stores.
+    #[doc(hidden)]
+    pub fn set_fail_after_wal_bytes(&mut self, bytes: u64) {
+        if let TreeStorage::File(f) = self {
+            f.set_fail_after_wal_bytes(bytes);
+        }
+    }
+
+    /// See [`FileStore::set_fail_after_tree_writes`]; no-op for memory
+    /// stores.
+    #[doc(hidden)]
+    pub fn set_fail_after_tree_writes(&mut self, writes: u64) {
+        if let TreeStorage::File(f) = self {
+            f.set_fail_after_tree_writes(writes);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -1260,7 +1632,7 @@ mod tests {
 
     #[test]
     fn file_store_satisfies_the_contract() {
-        let mut s = FileStore::create_temp(&params(), 0).unwrap();
+        let mut s = FileStore::create_temp(&params(), 0, Durability::None).unwrap();
         check_store_contract(&mut s);
     }
 
@@ -1292,7 +1664,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "bucket_bytes")]
     fn file_store_rejects_wrong_size_image() {
-        let mut s = FileStore::create_temp(&params(), 0).unwrap();
+        let mut s = FileStore::create_temp(&params(), 0, Durability::None).unwrap();
         let _ = s.write_bucket(0, &[0u8; 3]);
     }
 
@@ -1311,7 +1683,7 @@ mod tests {
         mem.persist_to(&dir_a, 0).unwrap();
 
         // Resume it file-backed, verify contents, mutate, persist elsewhere.
-        let mut file = FileStore::open(&p, &dir_a, 0).unwrap();
+        let mut file = FileStore::open(&p, &dir_a, 0, Durability::None).unwrap();
         let mut out = vec![0u8; file.bucket_bytes()];
         file.read_bucket_into(1, &mut out).unwrap();
         assert_eq!(out, image_a);
@@ -1337,11 +1709,11 @@ mod tests {
     fn file_store_persists_in_place_with_a_flush() {
         let p = params();
         let dir = temp_dir("inplace");
-        let mut s = FileStore::create(&p, &dir, 0).unwrap();
+        let mut s = FileStore::create(&p, &dir, 0, Durability::None).unwrap();
         s.write_bucket(4, &vec![0x44; s.bucket_bytes()]).unwrap();
         s.persist_to(&dir, 0).unwrap();
         drop(s);
-        let s2 = FileStore::open(&p, &dir, 0).unwrap();
+        let s2 = FileStore::open(&p, &dir, 0, Durability::None).unwrap();
         let mut out = vec![0u8; s2.bucket_bytes()];
         s2.read_bucket_into(4, &mut out).unwrap();
         assert_eq!(out, vec![0x44; s2.bucket_bytes()]);
@@ -1353,7 +1725,7 @@ mod tests {
         let p = params();
         let dir = temp_dir("nometa");
         assert!(matches!(
-            FileStore::open(&p, &dir, 0),
+            FileStore::open(&p, &dir, 0, Durability::None),
             Err(OramError::Storage { .. })
         ));
         std::fs::remove_dir_all(&dir).unwrap();
@@ -1363,7 +1735,7 @@ mod tests {
     fn corrupt_metadata_is_an_integrity_violation() {
         let p = params();
         let dir = temp_dir("badmeta");
-        let mut s = FileStore::create(&p, &dir, 0).unwrap();
+        let mut s = FileStore::create(&p, &dir, 0, Durability::None).unwrap();
         s.write_bucket(0, &vec![7u8; s.bucket_bytes()]).unwrap();
         s.persist_to(&dir, 0).unwrap();
         drop(s);
@@ -1373,7 +1745,7 @@ mod tests {
         bytes[mid] ^= 0x40;
         std::fs::write(&meta, &bytes).unwrap();
         assert!(matches!(
-            FileStore::open(&p, &dir, 0),
+            FileStore::open(&p, &dir, 0, Durability::None),
             Err(OramError::IntegrityViolation { .. })
         ));
         std::fs::remove_dir_all(&dir).unwrap();
@@ -1382,13 +1754,13 @@ mod tests {
     #[test]
     fn geometry_mismatch_is_a_snapshot_error() {
         let dir = temp_dir("geom");
-        let s = FileStore::create(&params(), &dir, 0).unwrap();
+        let s = FileStore::create(&params(), &dir, 0, Durability::None).unwrap();
         s.persist_to(&dir, 0).unwrap();
         drop(s);
         // Different geometry: more blocks, different bucket size.
         let other = OramParams::new(1 << 10, 64, 4);
         assert!(matches!(
-            FileStore::open(&other, &dir, 0),
+            FileStore::open(&other, &dir, 0, Durability::None),
             Err(OramError::Snapshot { .. })
         ));
         std::fs::remove_dir_all(&dir).unwrap();
@@ -1397,7 +1769,7 @@ mod tests {
     #[test]
     fn temp_stores_clean_up_after_themselves() {
         let p = params();
-        let s = FileStore::create_temp(&p, 0).unwrap();
+        let s = FileStore::create_temp(&p, 0, Durability::None).unwrap();
         let dir = s.dir().to_path_buf();
         assert!(dir.exists());
         drop(s);
@@ -1431,15 +1803,104 @@ mod tests {
     }
 
     #[test]
+    fn wal_store_recovers_writebacks_never_persisted() {
+        let p = params();
+        let dir = temp_dir("walrec");
+        let mut s = FileStore::create(&p, &dir, 0, Durability::Strict).unwrap();
+        let bb = s.bucket_bytes();
+        let indices = [0u64, 1, 3];
+        let image: Vec<u8> = (0..3 * bb).map(|i| (i % 249) as u8 + 1).collect();
+        s.write_path(&indices, &image).unwrap();
+        // No persist_to: only create()'s empty checkpoint and the WAL
+        // survive the drop.
+        drop(s);
+        let s2 = FileStore::open(&p, &dir, 0, Durability::Strict).unwrap();
+        assert_eq!(s2.wal_seq(), 1);
+        let mut out = vec![0u8; bb];
+        for (level, &idx) in indices.iter().enumerate() {
+            assert!(s2.is_initialized(idx));
+            s2.read_bucket_into(idx, &mut out).unwrap();
+            assert_eq!(out, &image[level * bb..(level + 1) * bb]);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn auto_checkpoint_folds_the_log_and_survives_reopen() {
+        let p = params();
+        let dir = temp_dir("ckpt");
+        let mut s = FileStore::create(&p, &dir, 0, Durability::Batch(8)).unwrap();
+        s.set_checkpoint_interval(2);
+        let bb = s.bucket_bytes();
+        for round in 0..5u64 {
+            let image = vec![round as u8 + 1; 2 * bb];
+            s.write_path(&[round, round + 8], &image).unwrap();
+        }
+        assert_eq!(s.wal_seq(), 5);
+        // Five writebacks at interval 2 → folds after #2 and #4; the log
+        // holds only record #5, far below two records' worth of bytes.
+        let wal_len = std::fs::metadata(wal::wal_file_path(&dir, 0))
+            .unwrap()
+            .len();
+        assert!(
+            wal_len < 2 * (2 * bb) as u64,
+            "log should have been truncated by the fold (len {wal_len})"
+        );
+        drop(s);
+        let s2 = FileStore::open(&p, &dir, 0, Durability::Batch(8)).unwrap();
+        assert_eq!(s2.wal_seq(), 5);
+        let mut out = vec![0u8; bb];
+        s2.read_bucket_into(4, &mut out).unwrap();
+        assert_eq!(out, vec![5u8; bb]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopening_without_durability_folds_and_drops_the_log() {
+        let p = params();
+        let dir = temp_dir("drop-wal");
+        let mut s = FileStore::create(&p, &dir, 0, Durability::Strict).unwrap();
+        let bb = s.bucket_bytes();
+        s.write_path(&[2, 9], &vec![0x5A; 2 * bb]).unwrap();
+        drop(s);
+        let s2 = FileStore::open(&p, &dir, 0, Durability::None).unwrap();
+        assert!(!s2.has_wal());
+        assert!(!wal::wal_file_path(&dir, 0).exists());
+        assert_eq!(s2.wal_seq(), 1);
+        let mut out = vec![0u8; bb];
+        s2.read_bucket_into(9, &mut out).unwrap();
+        assert_eq!(out, vec![0x5A; bb]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mem_load_replays_a_wal_tail() {
+        let p = params();
+        let dir = temp_dir("mem-tail");
+        let mut s = FileStore::create(&p, &dir, 0, Durability::Strict).unwrap();
+        let bb = s.bucket_bytes();
+        s.write_path(&[1, 6], &vec![0x77; 2 * bb]).unwrap();
+        // Meta is still the empty create() checkpoint; the data lives only
+        // in the WAL.  A memory resume must see the same recovered tree.
+        drop(s);
+        let mem = MemStore::load(&p, &dir, 0).unwrap();
+        assert_eq!(mem.wal_seq(), 1);
+        assert_eq!(mem.read_bucket(6), &vec![0x77u8; bb][..]);
+        assert!(mem.is_initialized(1));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn tree_storage_enum_dispatches_to_both_stores() {
         let p = params();
-        let mut mem = TreeStorage::create(&p, &StorageKind::Mem, 0).unwrap();
+        let mut mem = TreeStorage::create(&p, &StorageKind::Mem, 0, Durability::None).unwrap();
         assert!(mem.as_mem().is_some());
         assert!(!mem.is_file_backed());
         mem.write_bucket(1, &vec![5u8; mem.bucket_bytes()]).unwrap();
         assert_eq!(mem.snapshot_bucket(1), vec![5u8; mem.bucket_bytes()]);
 
-        let mut file = TreeStorage::create(&p, &StorageKind::TempFile, 0).unwrap();
+        let mut file =
+            TreeStorage::create(&p, &StorageKind::TempFile, 0, Durability::None).unwrap();
         assert!(file.as_mem().is_none());
         assert!(file.is_file_backed());
         file.write_bucket(1, &vec![5u8; file.bucket_bytes()])

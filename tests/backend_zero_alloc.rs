@@ -59,6 +59,7 @@ fn steady_state_access_performs_zero_heap_allocations() {
         [3u8; 16],
         0,
         &path_oram::StorageKind::Mem,
+        path_oram::Durability::None,
         0,
     )
     .unwrap();

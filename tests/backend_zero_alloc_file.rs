@@ -58,6 +58,7 @@ fn file_store_steady_state_allocation_count_is_pinned() {
         [3u8; 16],
         0,
         &StorageKind::TempFile,
+        path_oram::Durability::None,
         0,
     )
     .unwrap();

@@ -1,0 +1,475 @@
+//! Kill-point recovery suite for the crash-consistent [`FileStore`].
+//!
+//! The durability contract under test (see `path_oram::wal`):
+//!
+//! * a path writeback is WAL-logged **before** the tree file is touched, so
+//!   a kill at any byte of the sequence leaves either a torn log record
+//!   (the writeback never happened) or a complete one (replay finishes the
+//!   tree writes on reopen);
+//! * recovery replays the checksum-valid log tail, stopping cleanly at the
+//!   first torn or invalid record — it never panics, and it never applies
+//!   unvalidated bytes;
+//! * the recovered store equals the state an uninterrupted run had after
+//!   some *prefix* of the workload — exactly the writebacks whose log
+//!   records were complete — never a torn mixture and never silently wrong
+//!   data.
+//!
+//! Every sweep below drives the same deterministic workload against a
+//! differential oracle (a flat per-bucket model), injects a kill at a
+//! chosen point via the store's fault hooks, reopens, and checks the
+//! recovered image byte-for-byte against the oracle's prefix state.
+//! Because the simulated kill is in-process (the budgeted prefix of the
+//! record reaches the file, nothing after it does), the recovery point is
+//! exact, not merely bounded.
+
+use path_oram::storage::TreeStore as _;
+use path_oram::{Durability, FileStore, OramParams};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+fn params() -> OramParams {
+    OramParams::new(64, 16, 4)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "oram-crash-test-{tag}-{}-{}",
+        std::process::id(),
+        DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// One writeback of the deterministic workload: a root-to-leaf path (as
+/// linear bucket indices) and the sealed image to write along it.
+struct Writeback {
+    indices: Vec<u64>,
+    image: Vec<u8>,
+}
+
+/// A fixed pseudo-random workload of `n` path writebacks.  Leaves cycle
+/// through the tree so every sweep touches overlapping paths (the root is
+/// rewritten by each of them — the interesting case for replay
+/// idempotence), and images are distinct per step so a wrong recovery
+/// point cannot alias a right one.
+fn workload(p: &OramParams, n: usize) -> Vec<Writeback> {
+    let leaf_level = p.leaf_level();
+    let bb = p.bucket_bytes();
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    (0..n)
+        .map(|step| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let leaf = state % p.num_leaves();
+            let indices = path_oram::tree::path_linear_indices(leaf, leaf_level);
+            let image: Vec<u8> = (0..indices.len() * bb)
+                .map(|i| {
+                    ((i as u64)
+                        .wrapping_mul(31)
+                        .wrapping_add(step as u64 * 131 + 7)
+                        % 251) as u8
+                        + 1
+                })
+                .collect();
+            Writeback { indices, image }
+        })
+        .collect()
+}
+
+/// The differential oracle: a flat model of the tree applying writebacks
+/// in order.  `None` = never written (the store reports uninitialised).
+struct Oracle {
+    buckets: Vec<Option<Vec<u8>>>,
+    bucket_bytes: usize,
+}
+
+impl Oracle {
+    fn new(p: &OramParams) -> Self {
+        Self {
+            buckets: vec![None; p.num_buckets() as usize],
+            bucket_bytes: p.bucket_bytes(),
+        }
+    }
+
+    fn apply(&mut self, wb: &Writeback) {
+        for (level, &index) in wb.indices.iter().enumerate() {
+            let image =
+                wb.image[level * self.bucket_bytes..(level + 1) * self.bucket_bytes].to_vec();
+            self.buckets[index as usize] = Some(image);
+        }
+    }
+
+    /// Model state after the first `prefix` writebacks.
+    fn after(p: &OramParams, wbs: &[Writeback], prefix: usize) -> Self {
+        let mut oracle = Self::new(p);
+        for wb in &wbs[..prefix] {
+            oracle.apply(wb);
+        }
+        oracle
+    }
+
+    /// Asserts the store's full image equals this model, bucket for bucket.
+    fn assert_matches(&self, store: &FileStore, context: &str) {
+        let mut out = vec![0u8; self.bucket_bytes];
+        for (index, expected) in self.buckets.iter().enumerate() {
+            let index = index as u64;
+            match expected {
+                Some(image) => {
+                    assert!(
+                        store.is_initialized(index),
+                        "{context}: bucket {index} lost"
+                    );
+                    store.read_bucket_into(index, &mut out).unwrap();
+                    assert_eq!(&out, image, "{context}: bucket {index} content diverged");
+                }
+                None => {
+                    assert!(
+                        !store.is_initialized(index),
+                        "{context}: bucket {index} materialised from nowhere"
+                    );
+                }
+            }
+        }
+    }
+}
+
+const WORKLOAD_LEN: usize = 12;
+
+/// Byte length of one WAL record for this geometry (header-relative), probed
+/// from a real log so the sweeps stay honest if the format changes.
+fn probe_record_len(p: &OramParams) -> (u64, u64) {
+    let dir = temp_dir("probe");
+    let mut store = FileStore::create(p, &dir, 0, Durability::Strict).unwrap();
+    let wal_path = dir.join("tree0.wal");
+    let header_len = std::fs::metadata(&wal_path).unwrap().len();
+    let wb = &workload(p, 1)[0];
+    store.write_path(&wb.indices, &wb.image).unwrap();
+    let after_one = std::fs::metadata(&wal_path).unwrap().len();
+    drop(store);
+    std::fs::remove_dir_all(&dir).unwrap();
+    (header_len, after_one - header_len)
+}
+
+/// Sweep A: kill inside the WAL append of every writeback, at the record
+/// boundary and at offsets throughout the record.  The log holds k-1
+/// complete records plus a torn prefix of record k; recovery must land
+/// exactly on the state after k-1 writebacks.
+#[test]
+fn kill_points_inside_every_wal_append_recover_the_exact_prefix() {
+    let p = params();
+    let (_, rec_len) = probe_record_len(&p);
+    let wbs = workload(&p, WORKLOAD_LEN);
+    for k in 1..=WORKLOAD_LEN {
+        for offset in [0, 1, rec_len / 2, rec_len - 1] {
+            let dir = temp_dir("sweep-a");
+            let mut store = FileStore::create(&p, &dir, 0, Durability::Strict).unwrap();
+            // Permit records 1..k in full, then `offset` bytes of record k.
+            store.set_fail_after_wal_bytes((k as u64 - 1) * rec_len + offset);
+            let mut completed = 0usize;
+            let mut killed = false;
+            for wb in &wbs {
+                match store.write_path(&wb.indices, &wb.image) {
+                    Ok(()) => completed += 1,
+                    Err(path_oram::OramError::Storage { detail }) => {
+                        assert!(
+                            detail.contains("injected crash"),
+                            "unexpected error: {detail}"
+                        );
+                        killed = true;
+                        break;
+                    }
+                    Err(other) => panic!("unexpected error: {other}"),
+                }
+            }
+            assert!(killed, "kill point k={k} offset={offset} never fired");
+            assert_eq!(completed, k - 1);
+            drop(store);
+
+            let recovered = FileStore::open(&p, &dir, 0, Durability::Strict).unwrap();
+            assert_eq!(
+                recovered.wal_seq(),
+                k as u64 - 1,
+                "k={k} offset={offset}: wrong recovery sequence"
+            );
+            Oracle::after(&p, &wbs, k - 1)
+                .assert_matches(&recovered, &format!("k={k} offset={offset}"));
+            drop(recovered);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+/// Sweep B: kill inside the tree writes of every writeback, after 0, 1 and
+/// 2 buckets of the path have hit the file.  The WAL record is complete,
+/// so recovery must *finish* the writeback: state after k, not k-1.
+#[test]
+fn kill_points_inside_every_tree_write_replay_to_completion() {
+    let p = params();
+    let wbs = workload(&p, WORKLOAD_LEN);
+    let path_len = wbs[0].indices.len() as u64;
+    for k in 1..=WORKLOAD_LEN {
+        for torn_buckets in [0u64, 1, path_len - 1] {
+            let dir = temp_dir("sweep-b");
+            let mut store = FileStore::create(&p, &dir, 0, Durability::Strict).unwrap();
+            store.set_fail_after_tree_writes((k as u64 - 1) * path_len + torn_buckets);
+            let mut killed = false;
+            for wb in &wbs {
+                match store.write_path(&wb.indices, &wb.image) {
+                    Ok(()) => {}
+                    Err(path_oram::OramError::Storage { detail }) => {
+                        assert!(
+                            detail.contains("injected crash"),
+                            "unexpected error: {detail}"
+                        );
+                        killed = true;
+                        break;
+                    }
+                    Err(other) => panic!("unexpected error: {other}"),
+                }
+            }
+            assert!(killed, "kill point k={k} torn={torn_buckets} never fired");
+            drop(store);
+
+            let recovered = FileStore::open(&p, &dir, 0, Durability::Strict).unwrap();
+            assert_eq!(
+                recovered.wal_seq(),
+                k as u64,
+                "k={k} torn={torn_buckets}: the logged writeback must be replayed"
+            );
+            Oracle::after(&p, &wbs, k)
+                .assert_matches(&recovered, &format!("k={k} torn={torn_buckets}"));
+            drop(recovered);
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+}
+
+/// Builds a directory whose WAL holds the whole workload but whose tree
+/// file absorbed **none** of it (tree writes fail from the first bucket).
+/// This is the worst-case recovery shape: everything rides on the log.
+fn stale_tree_full_log(p: &OramParams, wbs: &[Writeback]) -> PathBuf {
+    let dir = temp_dir("stale");
+    let mut store = FileStore::create(p, &dir, 0, Durability::Strict).unwrap();
+    store.set_fail_after_tree_writes(0);
+    for wb in wbs {
+        // Every call logs its record, then dies on the first tree write.
+        assert!(store.write_path(&wb.indices, &wb.image).is_err());
+    }
+    drop(store);
+    dir
+}
+
+/// Post-mortem truncation sweep: chop the log at every byte length and
+/// reopen.  Recovery must never panic and never error — a short log is the
+/// expected shape of a crash — and must recover exactly the writebacks
+/// whose records survived in full.
+#[test]
+fn truncating_the_log_at_every_byte_recovers_a_valid_prefix() {
+    let p = params();
+    let (header_len, rec_len) = probe_record_len(&p);
+    let wbs = workload(&p, 6);
+    let master = stale_tree_full_log(&p, &wbs);
+    let wal_bytes = std::fs::read(master.join("tree0.wal")).unwrap();
+    assert_eq!(wal_bytes.len() as u64, header_len + 6 * rec_len);
+
+    let dir = temp_dir("trunc");
+    for len in 0..=wal_bytes.len() {
+        for entry in std::fs::read_dir(&master).unwrap() {
+            let entry = entry.unwrap();
+            std::fs::copy(entry.path(), dir.join(entry.file_name())).unwrap();
+        }
+        std::fs::write(dir.join("tree0.wal"), &wal_bytes[..len]).unwrap();
+        let complete_records = (len as u64).saturating_sub(header_len) / rec_len;
+        let recovered = FileStore::open(&p, &dir, 0, Durability::Strict)
+            .unwrap_or_else(|e| panic!("truncation at {len} must recover cleanly: {e}"));
+        assert_eq!(recovered.wal_seq(), complete_records, "truncation at {len}");
+        Oracle::after(&p, &wbs, complete_records as usize)
+            .assert_matches(&recovered, &format!("truncation at {len}"));
+        drop(recovered);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&master).unwrap();
+}
+
+/// Post-mortem corruption sweep: flip one byte at positions across the log
+/// and reopen.  The per-record digests must stop replay at the corrupted
+/// record — never panic, never apply the poisoned bytes, never touch a
+/// record *before* the flip.
+#[test]
+fn flipping_any_log_byte_recovers_the_checksummed_prefix() {
+    let p = params();
+    let (header_len, rec_len) = probe_record_len(&p);
+    let wbs = workload(&p, 6);
+    let master = stale_tree_full_log(&p, &wbs);
+    let wal_bytes = std::fs::read(master.join("tree0.wal")).unwrap();
+
+    let dir = temp_dir("flip");
+    for pos in (0..wal_bytes.len()).step_by(3) {
+        for entry in std::fs::read_dir(&master).unwrap() {
+            let entry = entry.unwrap();
+            std::fs::copy(entry.path(), dir.join(entry.file_name())).unwrap();
+        }
+        let mut poisoned = wal_bytes.clone();
+        poisoned[pos] ^= 0x41;
+        std::fs::write(dir.join("tree0.wal"), &poisoned).unwrap();
+        // A flip in the header invalidates the whole log; a flip in record
+        // r (1-based) stops replay just before it.
+        let intact_records = if (pos as u64) < header_len {
+            0
+        } else {
+            ((pos as u64) - header_len) / rec_len
+        };
+        let recovered = FileStore::open(&p, &dir, 0, Durability::Strict)
+            .unwrap_or_else(|e| panic!("flip at {pos} must recover cleanly: {e}"));
+        assert_eq!(recovered.wal_seq(), intact_records, "flip at {pos}");
+        Oracle::after(&p, &wbs, intact_records as usize)
+            .assert_matches(&recovered, &format!("flip at {pos}"));
+        drop(recovered);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+    std::fs::remove_dir_all(&master).unwrap();
+}
+
+/// Batch mode buffers fsyncs but still orders the log ahead of the tree:
+/// the in-process kill sweep must hold under `Batch` exactly as under
+/// `Strict` (the fsync discipline changes what a *power loss* keeps, not
+/// what a process kill keeps).
+#[test]
+fn batch_mode_kill_points_recover_like_strict() {
+    let p = params();
+    let (_, rec_len) = probe_record_len(&p);
+    let wbs = workload(&p, WORKLOAD_LEN);
+    for k in [1usize, 5, WORKLOAD_LEN] {
+        let dir = temp_dir("batch");
+        let mut store = FileStore::create(&p, &dir, 0, Durability::Batch(4)).unwrap();
+        store.set_fail_after_wal_bytes((k as u64 - 1) * rec_len + rec_len / 3);
+        for wb in &wbs {
+            if store.write_path(&wb.indices, &wb.image).is_err() {
+                break;
+            }
+        }
+        drop(store);
+        let recovered = FileStore::open(&p, &dir, 0, Durability::Batch(4)).unwrap();
+        assert_eq!(recovered.wal_seq(), k as u64 - 1);
+        Oracle::after(&p, &wbs, k - 1).assert_matches(&recovered, &format!("batch k={k}"));
+        drop(recovered);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// A kill during the post-checkpoint log truncation leaves an empty or
+/// bare-header log; the checkpoint that preceded it covers every applied
+/// record, so recovery from the metadata alone must be complete.
+#[test]
+fn recovery_after_a_checkpoint_needs_no_log_tail() {
+    let p = params();
+    let wbs = workload(&p, WORKLOAD_LEN);
+    let dir = temp_dir("ckpt");
+    let mut store = FileStore::create(&p, &dir, 0, Durability::Strict).unwrap();
+    for wb in &wbs {
+        store.write_path(&wb.indices, &wb.image).unwrap();
+    }
+    store.checkpoint().unwrap();
+    drop(store);
+    // Simulate the worst truncation crash: the log vanishes entirely.
+    std::fs::remove_file(dir.join("tree0.wal")).unwrap();
+    let recovered = FileStore::open(&p, &dir, 0, Durability::Strict).unwrap();
+    assert_eq!(recovered.wal_seq(), WORKLOAD_LEN as u64);
+    Oracle::after(&p, &wbs, WORKLOAD_LEN).assert_matches(&recovered, "post-checkpoint");
+    drop(recovered);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------
+// ORAM-level legs: the controller-state barrier over a crash-consistent
+// store.
+// ---------------------------------------------------------------------
+
+mod oram_level {
+    use super::temp_dir;
+    use freecursive::{Durability, FreecursiveError, Oram, OramBuilder, SchemePoint, StorageKind};
+
+    fn builder(dir: &std::path::Path) -> OramBuilder {
+        OramBuilder::for_scheme(SchemePoint::PicX32)
+            .num_blocks(256)
+            .block_bytes(64)
+            .onchip_entries(32)
+            .storage(StorageKind::File {
+                dir: dir.to_path_buf(),
+            })
+            .durability(Durability::Strict)
+            .seed(7)
+    }
+
+    /// persist → drop → resume over a logged file store round-trips, and
+    /// the resumed instance serves the persisted contents.
+    #[test]
+    fn persist_then_resume_round_trips_under_strict_durability() {
+        let dir = temp_dir("oram-ok");
+        let mut oram = builder(&dir).build_freecursive().unwrap();
+        for addr in 0..16u64 {
+            oram.write(addr, &[addr as u8 + 1; 64]).unwrap();
+        }
+        oram.persist(&dir).unwrap();
+        drop(oram);
+        let mut resumed = OramBuilder::resume(&dir).unwrap();
+        for addr in 0..16u64 {
+            assert_eq!(resumed.read(addr).unwrap(), vec![addr as u8 + 1; 64]);
+        }
+        drop(resumed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Accesses after the last persist move the tree past the controller
+    /// barrier.  Resume must detect the mismatch and fail cleanly — under
+    /// PR 5's unlogged store this same shape silently resumed against a
+    /// drifted tree and failed later with integrity errors.
+    #[test]
+    fn resume_past_the_barrier_is_a_clean_error_not_silent_corruption() {
+        let dir = temp_dir("oram-drift");
+        let mut oram = builder(&dir).build_freecursive().unwrap();
+        for addr in 0..8u64 {
+            oram.write(addr, &[addr as u8 + 1; 64]).unwrap();
+        }
+        oram.persist(&dir).unwrap();
+        // Post-barrier work: WAL-logged writebacks the controller state
+        // knows nothing about.
+        for addr in 8..16u64 {
+            oram.write(addr, &[0xEE; 64]).unwrap();
+        }
+        drop(oram);
+        match OramBuilder::resume(&dir) {
+            Err(FreecursiveError::Backend(path_oram::OramError::Snapshot { detail })) => {
+                assert!(
+                    detail.contains("barrier") || detail.contains("writeback"),
+                    "barrier error should explain itself: {detail}"
+                );
+            }
+            Err(other) => panic!("expected a clean barrier error, got: {other}"),
+            Ok(_) => panic!("resume must not silently accept a drifted tree"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The durability knob rides the snapshot: a resumed instance keeps
+    /// logging without the caller restating the mode.
+    #[test]
+    fn resumed_instances_keep_their_wal() {
+        let dir = temp_dir("oram-rewal");
+        let mut oram = builder(&dir).build_freecursive().unwrap();
+        oram.write(3, &[0x3A; 64]).unwrap();
+        oram.persist(&dir).unwrap();
+        drop(oram);
+        let resumed = OramBuilder::resume(&dir).unwrap();
+        assert!(
+            dir.join("tree0.wal").exists(),
+            "resume under a logged config must reopen a log generation"
+        );
+        drop(resumed);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

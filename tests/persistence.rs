@@ -253,6 +253,33 @@ fn truncated_and_missing_state_files_are_backend_errors_not_panics() {
 }
 
 #[test]
+fn torn_snapshot_temp_file_beside_a_valid_snapshot_is_ignored() {
+    // A crash *inside* an atomic state write leaves `oram.state.tmp` (the
+    // pre-rename scratch file) beside the last complete snapshot.  Resume
+    // must ignore the partial file — whatever garbage it holds — resume
+    // from the valid `oram.state`, and clean the orphan up.
+    let dir = persisted_snapshot("state-torn-tmp", StorageKind::Mem);
+    let tmp = dir.join("oram.state.tmp");
+    let pristine = std::fs::read(dir.join("oram.state")).unwrap();
+    for torn in [
+        Vec::new(),                              // crash before any byte
+        pristine[..pristine.len() / 2].to_vec(), // half-written copy
+        vec![0xFFu8; pristine.len() + 64],       // wrong-sized garbage
+    ] {
+        std::fs::write(&tmp, &torn).unwrap();
+        let mut resumed = OramBuilder::resume(&dir)
+            .unwrap_or_else(|e| panic!("a torn temp file must not block resume: {e:?}"));
+        resumed.read(0).unwrap();
+        drop(resumed);
+        assert!(
+            !tmp.exists(),
+            "resume should clean up the orphaned temp file"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn version_mismatch_with_valid_digest_is_a_backend_error() {
     let dir = persisted_snapshot("state-version", StorageKind::Mem);
     let state = dir.join("oram.state");
