@@ -1,6 +1,8 @@
 //! An analytical area model for the Freecursive ORAM controller in a 32 nm
 //! process, reproducing the structure of the paper's post-synthesis results
 //! (Table 3, §7.2) and the alternative-design estimates of §7.2.3.
+//! (`docs/ARCHITECTURE.md` at the workspace root places the area model in
+//! the evaluation stack.)
 //!
 //! The original numbers come from Synopsys Design Compiler on the authors'
 //! Verilog; synthesising real RTL is outside the scope of this algorithmic

@@ -6,6 +6,8 @@
 //!   for the index), each printing the same rows/series the paper reports;
 //! * `benches/*` — Criterion micro-benchmarks of the simulator itself;
 //! * `../../examples/*` — runnable examples using the public API;
+//! * `../../docs/ARCHITECTURE.md` — the workspace-wide map every benchmark
+//!   binary measures a slice of;
 //! * `../../tests/*` — cross-crate integration tests.
 
 #![forbid(unsafe_code)]

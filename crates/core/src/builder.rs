@@ -55,6 +55,7 @@ pub struct OramBuilder {
     seed: Option<u64>,
     shards: u64,
     storage: Option<StorageKind>,
+    memory_budget: Option<u64>,
     durability: Option<Durability>,
 }
 
@@ -77,6 +78,7 @@ impl OramBuilder {
             seed: None,
             shards: 1,
             storage: None,
+            memory_budget: None,
             durability: None,
         }
     }
@@ -175,20 +177,53 @@ impl OramBuilder {
     }
 
     /// Sets where the ORAM tree lives: the in-memory arena (default), a
-    /// file-backed store in a chosen directory, or a throwaway temp-file
-    /// store.  Unset, the ambient [`StorageKind::from_env`] resolution
-    /// applies (`ORAM_STORAGE=file` selects temp-file storage).  With
-    /// [`OramBuilder::shards`] > 1, file-backed shards descend into
-    /// `shard<i>/` subdirectories of the given directory.
+    /// file-backed store in a chosen directory, a tiered store splitting
+    /// the treetop into RAM with the rest file-backed, or throwaway
+    /// temp-dir variants of either.  Unset, the ambient
+    /// [`StorageKind::from_env`] resolution applies (`ORAM_STORAGE=file`
+    /// selects temp-file storage, `ORAM_STORAGE=tiered` temp-dir tiered
+    /// storage).  With [`OramBuilder::shards`] > 1, file-backed shards
+    /// descend into `shard<i>/` subdirectories of the given directory.
     pub fn storage(mut self, kind: StorageKind) -> Self {
         self.storage = Some(kind);
         self
     }
 
+    /// Sets the RAM byte budget for tiered storage: the tiered store pins
+    /// the largest treetop (top K tree levels, `(2^K - 1)` buckets) that
+    /// fits the budget in memory and spills the rest to the file tier (see
+    /// [`path_oram::treetop_levels_for_budget`]).  Applies whenever the
+    /// storage kind in effect is tiered — including `ORAM_STORAGE=tiered`
+    /// from the environment — and overrides the budget carried by an
+    /// explicit [`StorageKind::Tiered`]/[`StorageKind::TempTiered`].
+    /// Unset, an explicit kind keeps its own budget and the environment
+    /// resolution uses `ORAM_MEMORY_BUDGET` (default
+    /// [`path_oram::DEFAULT_MEMORY_BUDGET`]).  Non-tiered kinds ignore it.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
     /// The storage kind in effect (explicit override or environment
-    /// default).
+    /// default), with [`OramBuilder::memory_budget`] applied to tiered
+    /// kinds.
     pub fn storage_in_effect(&self) -> StorageKind {
-        self.storage.clone().unwrap_or_else(StorageKind::from_env)
+        self.apply_memory_budget(self.storage.clone().unwrap_or_else(StorageKind::from_env))
+    }
+
+    /// Re-derives a tiered kind's treetop budget from the builder's
+    /// [`OramBuilder::memory_budget`] override; non-tiered kinds and an
+    /// unset override pass through unchanged.
+    fn apply_memory_budget(&self, kind: StorageKind) -> StorageKind {
+        match (kind, self.memory_budget) {
+            (StorageKind::Tiered { dir, .. }, Some(memory_budget)) => {
+                StorageKind::Tiered { dir, memory_budget }
+            }
+            (StorageKind::TempTiered { .. }, Some(memory_budget)) => {
+                StorageKind::TempTiered { memory_budget }
+            }
+            (kind, _) => kind,
+        }
     }
 
     /// Sets the write-ahead-log discipline for file-backed trees:
@@ -278,6 +313,7 @@ impl OramBuilder {
         if let Some(kind) = &self.storage {
             config.storage = kind.clone();
         }
+        config.storage = self.apply_memory_budget(config.storage);
         if let Some(durability) = self.durability {
             config.durability = durability;
         }
@@ -313,6 +349,7 @@ impl OramBuilder {
         if let Some(kind) = &self.storage {
             config.storage = kind.clone();
         }
+        config.storage = self.apply_memory_budget(config.storage);
         if let Some(durability) = self.durability {
             config.durability = durability;
         }

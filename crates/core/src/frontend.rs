@@ -251,7 +251,7 @@ impl<B: OramBackend> FreecursiveOram<B> {
     // ------------------------------------------------------------------
 
     fn put_config(out: &mut Vec<u8>, config: &FreecursiveConfig) {
-        use path_oram::snapshot::{put_opt_u64, put_u64, put_u8};
+        use path_oram::snapshot::{put_opt_u64, put_u64};
         let FreecursiveConfig {
             num_blocks,
             block_bytes,
@@ -280,7 +280,7 @@ impl<B: OramBackend> FreecursiveOram<B> {
         crate::persist::put_encryption(out, *encryption);
         put_u64(out, *stash_capacity as u64);
         put_u64(out, *seed);
-        put_u8(out, storage.tag());
+        storage.save(out);
         durability.save(out);
     }
 
@@ -301,7 +301,7 @@ impl<B: OramBackend> FreecursiveOram<B> {
             encryption: crate::persist::get_encryption(r)?,
             stash_capacity: r.u64()? as usize,
             seed: r.u64()?,
-            storage: path_oram::StorageKind::from_tag(r.u8()?, dir)?,
+            storage: path_oram::StorageKind::load(r, dir)?,
             durability: path_oram::Durability::load(r)?,
         })
     }
@@ -949,14 +949,29 @@ impl<B: OramBackend> Oram for FreecursiveOram<B> {
         // per-request `Request` cloning: write payloads are borrowed straight
         // out of the batch.  Contents are byte-identical to issuing the
         // requests one by one (pinned down by the integration tests).
-        requests
+        //
+        // The whole batch runs inside one backend batch window, which lets
+        // the backend dedupe the upper tree levels shared by the batch's
+        // paths — read and sealed once per batch instead of once per access
+        // (a no-op over the in-memory arena).  The window is bracketed
+        // entirely inside this call, so snapshots never observe an open
+        // window.
+        self.backend.begin_batch();
+        let result: Result<Vec<Response>, FreecursiveError> = requests
             .iter()
             .enumerate()
             .map(|(index, request)| {
                 self.access_ref(request)
                     .map_err(|e| e.with_batch_index(index))
             })
-            .collect()
+            .collect();
+        // Close the window even when an access failed: earlier successful
+        // accesses in the batch have deferred writebacks that still must
+        // reach the store.  An access error stays the primary failure.
+        let flushed = self.backend.end_batch();
+        let responses = result?;
+        flushed?;
+        Ok(responses)
     }
 
     fn access_batch_owned(

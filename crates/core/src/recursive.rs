@@ -191,7 +191,7 @@ impl<B: OramBackend> RecursiveOram<B> {
     // ------------------------------------------------------------------
 
     fn put_config(out: &mut Vec<u8>, config: &RecursiveOramConfig) {
-        use path_oram::snapshot::{put_u64, put_u8};
+        use path_oram::snapshot::put_u64;
         let RecursiveOramConfig {
             num_blocks,
             data_block_bytes,
@@ -210,7 +210,7 @@ impl<B: OramBackend> RecursiveOram<B> {
         put_u64(out, *onchip_entries);
         crate::persist::put_encryption(out, *encryption);
         put_u64(out, *seed);
-        put_u8(out, storage.tag());
+        storage.save(out);
         durability.save(out);
     }
 
@@ -226,7 +226,7 @@ impl<B: OramBackend> RecursiveOram<B> {
             onchip_entries: r.u64()?,
             encryption: crate::persist::get_encryption(r)?,
             seed: r.u64()?,
-            storage: StorageKind::from_tag(r.u8()?, dir)?,
+            storage: StorageKind::load(r, dir)?,
             durability: Durability::load(r)?,
         })
     }
@@ -497,14 +497,33 @@ impl<B: OramBackend> Oram for RecursiveOram<B> {
     }
 
     fn access_batch(&mut self, requests: &[Request]) -> Result<Vec<Response>, FreecursiveError> {
-        requests
+        // One backend batch window per level for the whole batch: each
+        // level's ORAM dedupes the upper tree buckets shared by the batch's
+        // paths (read/sealed once per batch, not once per access).  The
+        // windows are bracketed entirely inside this call — closed even when
+        // an access fails, since earlier accesses' deferred writebacks must
+        // still reach the stores; an access error stays the primary failure.
+        for backend in &mut self.backends {
+            backend.begin_batch();
+        }
+        let result: Result<Vec<Response>, FreecursiveError> = requests
             .iter()
             .enumerate()
             .map(|(index, request)| {
                 self.access_ref(request)
                     .map_err(|e| e.with_batch_index(index))
             })
-            .collect()
+            .collect();
+        let mut flushed = Ok(());
+        for backend in &mut self.backends {
+            let end = backend.end_batch();
+            if flushed.is_ok() {
+                flushed = end;
+            }
+        }
+        let responses = result?;
+        flushed?;
+        Ok(responses)
     }
 
     fn access_batch_owned(

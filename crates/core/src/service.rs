@@ -30,7 +30,10 @@
 //! client can keep several batches in flight and overlap its own work with
 //! shard execution; [`PendingBatch::wait`] collects the responses.  The
 //! sync [`OramClient::access_batch`]/[`Oram::access`] paths are submit +
-//! wait.
+//! wait.  Workers execute each sub-batch through their shard's
+//! `access_batch`, so batched submission composes the thread-level
+//! parallelism here with the per-shard batch dedup window (see
+//! `docs/ARCHITECTURE.md` at the workspace root).
 //!
 //! # Failure model
 //!

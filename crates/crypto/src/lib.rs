@@ -5,7 +5,8 @@
 //! counter-mode bucket encryption, §6.4) and SHA3-224 (for the PMMAC message
 //! authentication codes, §6.1).  This crate provides from-scratch, dependency
 //! free software implementations of those primitives together with the small
-//! wrappers the ORAM controller needs:
+//! wrappers the ORAM controller needs (`docs/ARCHITECTURE.md` at the
+//! workspace root shows where each sits on the access path):
 //!
 //! * [`aes::Aes128`] — the block cipher (FIPS-197), encryption direction
 //!   only, with two engines behind one type: AES-NI (x86_64, runtime

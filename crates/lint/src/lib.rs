@@ -4,6 +4,8 @@
 //! compiler cannot check: no secret-dependent branching on the encrypted
 //! hot path, no steady-state allocation, no silent truncation of unified
 //! addresses, audited `unsafe`, and no debug-formatting of secret state.
+//! (`docs/ARCHITECTURE.md` at the workspace root states the layered
+//! argument these invariants defend).
 //! This crate enforces them with a hand-rolled lexer and a scope-tracked
 //! rule engine driven by `// lint:` annotations and a checked-in
 //! `Lint.toml`.  See `RULES.md` for the rule catalog and the README's

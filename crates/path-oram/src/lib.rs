@@ -14,12 +14,16 @@
 //!   [`bucket::BucketWriter`] codec the hot path uses.
 //! * [`stash::Stash`] — the bounded on-chip stash, a fixed-capacity slab of
 //!   block-sized slots.
-//! * [`storage::TreeStore`] — the pluggable untrusted-memory seam, with two
-//!   stores behind the [`storage::TreeStorage`] enum: the flat in-memory
-//!   arena ([`storage::MemStore`]) and a file-backed sparse tree
-//!   ([`storage::FileStore`]) in the subtree layout of \[26\].  Both expose
-//!   an explicit tampering API for the active-adversary model, and both
-//!   persist to a common on-disk snapshot format.
+//! * [`storage::TreeStore`] — the pluggable untrusted-memory seam, with
+//!   three stores behind the [`storage::TreeStorage`] enum: the flat
+//!   in-memory arena ([`storage::MemStore`]), a file-backed sparse tree
+//!   ([`storage::FileStore`]) in the subtree layout of \[26\], and a
+//!   two-tier split ([`storage::TieredStore`]) that pins the top K tree
+//!   levels — the paper's treetop, touched on every access (§5.1) — in RAM
+//!   while deeper levels spill to the file store.  All expose an explicit
+//!   tampering API for the active-adversary model and persist to a common
+//!   on-disk snapshot format.  The tier split and its crash-safety argument
+//!   are mapped end to end in `docs/ARCHITECTURE.md` at the workspace root.
 //! * [`wal`] — the write-ahead log behind the file store's crash
 //!   consistency: sealed path writebacks are logged (per the
 //!   [`wal::Durability`] fsync discipline) before the tree file is touched,
@@ -82,7 +86,10 @@ pub use insecure::InsecureBackend;
 pub use params::OramParams;
 pub use stash::Stash;
 pub use stats::BackendStats;
-pub use storage::{FileStore, MemStore, StorageKind, TreeStorage, TreeStore};
+pub use storage::{
+    treetop_levels_for_budget, FileStore, MemStore, StorageKind, TieredStore, TreeStorage,
+    TreeStore, DEFAULT_MEMORY_BUDGET,
+};
 pub use types::{AccessOp, BlockData, BlockId, Leaf};
 pub use wal::{Durability, Wal};
 
@@ -98,6 +105,7 @@ const _: () = {
     assert_send::<TreeStorage>();
     assert_send::<MemStore>();
     assert_send::<FileStore>();
+    assert_send::<TieredStore>();
     assert_send::<Wal>();
     assert_send::<Stash>();
     assert_send::<BucketCipher>();

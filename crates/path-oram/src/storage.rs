@@ -4,7 +4,7 @@
 //! storage (§2), so the tree's home is a seam: the [`TreeStore`] trait
 //! describes bucket-slot get/put over the `bucket_bytes` stride (plus the
 //! batched whole-path access the one-pass seal/decrypt pipeline uses), with
-//! two implementations:
+//! three implementations:
 //!
 //! * [`MemStore`] — the original flat zeroed arena.  This is the hot-path
 //!   store: the backend keeps its zero-copy access to the arena, so putting
@@ -14,12 +14,22 @@
 //!   Ren et al. \[26\] ([`dram_sim::SubtreeLayout`]) so a root-to-leaf path
 //!   falls into at most ⌈levels/k⌉ contiguous extents.  Capacity is bounded
 //!   by disk, not RAM, and the tree survives process exit.
+//! * [`TieredStore`] — the treetop split of the two: the top `K` tree
+//!   levels (the buckets *every* access touches — the paper's treetop
+//!   observation, §5.1) live in a RAM arena while levels ≥ `K` spill to a
+//!   whole-tree [`FileStore`] underneath, with `K` derived from a byte
+//!   budget ([`treetop_levels_for_budget`]).  See the type-level docs for
+//!   the tier invariants and the WAL-exemption argument.
 //!
-//! [`TreeStorage`] is the concrete enum the backend holds (two-variant
-//! static dispatch; no boxing on the hot path).  Both stores expose the same
+//! [`TreeStorage`] is the concrete enum the backend holds (three-variant
+//! static dispatch; no boxing on the hot path).  All stores expose the same
 //! *active-adversary* API the threat model needs (§2): flipping bits,
 //! replaying stale buckets, and rolling back bucket seeds — for the file
 //! store these tamper with the actual bytes on disk.
+//!
+//! Where this module sits in the stack — and how a path access flows
+//! through it — is mapped end to end in `docs/ARCHITECTURE.md` at the
+//! workspace root.
 //!
 //! With a [`Durability`] discipline other than `None`, the file store keeps
 //! a write-ahead log (see [`crate::wal`]): every path writeback is appended
@@ -85,31 +95,135 @@ pub enum StorageKind {
     /// when the store is dropped.  This is what `ORAM_STORAGE=file` resolves
     /// to: every test/benchmark instance gets its own throwaway tree files.
     TempFile,
+    /// A tiered tree ([`TieredStore`]) living in the given directory: the
+    /// top levels in a RAM arena (as many as `memory_budget` bytes allow,
+    /// see [`treetop_levels_for_budget`]), everything deeper in the same
+    /// on-disk format as [`StorageKind::File`].
+    Tiered {
+        /// Directory holding the tree files (same layout as
+        /// [`StorageKind::File`]; a tiered snapshot can be resumed by any
+        /// store kind and vice versa).
+        dir: PathBuf,
+        /// Treetop byte budget: the top `K` levels are pinned in RAM for
+        /// the largest `K` with `(2^K - 1) * bucket_bytes ≤ memory_budget`.
+        memory_budget: u64,
+    },
+    /// A tiered tree in a unique temporary directory that is deleted when
+    /// the store is dropped.  This is what `ORAM_STORAGE=tiered` resolves
+    /// to, with the budget taken from `ORAM_MEMORY_BUDGET` (or
+    /// [`DEFAULT_MEMORY_BUDGET`]).
+    TempTiered {
+        /// Treetop byte budget (see [`StorageKind::Tiered`]).
+        memory_budget: u64,
+    },
 }
 
 /// Monotonic discriminator for [`StorageKind::TempFile`] directories.
 static TEMP_STORE_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// Treetop byte budget used when a tiered kind is requested without an
+/// explicit budget (`ORAM_STORAGE=tiered` with `ORAM_MEMORY_BUDGET` unset):
+/// 64 MiB.  Generous enough to hold every test-sized tree entirely in RAM
+/// and roughly a third of the paper's 1 M-block design-point tree; the
+/// arena never allocates more than the tree actually needs.
+pub const DEFAULT_MEMORY_BUDGET: u64 = 64 << 20;
+
 impl StorageKind {
-    /// Resolves the ambient default: `ORAM_STORAGE=file` selects
-    /// [`StorageKind::TempFile`], anything else (or unset) selects
-    /// [`StorageKind::Mem`].  This is how the CI file-storage test leg runs
-    /// the whole suite over the file store without touching call sites.
-    pub fn from_env() -> StorageKind {
-        match std::env::var("ORAM_STORAGE") {
-            Ok(v) if v.eq_ignore_ascii_case("file") => StorageKind::TempFile,
-            _ => StorageKind::Mem,
+    /// Parses an `ORAM_STORAGE`-style selector: `mem` (or empty) selects
+    /// [`StorageKind::Mem`], `file` selects [`StorageKind::TempFile`],
+    /// `tiered` selects [`StorageKind::TempTiered`] with the given budget
+    /// (or [`DEFAULT_MEMORY_BUDGET`]).  Matching is ASCII-case-insensitive.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] for any other value — an unrecognised
+    /// selector is a configuration mistake and must fail loudly, not fall
+    /// back to the memory store and silently un-test what the caller asked
+    /// to test.
+    pub fn parse(value: &str, memory_budget: Option<u64>) -> Result<StorageKind, OramError> {
+        let v = value.trim();
+        if v.is_empty() || v.eq_ignore_ascii_case("mem") {
+            Ok(StorageKind::Mem)
+        } else if v.eq_ignore_ascii_case("file") {
+            Ok(StorageKind::TempFile)
+        } else if v.eq_ignore_ascii_case("tiered") {
+            Ok(StorageKind::TempTiered {
+                memory_budget: memory_budget.unwrap_or(DEFAULT_MEMORY_BUDGET),
+            })
+        } else {
+            Err(OramError::Storage {
+                detail: format!(
+                    "unknown ORAM_STORAGE value {value:?}: expected \"mem\", \"file\" \
+                     or \"tiered\""
+                ),
+            })
         }
     }
 
-    /// A storage kind rooted under `name` within this one: file-backed
+    /// Parses an `ORAM_MEMORY_BUDGET`-style byte count: a plain integer,
+    /// optionally suffixed `k`/`m`/`g` for KiB/MiB/GiB (case-insensitive).
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] for anything else.
+    pub fn parse_memory_budget(value: &str) -> Result<u64, OramError> {
+        let v = value.trim();
+        let (digits, shift) = match v.as_bytes().last() {
+            Some(b'k' | b'K') => (&v[..v.len() - 1], 10),
+            Some(b'm' | b'M') => (&v[..v.len() - 1], 20),
+            Some(b'g' | b'G') => (&v[..v.len() - 1], 30),
+            _ => (v, 0),
+        };
+        digits
+            .trim()
+            .parse::<u64>()
+            .ok()
+            .and_then(|n| n.checked_shl(shift).filter(|s| s >> shift == n))
+            .ok_or_else(|| OramError::Storage {
+                detail: format!(
+                    "invalid ORAM_MEMORY_BUDGET value {value:?}: expected a byte count \
+                     like 8388608, 8192k, 96m or 1g"
+                ),
+            })
+    }
+
+    /// Resolves the ambient default: `ORAM_STORAGE` selects the kind via
+    /// [`StorageKind::parse`] (with the treetop budget from
+    /// `ORAM_MEMORY_BUDGET`); unset selects [`StorageKind::Mem`].  This is
+    /// how the CI file- and tiered-storage test legs run the whole suite
+    /// over the other stores without touching call sites.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognised `ORAM_STORAGE` or unparsable
+    /// `ORAM_MEMORY_BUDGET` value: both are operator configuration errors,
+    /// and silently falling back to the memory store would un-test exactly
+    /// what the operator asked to test.
+    pub fn from_env() -> StorageKind {
+        let budget = match std::env::var("ORAM_MEMORY_BUDGET") {
+            Ok(v) => Some(Self::parse_memory_budget(&v).unwrap_or_else(|e| panic!("{e}"))),
+            Err(_) => None,
+        };
+        match std::env::var("ORAM_STORAGE") {
+            Ok(v) => Self::parse(&v, budget).unwrap_or_else(|e| panic!("{e}")),
+            Err(_) => StorageKind::Mem,
+        }
+    }
+
+    /// A storage kind rooted under `name` within this one: directory-backed
     /// stores descend into a subdirectory (the per-shard wiring of
     /// `build_sharded`/`build_service`), memory and temp stores are
-    /// unaffected (each temp store is unique already).
+    /// unaffected (each temp store is unique already).  Tiered kinds keep
+    /// their budget: every shard owns an independent tree, so each gets the
+    /// full treetop budget for its own (smaller) tree.
     pub fn subdir(&self, name: &str) -> StorageKind {
         match self {
             StorageKind::File { dir } => StorageKind::File {
                 dir: dir.join(name),
+            },
+            StorageKind::Tiered { dir, memory_budget } => StorageKind::Tiered {
+                dir: dir.join(name),
+                memory_budget: *memory_budget,
             },
             other => other.clone(),
         }
@@ -121,28 +235,68 @@ impl StorageKind {
     }
 
     /// One-byte tag recorded in snapshots (temp stores persist as plain
-    /// file-backed ones: the snapshot directory *is* their new home).
+    /// directory-rooted ones: the snapshot directory *is* their new home).
     pub fn tag(&self) -> u8 {
         match self {
             StorageKind::Mem => 0,
             StorageKind::File { .. } | StorageKind::TempFile => 1,
+            StorageKind::Tiered { .. } | StorageKind::TempTiered { .. } => 2,
         }
     }
 
-    /// Inverse of [`StorageKind::tag`], rooting file-backed kinds at `dir`.
+    /// Inverse of [`StorageKind::tag`] for the budget-free tags, rooting
+    /// file-backed kinds at `dir`.  Tag 2 (tiered) carries a budget field
+    /// in snapshots and must go through [`StorageKind::load`].
     ///
     /// # Errors
     ///
-    /// [`OramError::Snapshot`] for an unknown tag.
+    /// [`OramError::Snapshot`] for an unknown or budget-carrying tag.
     pub fn from_tag(tag: u8, dir: &Path) -> Result<StorageKind, OramError> {
         match tag {
             0 => Ok(StorageKind::Mem),
             1 => Ok(StorageKind::File {
                 dir: dir.to_path_buf(),
             }),
+            2 => Err(OramError::Snapshot {
+                detail: "storage kind tag 2 (tiered) carries a budget field; \
+                         decode it with StorageKind::load"
+                    .into(),
+            }),
             other => Err(OramError::Snapshot {
                 detail: format!("unknown storage kind tag {other}"),
             }),
+        }
+    }
+
+    /// Appends this kind's snapshot encoding to `out`: the one-byte
+    /// [`StorageKind::tag`], followed (for tiered kinds only) by the
+    /// treetop budget as a little-endian `u64`.  Old snapshots — written
+    /// before tiered storage existed — decode unchanged: the budget field
+    /// exists only behind tag 2, which they never wrote.
+    pub fn save(&self, out: &mut Vec<u8>) {
+        snapshot::put_u8(out, self.tag());
+        if let StorageKind::Tiered { memory_budget, .. }
+        | StorageKind::TempTiered { memory_budget } = self
+        {
+            snapshot::put_u64(out, *memory_budget);
+        }
+    }
+
+    /// Inverse of [`StorageKind::save`], rooting directory-backed kinds at
+    /// `dir` (the snapshot directory).
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Snapshot`] on an unknown tag or truncated encoding.
+    pub fn load(r: &mut SnapReader<'_>, dir: &Path) -> Result<StorageKind, OramError> {
+        let tag = r.u8()?;
+        if tag == 2 {
+            Ok(StorageKind::Tiered {
+                dir: dir.to_path_buf(),
+                memory_budget: r.u64()?,
+            })
+        } else {
+            Self::from_tag(tag, dir)
         }
     }
 }
@@ -1278,11 +1432,466 @@ impl TreeStore for FileStore {
 }
 
 // =====================================================================
+// TieredStore
+// =====================================================================
+
+/// Number of tree levels a treetop byte budget pins in RAM: the largest
+/// `K ≤ levels` with `(2^K - 1) * bucket_bytes ≤ memory_budget` (the top
+/// `K` levels occupy linear bucket indices `0 .. 2^K - 1`).  `K = 0`
+/// degenerates to a pure file store, `K = levels` to a RAM-resident tree
+/// that only touches disk at checkpoints.
+pub fn treetop_levels_for_budget(params: &OramParams, memory_budget: u64) -> u32 {
+    let bucket_bytes = params.bucket_bytes() as u64;
+    let mut k = 0u32;
+    while k < params.levels() {
+        let buckets = (1u64 << (k + 1)) - 1;
+        if buckets.saturating_mul(bucket_bytes) > memory_budget {
+            break;
+        }
+        k += 1;
+    }
+    k
+}
+
+/// The tiered tree store: the top `K` levels in a RAM arena, levels ≥ `K`
+/// in a [`FileStore`] spanning the *whole* tree file.
+///
+/// The paper's treetop observation (§5.1) is that the top of the tree is
+/// touched on **every** access — level `ℓ` has only `2^ℓ` buckets, so a
+/// small, fixed byte budget pins the levels with all the reuse while the
+/// exponentially larger bottom levels (with almost none) stay on disk.
+/// Because a path's linear bucket indices are `2^ℓ - 1 ≤ index < 2^{ℓ+1}-1`
+/// at level `ℓ`, "level < K" is exactly "linear index < 2^K - 1": tier
+/// routing is one comparison, and a root-to-leaf path splits into a
+/// contiguous arena prefix plus a contiguous file suffix.
+///
+/// # Tier invariants
+///
+/// * The inner [`FileStore`] is laid out for the **full** tree (same sparse
+///   file, same subtree layout, same sidecar metadata as a pure file
+///   store), so tiered snapshots stay interchangeable with both other
+///   stores.  Treetop regions of the file are only guaranteed current at
+///   checkpoint/persist boundaries.
+/// * Between checkpoints the arena is authoritative for treetop buckets;
+///   the dirty bitmap records which arena images the file does not have
+///   yet.  [`TieredStore::checkpoint`] and [`TreeStore::persist_to`] flush
+///   them before delegating to the file store.
+/// * The initialised bitmap lives in the inner file store (one bitmap for
+///   the whole tree), so metadata checkpoints cover both tiers.
+///
+/// # Why WAL exemption of the treetop is crash-safe
+///
+/// Deep writebacks go through [`FileStore::write_path`] and are logged
+/// under a logged [`Durability`]; treetop writes land only in RAM and are
+/// **not** logged — logging them would reintroduce the per-access I/O the
+/// tier exists to remove.  Crash safety is preserved because recovery can
+/// never *silently* serve a stale treetop: the controller snapshot records
+/// the WAL sequence barrier at persist time, persist/checkpoint flush the
+/// treetop before advertising that barrier, and
+/// `PathOramBackend::load_controller_state` refuses any store whose
+/// recovered sequence number differs from the barrier.  A kill between
+/// persists therefore recovers to the last completed persist/checkpoint
+/// (where the tiers were mutually consistent) or is rejected with a
+/// descriptive error — never to a tree whose deep levels have advanced past
+/// its treetop.
+#[derive(Debug)]
+pub struct TieredStore {
+    /// The spill tier, spanning the whole tree file; also owns the
+    /// initialised bitmap, the WAL and the checkpoint machinery.
+    file: FileStore,
+    /// The treetop arena: bucket `i < treetop_buckets` lives at
+    /// `[i * bucket_bytes, (i+1) * bucket_bytes)`, exactly like a
+    /// [`MemStore`] arena truncated to the top levels.
+    top: Vec<u8>,
+    /// One bit per treetop bucket: the arena image is newer than the tree
+    /// file (cleared by [`TieredStore::checkpoint`]).
+    top_dirty: Vec<u64>,
+    /// `2^K - 1`: buckets with linear index below this live in the arena.
+    treetop_buckets: u64,
+    /// `K`, the number of RAM-resident levels.
+    treetop_levels: u32,
+    /// The byte budget `K` was derived from (echoed into snapshots by the
+    /// config codecs).
+    memory_budget: u64,
+}
+
+impl TieredStore {
+    fn from_file(params: &OramParams, file: FileStore, memory_budget: u64) -> Self {
+        let treetop_levels = treetop_levels_for_budget(params, memory_budget);
+        let treetop_buckets =
+            (((1u64 << treetop_levels) - 1) as usize).min(file.num_buckets) as u64;
+        Self {
+            top: vec![0u8; treetop_buckets as usize * file.bucket_bytes],
+            top_dirty: vec![0u64; (treetop_buckets as usize).div_ceil(64)],
+            treetop_buckets,
+            treetop_levels,
+            memory_budget,
+            file,
+        }
+    }
+
+    /// Creates a **fresh** tiered tree under `dir` (truncating any existing
+    /// `tree<label>` files there); see [`FileStore::create`] for the
+    /// durability semantics of the spill tier.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] on I/O failure.
+    pub fn create(
+        params: &OramParams,
+        dir: &Path,
+        label: u32,
+        durability: Durability,
+        memory_budget: u64,
+    ) -> Result<Self, OramError> {
+        let file = FileStore::create(params, dir, label, durability)?;
+        Ok(Self::from_file(params, file, memory_budget))
+    }
+
+    /// Creates a fresh tiered tree in a unique temporary directory that is
+    /// removed when the store is dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] on I/O failure.
+    pub fn create_temp(
+        params: &OramParams,
+        label: u32,
+        durability: Durability,
+        memory_budget: u64,
+    ) -> Result<Self, OramError> {
+        let file = FileStore::create_temp(params, label, durability)?;
+        Ok(Self::from_file(params, file, memory_budget))
+    }
+
+    /// Reopens a persisted tree in place as a tiered store: the file tier
+    /// recovers exactly as [`FileStore::open`] (WAL tail replay included),
+    /// then the initialised treetop buckets are loaded from the tree file
+    /// into the arena.  Tiered, file-backed and in-memory snapshots share
+    /// one on-disk format, so any of them can be reopened tiered.
+    ///
+    /// # Errors
+    ///
+    /// As for [`FileStore::open`].
+    pub fn open(
+        params: &OramParams,
+        dir: &Path,
+        label: u32,
+        durability: Durability,
+        memory_budget: u64,
+    ) -> Result<Self, OramError> {
+        let file = FileStore::open(params, dir, label, durability)?;
+        let mut store = Self::from_file(params, file, memory_budget);
+        let bb = store.file.bucket_bytes;
+        for index in 0..store.treetop_buckets {
+            if !bit_get(&store.file.initialized, index) {
+                continue;
+            }
+            let range = index as usize * bb..(index as usize + 1) * bb;
+            store
+                .file
+                .file
+                .read_exact_at(&mut store.top[range], store.file.offset(index))
+                .map_err(|e| {
+                    io_err_bucket("load treetop bucket", index, &store.file.tree_path, e)
+                })?;
+        }
+        Ok(store)
+    }
+
+    /// The directory holding this store's tree files.
+    pub fn dir(&self) -> &Path {
+        self.file.dir()
+    }
+
+    /// Sequence number of the last *logged* writeback applied to this tree
+    /// (treetop writes are WAL-exempt; see the type-level docs).
+    pub fn wal_seq(&self) -> u64 {
+        self.file.wal_seq()
+    }
+
+    /// Whether the spill tier keeps a write-ahead log.
+    pub fn has_wal(&self) -> bool {
+        self.file.has_wal()
+    }
+
+    /// Number of RAM-resident levels (`K`).
+    pub fn treetop_levels(&self) -> u32 {
+        self.treetop_levels
+    }
+
+    /// Number of RAM-resident buckets (`2^K - 1`).
+    pub fn treetop_buckets(&self) -> u64 {
+        self.treetop_buckets
+    }
+
+    /// The byte budget the treetop split was derived from.
+    pub fn memory_budget(&self) -> u64 {
+        self.memory_budget
+    }
+
+    #[inline]
+    fn is_treetop(&self, index: u64) -> bool {
+        index < self.treetop_buckets
+    }
+
+    // lint: ct-scope, no-alloc
+    #[inline]
+    fn top_range(&self, index: u64) -> std::ops::Range<usize> {
+        let start = index as usize * self.file.bucket_bytes;
+        start..start + self.file.bucket_bytes
+    }
+    // lint: end
+
+    /// Writes every dirty (or, for `clear_dirty = false` callers on the
+    /// `&self` persist path, every since-flush-dirty) treetop image into
+    /// the tree file without touching the dirty bitmap.  Positional writes
+    /// only, so it works from `&self`; idempotent, so leaving bits set and
+    /// re-flushing later is safe.
+    fn write_dirty_treetop_to_file(&self) -> Result<(), OramError> {
+        let bb = self.file.bucket_bytes;
+        for index in 0..self.treetop_buckets {
+            if !bit_get(&self.top_dirty, index) {
+                continue;
+            }
+            let image = &self.top[index as usize * bb..(index as usize + 1) * bb];
+            self.file
+                .file
+                .write_all_at(image, self.file.offset(index))
+                .map_err(|e| {
+                    io_err_bucket("flush treetop bucket", index, &self.file.tree_path, e)
+                })?;
+        }
+        Ok(())
+    }
+
+    /// Folds the treetop into the spill tier and checkpoints: flush every
+    /// dirty arena image into the tree file, then run the file store's
+    /// checkpoint (sync, metadata rewrite, WAL truncation — see
+    /// [`FileStore::checkpoint`]).  After this returns, the on-disk state
+    /// alone reconstructs both tiers.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] on I/O failure.
+    pub fn checkpoint(&mut self) -> Result<(), OramError> {
+        self.write_dirty_treetop_to_file()?;
+        self.top_dirty.fill(0);
+        self.file.checkpoint()
+    }
+
+    /// See [`FileStore::set_checkpoint_interval`].
+    #[doc(hidden)]
+    pub fn set_checkpoint_interval(&mut self, records: u64) {
+        self.file.set_checkpoint_interval(records);
+    }
+
+    /// See [`FileStore::set_fail_after_wal_bytes`].
+    #[doc(hidden)]
+    pub fn set_fail_after_wal_bytes(&mut self, bytes: u64) {
+        self.file.set_fail_after_wal_bytes(bytes);
+    }
+
+    /// See [`FileStore::set_fail_after_tree_writes`].
+    #[doc(hidden)]
+    pub fn set_fail_after_tree_writes(&mut self, writes: u64) {
+        self.file.set_fail_after_tree_writes(writes);
+    }
+}
+
+impl TreeStore for TieredStore {
+    fn num_buckets(&self) -> usize {
+        self.file.num_buckets
+    }
+
+    fn bucket_bytes(&self) -> usize {
+        self.file.bucket_bytes
+    }
+
+    #[inline]
+    fn is_initialized(&self, index: u64) -> bool {
+        bit_get(&self.file.initialized, index)
+    }
+
+    fn read_bucket_into(&self, index: u64, out: &mut [u8]) -> Result<(), OramError> {
+        if self.is_treetop(index) {
+            out.copy_from_slice(&self.top[self.top_range(index)]);
+            Ok(())
+        } else {
+            self.file.read_bucket_into(index, out)
+        }
+    }
+
+    fn write_bucket(&mut self, index: u64, image: &[u8]) -> Result<(), OramError> {
+        if self.is_treetop(index) {
+            assert_eq!(
+                image.len(),
+                self.file.bucket_bytes,
+                "bucket image must be exactly bucket_bytes long"
+            );
+            let range = self.top_range(index);
+            self.top[range].copy_from_slice(image);
+            bit_set(&mut self.top_dirty, index);
+            bit_set(&mut self.file.initialized, index);
+            Ok(())
+        } else {
+            self.file.write_bucket(index, image)
+        }
+    }
+
+    // lint: ct-scope, no-alloc
+    fn read_path_into(&mut self, indices: &[u64], buf: &mut [u8]) -> Result<(), OramError> {
+        // A root-to-leaf path is a contiguous arena prefix (levels < K)
+        // followed by a contiguous file suffix (levels ≥ K): serve the
+        // prefix with memcpys, hand the suffix to the file store's
+        // extent-coalescing read in one call.  Arbitrary (non-path) index
+        // sets — the general trait contract — fall back to routed
+        // per-bucket reads.
+        let bb = self.file.bucket_bytes;
+        let split = indices
+            .iter()
+            .position(|&i| !self.is_treetop(i))
+            .unwrap_or(indices.len());
+        for (level, &index) in indices[..split].iter().enumerate() {
+            if self.is_initialized(index) {
+                let range = self.top_range(index);
+                buf[level * bb..(level + 1) * bb].copy_from_slice(&self.top[range]);
+            }
+        }
+        let deep = &indices[split..];
+        if deep.iter().all(|&i| !self.is_treetop(i)) {
+            self.file.read_path_into(deep, &mut buf[split * bb..])
+        } else {
+            for (off, &index) in deep.iter().enumerate() {
+                let level = split + off;
+                if self.is_initialized(index) {
+                    self.read_bucket_into(index, &mut buf[level * bb..(level + 1) * bb])?;
+                }
+            }
+            Ok(())
+        }
+    }
+
+    fn write_path(&mut self, indices: &[u64], buf: &[u8]) -> Result<(), OramError> {
+        // Mirror of `read_path_into`: arena prefix, then the deep suffix as
+        // one file-store path write — which is where the WAL record is cut,
+        // so the log carries only the spill tier's buckets (the treetop's
+        // WAL exemption; see the type-level docs).
+        let bb = self.file.bucket_bytes;
+        let split = indices
+            .iter()
+            .position(|&i| !self.is_treetop(i))
+            .unwrap_or(indices.len());
+        for (level, &index) in indices[..split].iter().enumerate() {
+            let range = self.top_range(index);
+            self.top[range].copy_from_slice(&buf[level * bb..(level + 1) * bb]);
+            bit_set(&mut self.top_dirty, index);
+            bit_set(&mut self.file.initialized, index);
+        }
+        let deep = &indices[split..];
+        if deep.is_empty() {
+            Ok(())
+        } else if deep.iter().all(|&i| !self.is_treetop(i)) {
+            self.file.write_path(deep, &buf[split * bb..])
+        } else {
+            for (off, &index) in deep.iter().enumerate() {
+                let level = split + off;
+                self.write_bucket(index, &buf[level * bb..(level + 1) * bb])?;
+            }
+            Ok(())
+        }
+    }
+    // lint: end
+
+    fn resident_bytes(&self) -> u64 {
+        popcount_bytes(&self.file.initialized, self.file.bucket_bytes)
+    }
+
+    fn tamper_xor(&mut self, index: u64, offset: usize, mask: u8) -> bool {
+        if self.is_treetop(index) {
+            if offset >= self.file.bucket_bytes || !self.is_initialized(index) {
+                return false;
+            }
+            let start = self.top_range(index).start;
+            self.top[start + offset] ^= mask;
+            bit_set(&mut self.top_dirty, index);
+            true
+        } else {
+            self.file.tamper_xor(index, offset, mask)
+        }
+    }
+
+    fn snapshot_bucket(&self, index: u64) -> Vec<u8> {
+        if self.is_treetop(index) {
+            if self.is_initialized(index) {
+                self.top[self.top_range(index)].to_vec()
+            } else {
+                Vec::new()
+            }
+        } else {
+            self.file.snapshot_bucket(index)
+        }
+    }
+
+    fn replay_bucket(&mut self, index: u64, snapshot: &[u8]) {
+        if self.is_treetop(index) {
+            assert!(
+                snapshot.is_empty() || snapshot.len() == self.file.bucket_bytes,
+                "snapshot must be a full bucket image"
+            );
+            let range = self.top_range(index);
+            if snapshot.is_empty() {
+                self.top[range].fill(0);
+                bit_clear(&mut self.file.initialized, index);
+                // The file may still hold stale bytes for this bucket, but
+                // the cleared initialised bit masks them everywhere (reads,
+                // loads, persisted bitmaps), matching MemStore semantics.
+                bit_set(&mut self.top_dirty, index);
+            } else {
+                self.top[range].copy_from_slice(snapshot);
+                bit_set(&mut self.top_dirty, index);
+                bit_set(&mut self.file.initialized, index);
+            }
+        } else {
+            self.file.replay_bucket(index, snapshot);
+        }
+    }
+
+    fn rollback_seed(&mut self, index: u64, delta: u64) -> bool {
+        if self.is_treetop(index) {
+            if !self.is_initialized(index) {
+                return false;
+            }
+            let start = self.top_range(index).start;
+            let header = &mut self.top[start..start + 8];
+            let seed = u64::from_le_bytes(header.try_into().expect("8-byte header"));
+            header.copy_from_slice(&seed.wrapping_sub(delta).to_le_bytes());
+            bit_set(&mut self.top_dirty, index);
+            true
+        } else {
+            self.file.rollback_seed(index, delta)
+        }
+    }
+
+    fn persist_to(&self, dir: &Path, label: u32) -> Result<(), OramError> {
+        // Flush the treetop into the live tree file first (positional
+        // writes work from `&self`; the dirty bitmap stays set, which is
+        // harmless — re-flushing an image already in the file is
+        // idempotent).  After that the inner file store holds the complete
+        // tree and its persist logic covers both the in-place and the
+        // copy-to-other-directory cases.
+        self.write_dirty_treetop_to_file()?;
+        self.file.persist_to(dir, label)
+    }
+}
+
+// =====================================================================
 // TreeStorage: the enum the backend holds.
 // =====================================================================
 
-/// Untrusted tree storage behind the [`TreeStore`] seam: either the
-/// in-memory arena or the file-backed store, dispatched statically.
+/// Untrusted tree storage behind the [`TreeStore`] seam: the in-memory
+/// arena, the file-backed store, or the tiered treetop split, dispatched
+/// statically.
 ///
 /// All trait methods are also available as inherent methods (delegating),
 /// so existing call sites — in particular the adversary API used by tests
@@ -1297,6 +1906,8 @@ pub enum TreeStorage {
     Mem(MemStore),
     /// File-backed store.
     File(FileStore),
+    /// Tiered treetop-in-RAM store.
+    Tiered(TieredStore),
 }
 
 macro_rules! delegate {
@@ -1304,6 +1915,7 @@ macro_rules! delegate {
         match $self {
             TreeStorage::Mem($store) => $body,
             TreeStorage::File($store) => $body,
+            TreeStorage::Tiered($store) => $body,
         }
     };
 }
@@ -1338,6 +1950,16 @@ impl TreeStorage {
             StorageKind::TempFile => {
                 TreeStorage::File(FileStore::create_temp(params, label, durability)?)
             }
+            StorageKind::Tiered { dir, memory_budget } => TreeStorage::Tiered(TieredStore::create(
+                params,
+                dir,
+                label,
+                durability,
+                *memory_budget,
+            )?),
+            StorageKind::TempTiered { memory_budget } => TreeStorage::Tiered(
+                TieredStore::create_temp(params, label, durability, *memory_budget)?,
+            ),
         })
     }
 
@@ -1363,10 +1985,21 @@ impl TreeStorage {
             StorageKind::File { dir: file_dir } => {
                 TreeStorage::File(FileStore::open(params, file_dir, label, durability)?)
             }
-            StorageKind::TempFile => {
+            StorageKind::Tiered {
+                dir: file_dir,
+                memory_budget,
+            } => TreeStorage::Tiered(TieredStore::open(
+                params,
+                file_dir,
+                label,
+                durability,
+                *memory_budget,
+            )?),
+            StorageKind::TempFile | StorageKind::TempTiered { .. } => {
                 return Err(OramError::Snapshot {
-                    detail: "cannot resume a snapshot into a temporary file store; \
-                             use StorageKind::File or StorageKind::Mem"
+                    detail: "cannot resume a snapshot into a temporary store; \
+                             use StorageKind::File, StorageKind::Tiered or \
+                             StorageKind::Mem"
                         .into(),
                 })
             }
@@ -1379,7 +2012,7 @@ impl TreeStorage {
     pub fn as_mem(&self) -> Option<&MemStore> {
         match self {
             TreeStorage::Mem(m) => Some(m),
-            TreeStorage::File(_) => None,
+            TreeStorage::File(_) | TreeStorage::Tiered(_) => None,
         }
     }
 
@@ -1388,13 +2021,23 @@ impl TreeStorage {
     pub fn as_mem_mut(&mut self) -> Option<&mut MemStore> {
         match self {
             TreeStorage::Mem(m) => Some(m),
-            TreeStorage::File(_) => None,
+            TreeStorage::File(_) | TreeStorage::Tiered(_) => None,
         }
     }
 
-    /// Whether the tree lives in files.
+    /// The tiered store, if that is what this is (diagnostics: treetop
+    /// geometry introspection for tests and benchmarks).
+    #[inline]
+    pub fn as_tiered(&self) -> Option<&TieredStore> {
+        match self {
+            TreeStorage::Tiered(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Whether the tree lives (at least partly) in files.
     pub fn is_file_backed(&self) -> bool {
-        matches!(self, TreeStorage::File(_))
+        matches!(self, TreeStorage::File(_) | TreeStorage::Tiered(_))
     }
 
     // Inherent delegations so call sites don't need the trait in scope.
@@ -1493,11 +2136,12 @@ impl TreeStorage {
         match self {
             TreeStorage::Mem(m) => m.wal_seq(),
             TreeStorage::File(f) => f.wal_seq(),
+            TreeStorage::Tiered(t) => t.wal_seq(),
         }
     }
 
-    /// Explicit WAL checkpoint fold (see [`FileStore::checkpoint`]); a
-    /// no-op for memory stores.
+    /// Explicit WAL checkpoint fold (see [`FileStore::checkpoint`] and
+    /// [`TieredStore::checkpoint`]); a no-op for memory stores.
     ///
     /// # Errors
     ///
@@ -1506,22 +2150,27 @@ impl TreeStorage {
         match self {
             TreeStorage::Mem(_) => Ok(()),
             TreeStorage::File(f) => f.checkpoint(),
+            TreeStorage::Tiered(t) => t.checkpoint(),
         }
     }
 
     /// See [`FileStore::set_checkpoint_interval`]; no-op for memory stores.
     #[doc(hidden)]
     pub fn set_checkpoint_interval(&mut self, records: u64) {
-        if let TreeStorage::File(f) = self {
-            f.set_checkpoint_interval(records);
+        match self {
+            TreeStorage::Mem(_) => {}
+            TreeStorage::File(f) => f.set_checkpoint_interval(records),
+            TreeStorage::Tiered(t) => t.set_checkpoint_interval(records),
         }
     }
 
     /// See [`FileStore::set_fail_after_wal_bytes`]; no-op for memory stores.
     #[doc(hidden)]
     pub fn set_fail_after_wal_bytes(&mut self, bytes: u64) {
-        if let TreeStorage::File(f) = self {
-            f.set_fail_after_wal_bytes(bytes);
+        match self {
+            TreeStorage::Mem(_) => {}
+            TreeStorage::File(f) => f.set_fail_after_wal_bytes(bytes),
+            TreeStorage::Tiered(t) => t.set_fail_after_wal_bytes(bytes),
         }
     }
 
@@ -1529,8 +2178,10 @@ impl TreeStorage {
     /// stores.
     #[doc(hidden)]
     pub fn set_fail_after_tree_writes(&mut self, writes: u64) {
-        if let TreeStorage::File(f) = self {
-            f.set_fail_after_tree_writes(writes);
+        match self {
+            TreeStorage::Mem(_) => {}
+            TreeStorage::File(f) => f.set_fail_after_tree_writes(writes),
+            TreeStorage::Tiered(t) => t.set_fail_after_tree_writes(writes),
         }
     }
 }
@@ -1788,9 +2439,28 @@ mod tests {
                 dir: PathBuf::from("/data/oram/shard3")
             }
         );
+        let tiered = StorageKind::Tiered {
+            dir: PathBuf::from("/data/oram"),
+            memory_budget: 1 << 20,
+        };
+        assert_eq!(
+            tiered.subdir("shard1"),
+            StorageKind::Tiered {
+                dir: PathBuf::from("/data/oram/shard1"),
+                memory_budget: 1 << 20,
+            }
+        );
         assert_eq!(StorageKind::Mem.tag(), 0);
         assert_eq!(file.tag(), 1);
         assert_eq!(StorageKind::TempFile.tag(), 1);
+        assert_eq!(tiered.tag(), 2);
+        assert_eq!(
+            StorageKind::TempTiered {
+                memory_budget: 1 << 20
+            }
+            .tag(),
+            2
+        );
         let root = Path::new("/snap");
         assert_eq!(StorageKind::from_tag(0, root).unwrap(), StorageKind::Mem);
         assert_eq!(
@@ -1890,8 +2560,211 @@ mod tests {
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
+    /// A budget that puts exactly `k` levels in the treetop for `params()`.
+    fn budget_for_levels(p: &OramParams, k: u32) -> u64 {
+        if k == 0 {
+            return 0;
+        }
+        ((1u64 << k) - 1) * p.bucket_bytes() as u64
+    }
+
     #[test]
-    fn tree_storage_enum_dispatches_to_both_stores() {
+    fn treetop_levels_track_the_byte_budget() {
+        let p = params();
+        let bb = p.bucket_bytes() as u64;
+        assert_eq!(treetop_levels_for_budget(&p, 0), 0);
+        assert_eq!(treetop_levels_for_budget(&p, bb - 1), 0);
+        assert_eq!(treetop_levels_for_budget(&p, bb), 1);
+        assert_eq!(treetop_levels_for_budget(&p, 3 * bb), 2);
+        assert_eq!(treetop_levels_for_budget(&p, 3 * bb + 1), 2);
+        // A huge budget is capped at the tree height.
+        assert_eq!(treetop_levels_for_budget(&p, u64::MAX), p.levels());
+    }
+
+    #[test]
+    fn tiered_store_satisfies_the_contract_across_the_k_sweep() {
+        let p = params();
+        // K = 0 (pure spill), a mid split, and K = levels (pure arena).
+        for k in [0, 2, p.levels()] {
+            let budget = budget_for_levels(&p, k);
+            let mut s = TieredStore::create_temp(&p, 0, Durability::None, budget).unwrap();
+            assert_eq!(s.treetop_levels(), k, "budget {budget} should give K={k}");
+            check_store_contract(&mut s);
+        }
+    }
+
+    #[test]
+    fn tiered_store_interchanges_with_mem_and_file_snapshots() {
+        let p = params();
+        let dir_a = temp_dir("tier-interchange-a");
+        let dir_b = temp_dir("tier-interchange-b");
+        let budget = budget_for_levels(&p, 3);
+
+        // Populate a tiered store with buckets on both sides of the split
+        // and persist it.
+        let mut tiered = TieredStore::create(&p, &dir_a, 0, Durability::None, budget).unwrap();
+        let bb = tiered.bucket_bytes();
+        let top_image = vec![0x1A; bb];
+        let deep_image = vec![0x2B; bb];
+        let deep_idx = tiered.treetop_buckets() + 4;
+        tiered.write_bucket(1, &top_image).unwrap();
+        tiered.write_bucket(deep_idx, &deep_image).unwrap();
+        tiered.persist_to(&dir_a, 0).unwrap();
+        drop(tiered);
+
+        // Resume as a plain mem store: both tiers must be visible.
+        let mem = MemStore::load(&p, &dir_a, 0).unwrap();
+        assert_eq!(mem.read_bucket(1), &top_image[..]);
+        assert_eq!(mem.read_bucket(deep_idx), &deep_image[..]);
+
+        // Mutate via a plain file store, persist elsewhere, resume tiered.
+        let mut file = FileStore::open(&p, &dir_a, 0, Durability::None).unwrap();
+        let image_c = vec![0x3C; bb];
+        file.write_bucket(2, &image_c).unwrap();
+        file.persist_to(&dir_b, 0).unwrap();
+        drop(file);
+
+        let tiered2 = TieredStore::open(&p, &dir_b, 0, Durability::None, budget).unwrap();
+        let mut out = vec![0u8; bb];
+        tiered2.read_bucket_into(1, &mut out).unwrap();
+        assert_eq!(out, top_image);
+        tiered2.read_bucket_into(2, &mut out).unwrap();
+        assert_eq!(out, image_c);
+        tiered2.read_bucket_into(deep_idx, &mut out).unwrap();
+        assert_eq!(out, deep_image);
+
+        std::fs::remove_dir_all(&dir_a).unwrap();
+        std::fs::remove_dir_all(&dir_b).unwrap();
+    }
+
+    #[test]
+    fn tiered_wal_recovery_covers_the_spill_tier_only_until_checkpoint() {
+        let p = params();
+        let dir = temp_dir("tier-walrec");
+        let budget = budget_for_levels(&p, 2);
+        let mut s = TieredStore::create(&p, &dir, 0, Durability::Strict, budget).unwrap();
+        let bb = s.bucket_bytes();
+        assert_eq!(s.treetop_buckets(), 3);
+        // A root-to-leaf path: [0, 1] in the treetop, [3, 8] in the file.
+        let indices = [0u64, 1, 3, 8];
+        let image: Vec<u8> = (0..4 * bb).map(|i| (i % 247) as u8 + 1).collect();
+        s.write_path(&indices, &image).unwrap();
+        assert_eq!(s.wal_seq(), 1, "only the spill suffix is one WAL record");
+        drop(s);
+
+        // Kill before any checkpoint: the logged deep buckets recover, the
+        // WAL-exempt treetop does not (the controller's sequence barrier is
+        // what rejects such a state at the backend layer).
+        let s2 = TieredStore::open(&p, &dir, 0, Durability::Strict, budget).unwrap();
+        assert_eq!(s2.wal_seq(), 1);
+        let mut out = vec![0u8; bb];
+        for (level, &idx) in indices.iter().enumerate().skip(2) {
+            assert!(s2.is_initialized(idx));
+            s2.read_bucket_into(idx, &mut out).unwrap();
+            assert_eq!(out, &image[level * bb..(level + 1) * bb]);
+        }
+        assert!(!s2.is_initialized(0));
+        assert!(!s2.is_initialized(1));
+        drop(s2);
+
+        // Same writeback followed by an explicit checkpoint: the flushed
+        // treetop survives reopen alongside the deep buckets.
+        let mut s3 = TieredStore::open(&p, &dir, 0, Durability::Strict, budget).unwrap();
+        s3.write_path(&indices, &image).unwrap();
+        s3.checkpoint().unwrap();
+        drop(s3);
+        let s4 = TieredStore::open(&p, &dir, 0, Durability::Strict, budget).unwrap();
+        for (level, &idx) in indices.iter().enumerate() {
+            assert!(s4.is_initialized(idx));
+            s4.read_bucket_into(idx, &mut out).unwrap();
+            assert_eq!(out, &image[level * bb..(level + 1) * bb]);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn storage_kind_parses_env_values_and_budgets() {
+        assert_eq!(StorageKind::parse("", None).unwrap(), StorageKind::Mem);
+        assert_eq!(StorageKind::parse("mem", None).unwrap(), StorageKind::Mem);
+        assert_eq!(
+            StorageKind::parse("file", None).unwrap(),
+            StorageKind::TempFile
+        );
+        assert_eq!(
+            StorageKind::parse("tiered", None).unwrap(),
+            StorageKind::TempTiered {
+                memory_budget: DEFAULT_MEMORY_BUDGET
+            }
+        );
+        assert_eq!(
+            StorageKind::parse("tiered", Some(123)).unwrap(),
+            StorageKind::TempTiered { memory_budget: 123 }
+        );
+        assert!(StorageKind::parse("bogus", None).is_err());
+
+        assert_eq!(StorageKind::parse_memory_budget("4096").unwrap(), 4096);
+        assert_eq!(StorageKind::parse_memory_budget("512k").unwrap(), 512 << 10);
+        assert_eq!(StorageKind::parse_memory_budget("96M").unwrap(), 96 << 20);
+        assert_eq!(StorageKind::parse_memory_budget("2g").unwrap(), 2 << 30);
+        assert!(StorageKind::parse_memory_budget("").is_err());
+        assert!(StorageKind::parse_memory_budget("12q").is_err());
+        assert!(StorageKind::parse_memory_budget("99999999999999999g").is_err());
+    }
+
+    #[test]
+    fn storage_kind_save_load_round_trips_every_variant() {
+        let root = Path::new("/snap");
+        let cases = [
+            (StorageKind::Mem, StorageKind::Mem),
+            (
+                StorageKind::File {
+                    dir: PathBuf::from("/data/oram"),
+                },
+                StorageKind::File {
+                    dir: root.to_path_buf(),
+                },
+            ),
+            // Temp variants re-anchor onto the snapshot directory on load.
+            (
+                StorageKind::TempFile,
+                StorageKind::File {
+                    dir: root.to_path_buf(),
+                },
+            ),
+            (
+                StorageKind::Tiered {
+                    dir: PathBuf::from("/data/oram"),
+                    memory_budget: 7 << 20,
+                },
+                StorageKind::Tiered {
+                    dir: root.to_path_buf(),
+                    memory_budget: 7 << 20,
+                },
+            ),
+            (
+                StorageKind::TempTiered {
+                    memory_budget: 96 << 20,
+                },
+                StorageKind::Tiered {
+                    dir: root.to_path_buf(),
+                    memory_budget: 96 << 20,
+                },
+            ),
+        ];
+        for (kind, expect) in cases {
+            let mut buf = Vec::new();
+            kind.save(&mut buf);
+            let mut r = SnapReader::new(&buf);
+            assert_eq!(StorageKind::load(&mut r, root).unwrap(), expect);
+            assert_eq!(r.remaining(), 0, "codec must consume exactly what it wrote");
+        }
+        // The budget-free legacy decoder refuses the tiered tag rather than
+        // inventing a budget.
+        assert!(StorageKind::from_tag(2, root).is_err());
+    }
+
+    #[test]
+    fn tree_storage_enum_dispatches_to_all_stores() {
         let p = params();
         let mut mem = TreeStorage::create(&p, &StorageKind::Mem, 0, Durability::None).unwrap();
         assert!(mem.as_mem().is_some());
@@ -1906,5 +2779,17 @@ mod tests {
         file.write_bucket(1, &vec![5u8; file.bucket_bytes()])
             .unwrap();
         assert_eq!(file.snapshot_bucket(1), vec![5u8; file.bucket_bytes()]);
+
+        let kind = StorageKind::TempTiered {
+            memory_budget: 1 << 20,
+        };
+        let mut tiered = TreeStorage::create(&p, &kind, 0, Durability::None).unwrap();
+        assert!(tiered.as_mem().is_none());
+        assert!(tiered.as_tiered().is_some());
+        assert!(tiered.is_file_backed());
+        tiered
+            .write_bucket(1, &vec![5u8; tiered.bucket_bytes()])
+            .unwrap();
+        assert_eq!(tiered.snapshot_bucket(1), vec![5u8; tiered.bucket_bytes()]);
     }
 }

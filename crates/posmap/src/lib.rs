@@ -3,7 +3,9 @@
 //! The PosMap is the page-table-like structure at the heart of Position-based
 //! ORAMs: it maps every block to the random leaf it is currently stored
 //! under.  Managing it efficiently is the entire subject of the paper; this
-//! crate contains the data structures the frontends are built from:
+//! crate contains the data structures the frontends are built from
+//! (`docs/ARCHITECTURE.md` at the workspace root places them in the full
+//! access path):
 //!
 //! * [`addressing::RecursionAddressing`] — the multi-level page-table
 //!   arithmetic of Recursive ORAM (§3.2): which PosMap block at which level

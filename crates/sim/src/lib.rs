@@ -6,6 +6,8 @@
 //! The paper's performance figures, however, never depend on block contents —
 //! only on *which* backend accesses happen (PLB behaviour, recursion depth)
 //! and *how long* each one takes (path length, bucket size, DRAM timing).
+//! `docs/ARCHITECTURE.md` at the workspace root maps this timing stack
+//! onto the functional crates it mirrors.
 //! This crate models exactly that:
 //!
 //! * [`latency::OramLatencyModel`] — average latency of one backend access,

@@ -1,5 +1,6 @@
 //! Synthetic memory-trace generation standing in for the SPEC CPU2006
-//! workloads of the paper's evaluation (§7.1.1).
+//! workloads of the paper's evaluation (§7.1.1).  (`docs/ARCHITECTURE.md`
+//! at the workspace root places trace generation in the evaluation stack.)
 //!
 //! The original evaluation replays SPEC06-int benchmarks through the Graphite
 //! simulator.  SPEC traces are not redistributable, so this crate generates

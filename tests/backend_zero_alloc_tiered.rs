@@ -1,12 +1,12 @@
-//! Allocator-level companion to `backend_zero_alloc.rs` for the
-//! **file-backed** tree store: after warm-up, steady-state accesses through
-//! `FileStore` must also perform zero heap allocations — positional I/O
-//! reads and writes go straight between the kernel and the backend's
-//! reusable scratch buffers (`path_buf` in, `write_buf` out), so the trait
-//! seam cannot silently reintroduce per-access allocation for either store.
-//! Half the measured accesses run inside `begin_batch`/`end_batch` windows,
-//! so the batch scheduler's dedup cache (which engages on non-arena stores)
-//! is covered by the same pin.
+//! Allocator-level companion to `backend_zero_alloc.rs` /
+//! `backend_zero_alloc_file.rs` for the **tiered** tree store: after
+//! warm-up, steady-state accesses through `TieredStore` must also perform
+//! zero heap allocations — arena-tier buckets are memcpy'd from the
+//! resident treetop, spill-tier buckets go through the file store's
+//! positional I/O, and both land in the backend's reusable scratch
+//! buffers.  The measured loop additionally runs inside batch windows
+//! (`begin_batch` / `end_batch`), so the dedup scheduler's cache fills,
+//! seal pass, and chunked flush are all pinned to the same zero budget.
 //!
 //! This file deliberately contains a single test: the counter is global, so
 //! a concurrently running test in the same binary would pollute it.
@@ -45,33 +45,49 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
-/// The pinned allocation budget for 2000 steady-state file-store accesses.
-/// It is zero today; if a legitimate change ever needs to allocate on this
-/// path, raise the pin consciously in review rather than letting it drift.
+/// The pinned allocation budget for 2000 steady-state tiered accesses
+/// issued in batch windows of 16.  It is zero today; if a legitimate change
+/// ever needs to allocate on this path, raise the pin consciously in review
+/// rather than letting it drift.
 const STEADY_STATE_ALLOCATION_BUDGET: u64 = 0;
 
+/// Batch window width for the measured loop; matches the frontend's
+/// `access_batch` bracketing of `begin_batch` / `end_batch`.
+const WINDOW: u64 = 16;
+
 #[test]
-fn file_store_steady_state_allocation_count_is_pinned() {
+fn tiered_store_steady_state_allocation_count_is_pinned() {
     const N: u64 = 1 << 10;
     const BLOCK: usize = 64;
     let params = OramParams::new(N, BLOCK, 4);
+    // A budget that splits the tree mid-way: big enough for a non-trivial
+    // treetop, small enough that the lower levels spill to the file tier.
+    let treetop_budget = 16u64 << 10;
     let mut backend = PathOramBackend::new_with_storage(
         params,
         EncryptionMode::GlobalSeed,
         [3u8; 16],
         0,
-        &StorageKind::TempFile,
+        &StorageKind::TempTiered {
+            memory_budget: treetop_budget,
+        },
         path_oram::Durability::None,
         0,
     )
     .unwrap();
+    let tiered = backend
+        .storage()
+        .as_tiered()
+        .expect("this test pins the tiered store");
+    let split = tiered.treetop_levels();
     assert!(
-        backend.storage().is_file_backed(),
-        "this test pins the file store"
+        split > 0 && split < params.levels(),
+        "budget must give a genuine mid-tree split, got K={split} of {} levels",
+        params.levels()
     );
     let leaves = params.num_leaves();
 
-    let mut rng = StdRng::seed_from_u64(0xF11E_A110C);
+    let mut rng = StdRng::seed_from_u64(0x71E2_A110C);
     let mut posmap: Vec<u64> = (0..N).map(|_| rng.gen_range(0..leaves)).collect();
     let mut out = Vec::with_capacity(BLOCK);
     let mut write_data = vec![0u8; BLOCK];
@@ -105,8 +121,9 @@ fn file_store_steady_state_allocation_count_is_pinned() {
         }
     };
 
-    // Warm-up: touch every block, then run the mixed workload until every
-    // scratch buffer and map has reached steady capacity.
+    // Warm-up: touch every block, then run the mixed workload — including
+    // batch windows, so the dedup cache and flush buffers reach steady
+    // capacity before measurement starts.
     for addr in 0..N {
         let new_leaf = rng.gen_range(0..leaves);
         let old_leaf = posmap[addr as usize];
@@ -122,24 +139,12 @@ fn file_store_steady_state_allocation_count_is_pinned() {
             )
             .unwrap();
     }
-    for i in 0..2000u64 {
-        access(
-            &mut backend,
-            i,
-            &mut posmap,
-            &mut rng,
-            &mut out,
-            &mut write_data,
-        );
-    }
-    // A few warm-up batch windows let the scheduler's dedup cache reach its
-    // working capacity before the measured phase.
-    for window in 0..8u64 {
+    for window in 0..(2000 / WINDOW) {
         backend.begin_batch();
-        for i in 0..16 {
+        for i in 0..WINDOW {
             access(
                 &mut backend,
-                window * 16 + i,
+                window * WINDOW + i,
                 &mut posmap,
                 &mut rng,
                 &mut out,
@@ -151,24 +156,12 @@ fn file_store_steady_state_allocation_count_is_pinned() {
 
     let allocations_before = ALLOCATIONS.load(Ordering::Relaxed);
 
-    // Half sequential, half inside batch windows: both submission modes
-    // share the same pinned budget.
-    for i in 0..1000u64 {
-        access(
-            &mut backend,
-            i,
-            &mut posmap,
-            &mut rng,
-            &mut out,
-            &mut write_data,
-        );
-    }
-    for window in 0..62u64 {
+    for window in 0..(2000 / WINDOW) {
         backend.begin_batch();
-        for i in 0..16 {
+        for i in 0..WINDOW {
             access(
                 &mut backend,
-                1000 + window * 16 + i,
+                window * WINDOW + i,
                 &mut posmap,
                 &mut rng,
                 &mut out,
@@ -181,7 +174,7 @@ fn file_store_steady_state_allocation_count_is_pinned() {
     let allocation_delta = ALLOCATIONS.load(Ordering::Relaxed) - allocations_before;
     assert_eq!(
         allocation_delta, STEADY_STATE_ALLOCATION_BUDGET,
-        "file-store steady state must stay at its pinned allocation count"
+        "tiered-store batched steady state must stay at its pinned allocation count"
     );
     assert!(
         backend.stats().max_stash_occupancy <= params.stash_capacity,
