@@ -165,6 +165,15 @@ impl OramBuilder {
         self
     }
 
+    /// The RNG/key seed in effect (explicit override, or the default seed 1
+    /// every configuration falls back to).  Layers stacked on top of the
+    /// built instance (e.g. the oblivious map's key-hashing seed) derive
+    /// their own randomness from this value so one builder knob seeds the
+    /// whole stack deterministically.
+    pub fn seed_in_effect(&self) -> u64 {
+        self.seed.unwrap_or(1)
+    }
+
     /// Sets the number of shards for [`OramBuilder::build_sharded`] /
     /// [`OramBuilder::build_service`] (default 1).  `num_blocks` stays the
     /// *global* capacity: it is divided across the shards, padding the

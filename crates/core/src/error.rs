@@ -37,6 +37,15 @@ pub enum ConfigError {
         /// The label of the offending scheme point.
         scheme: &'static str,
     },
+    /// An oblivious-map geometry constraint failed: the overflow pool is
+    /// smaller than one worst-case value chain, the backing ORAM is smaller
+    /// or differently-sized than the layout requires, or a derived count
+    /// does not fit its index type.  Raised at `build_map` time so bad
+    /// parameter combinations never reach the first insert.
+    MapGeometry {
+        /// Which constraint failed.
+        detail: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -59,11 +68,70 @@ impl std::fmt::Display for ConfigError {
                     "scheme point {scheme} is not supported by this constructor"
                 )
             }
+            ConfigError::MapGeometry { detail } => {
+                write!(f, "oblivious map geometry is unsatisfiable: {detail}")
+            }
         }
     }
 }
 
 impl std::error::Error for ConfigError {}
+
+/// Errors of the oblivious key-value layer (`oram-omap`'s `ObliviousMap`),
+/// surfaced through [`FreecursiveError::Map`] so map callers keep the same
+/// unified error surface as block callers.
+///
+/// The variants split along the map's two failure axes: *input* problems
+/// ([`MapError::KeyTooLarge`], [`MapError::ValueTooLarge`]) are detected
+/// before any ORAM access is issued and depend only on the caller-visible
+/// request, while [`MapError::CapacityExhausted`] is a *state* problem —
+/// discovered mid-operation, after which the op still completes its full
+/// padded access schedule so the failure is not distinguishable from a
+/// success in the ORAM request count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MapError {
+    /// The key is longer than the layout's maximum key size.
+    KeyTooLarge {
+        /// Length of the offending key in bytes.
+        len: usize,
+        /// The layout's maximum key length.
+        max: usize,
+    },
+    /// The value is longer than the layout's maximum value size.
+    ValueTooLarge {
+        /// Length of the offending value in bytes.
+        len: usize,
+        /// The layout's maximum value length.
+        max: usize,
+    },
+    /// The map cannot hold the entry: both candidate buckets are full, or
+    /// the overflow pool has no free chain blocks left.  Also produced at
+    /// construction when the requested geometry cannot satisfy even one
+    /// worst-case entry.
+    CapacityExhausted {
+        /// What ran out (candidate slots, overflow pool, …).
+        detail: &'static str,
+    },
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::KeyTooLarge { len, max } => {
+                write!(f, "key of {len} bytes exceeds the maximum of {max}")
+            }
+            MapError::ValueTooLarge { len, max } => {
+                write!(f, "value of {len} bytes exceeds the maximum of {max}")
+            }
+            MapError::CapacityExhausted { detail } => {
+                write!(f, "map capacity exhausted: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
 
 /// The unified error type of the processor-facing ORAM API.
 ///
@@ -103,6 +171,10 @@ pub enum FreecursiveError {
         /// Human-readable description of what happened to the worker.
         detail: String,
     },
+    /// The oblivious key-value layer rejected the operation (key/value too
+    /// large for the layout, or the map/overflow capacity is exhausted).
+    /// See [`MapError`] for the failure-axis split.
+    Map(MapError),
 }
 
 impl FreecursiveError {
@@ -156,6 +228,7 @@ impl std::fmt::Display for FreecursiveError {
             FreecursiveError::Service { detail } => {
                 write!(f, "oram service failure: {detail}")
             }
+            FreecursiveError::Map(e) => write!(f, "oblivious map failure: {e}"),
         }
     }
 }
@@ -165,6 +238,7 @@ impl std::error::Error for FreecursiveError {
         match self {
             FreecursiveError::Config(e) => Some(e),
             FreecursiveError::Backend(e) => Some(e),
+            FreecursiveError::Map(e) => Some(e),
             FreecursiveError::Batch { source, .. } => Some(source),
             FreecursiveError::Integrity { .. } | FreecursiveError::Service { .. } => None,
         }
@@ -174,6 +248,12 @@ impl std::error::Error for FreecursiveError {
 impl From<ConfigError> for FreecursiveError {
     fn from(e: ConfigError) -> Self {
         FreecursiveError::Config(e)
+    }
+}
+
+impl From<MapError> for FreecursiveError {
+    fn from(e: MapError) -> Self {
+        FreecursiveError::Map(e)
     }
 }
 
@@ -235,6 +315,30 @@ mod tests {
         };
         assert!(e.to_string().contains("shard 2"));
         assert!(!e.is_integrity_violation());
+    }
+
+    #[test]
+    fn map_errors_wrap_and_display() {
+        let e: FreecursiveError = MapError::KeyTooLarge { len: 99, max: 24 }.into();
+        assert!(matches!(
+            e,
+            FreecursiveError::Map(MapError::KeyTooLarge { len: 99, max: 24 })
+        ));
+        assert!(e.to_string().contains("99"));
+        assert!(!e.is_integrity_violation());
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+        let e: FreecursiveError = MapError::ValueTooLarge { len: 7, max: 4 }.into();
+        assert!(e.to_string().contains("exceeds"));
+        // Capacity exhaustion stays recognisable through batch wrapping.
+        let e = FreecursiveError::from(MapError::CapacityExhausted {
+            detail: "both candidate buckets full",
+        })
+        .with_batch_index(3);
+        assert!(matches!(
+            e.into_source(),
+            FreecursiveError::Map(MapError::CapacityExhausted { .. })
+        ));
     }
 
     #[test]

@@ -92,7 +92,7 @@ pub use adversary::Adversary;
 pub use analysis::AsymptoticParams;
 pub use builder::OramBuilder;
 pub use config::{FreecursiveConfig, PosMapFormat};
-pub use error::{ConfigError, FreecursiveError};
+pub use error::{ConfigError, FreecursiveError, MapError};
 pub use frontend::FreecursiveOram;
 pub use insecure::InsecureOram;
 pub use recursive::{RecursiveOram, RecursiveOramConfig};

@@ -1,0 +1,145 @@
+//! Construction of oblivious maps through the workspace's single
+//! configuration path, [`OramBuilder`].
+//!
+//! [`MapConfig`] carries the map-level knobs (key/value sizes, capacity,
+//! optional overflow pool override); the [`BuildMap`] extension trait adds
+//! `build_map` / `build_map_service` to `OramBuilder` so a map composes
+//! with every scheme point, storage kind, durability mode, and shard
+//! count the builder already knows.  All parameter validation happens
+//! up front, inside the build call — a configuration that cannot work
+//! fails with a [`freecursive::ConfigError`] or
+//! [`freecursive::MapError`] before the first map operation, never at it.
+
+use freecursive::{FreecursiveError, Oram, OramBuilder, OramClient, OramService};
+use oram_crypto::Sha3_224;
+
+use crate::layout::MapLayout;
+use crate::map::ObliviousMap;
+
+/// Map-level knobs, independent of the backing ORAM's configuration.
+///
+/// ```
+/// use freecursive::{OramBuilder, SchemePoint};
+/// use omap::{BuildMap, MapConfig};
+///
+/// # fn main() -> Result<(), freecursive::FreecursiveError> {
+/// let mut map = OramBuilder::for_scheme(SchemePoint::PicX32)
+///     .block_bytes(128)
+///     .build_map(&MapConfig::new(24, 256, 1 << 8))?;
+/// map.insert(b"alpha", b"first value")?;
+/// assert_eq!(map.get(b"alpha")?.as_deref(), Some(&b"first value"[..]));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapConfig {
+    /// Maximum key length in bytes.
+    pub key_bytes: usize,
+    /// Maximum value length in bytes.
+    pub value_bytes: usize,
+    /// Entry capacity the table is sized for.
+    pub capacity: u64,
+    /// Overrides the default worst-case overflow pool
+    /// (`capacity × chain_blocks` blocks).  Smaller pools trade memory
+    /// for earlier `CapacityExhausted` errors on chain-heavy workloads.
+    pub overflow_blocks: Option<u64>,
+}
+
+impl MapConfig {
+    /// A config with the default (worst-case) overflow pool.
+    pub fn new(key_bytes: usize, value_bytes: usize, capacity: u64) -> Self {
+        MapConfig {
+            key_bytes,
+            value_bytes,
+            capacity,
+            overflow_blocks: None,
+        }
+    }
+
+    /// Sets the overflow pool size override.
+    #[must_use]
+    pub fn overflow_blocks(mut self, blocks: u64) -> Self {
+        self.overflow_blocks = Some(blocks);
+        self
+    }
+
+    /// Derives the full layout these knobs produce over `block_bytes`
+    /// blocks — the validation `build_map` runs, callable standalone for
+    /// capacity planning.
+    ///
+    /// # Errors
+    ///
+    /// As for [`MapLayout::derive`].
+    pub fn layout_for(&self, block_bytes: usize) -> Result<MapLayout, FreecursiveError> {
+        MapLayout::derive(
+            self.key_bytes,
+            self.value_bytes,
+            self.capacity,
+            block_bytes,
+            self.overflow_blocks,
+        )
+    }
+}
+
+/// Hash seed for bucket choice, derived from the builder's ORAM seed so a
+/// resumed or re-built deployment maps keys to the same buckets.
+fn derive_hash_seed(oram_seed: u64) -> [u8; 16] {
+    let mut hasher = Sha3_224::new();
+    hasher.update(b"freecursive-omap-bucket-seed");
+    hasher.update(&oram_seed.to_le_bytes());
+    let digest = hasher.finalize();
+    digest[..16].try_into().expect("16 of 28 digest bytes")
+}
+
+/// Extension trait adding oblivious-map construction to [`OramBuilder`].
+pub trait BuildMap {
+    /// Builds an [`ObliviousMap`] over a freshly built ORAM: derives the
+    /// layout from `config` and this builder's block size, overrides the
+    /// builder's `num_blocks` with the layout's total, and routes through
+    /// [`OramBuilder::build`] — so scheme point, storage kind,
+    /// durability, and `shards(n)` all apply unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Layout derivation errors (see [`MapLayout::derive`]) before any
+    /// construction work; otherwise as for [`OramBuilder::build`].
+    fn build_map(&self, config: &MapConfig) -> Result<ObliviousMap, FreecursiveError>;
+
+    /// Like [`BuildMap::build_map`] but over an [`OramService`]: the
+    /// shards run on worker threads and the returned map drives them
+    /// through a client handle.  Shut the service down (after dropping
+    /// or consuming the map) to recover the shards.
+    ///
+    /// # Errors
+    ///
+    /// As for [`BuildMap::build_map`] and [`OramBuilder::build_service`].
+    fn build_map_service(
+        &self,
+        config: &MapConfig,
+    ) -> Result<(OramService, ObliviousMap<OramClient>), FreecursiveError>;
+}
+
+impl BuildMap for OramBuilder {
+    fn build_map(&self, config: &MapConfig) -> Result<ObliviousMap, FreecursiveError> {
+        let layout = config.layout_for(self.block_bytes_in_effect())?;
+        let oram: Box<dyn Oram> = self.clone().num_blocks(layout.total_blocks()).build()?;
+        ObliviousMap::over(oram, layout, derive_hash_seed(self.seed_in_effect()))
+    }
+
+    fn build_map_service(
+        &self,
+        config: &MapConfig,
+    ) -> Result<(OramService, ObliviousMap<OramClient>), FreecursiveError> {
+        let layout = config.layout_for(self.block_bytes_in_effect())?;
+        let service = self
+            .clone()
+            .num_blocks(layout.total_blocks())
+            .build_service()?;
+        let map = ObliviousMap::over(
+            service.client(),
+            layout,
+            derive_hash_seed(self.seed_in_effect()),
+        )?;
+        Ok((service, map))
+    }
+}

@@ -1,0 +1,575 @@
+//! Geometry of the oblivious map: how keys, values, buckets, and overflow
+//! chains are laid out over the backing ORAM's fixed-size blocks.
+//!
+//! The address space of the backing ORAM is split into two regions:
+//!
+//! ```text
+//! | bucket region: num_buckets × blocks_per_bucket | overflow region |
+//! ```
+//!
+//! Each *bucket* is a small set-associative group of entry slots spread over
+//! `blocks_per_bucket` consecutive blocks (`slots_per_block` slots each).
+//! Every key hashes to exactly two candidate buckets (two-choice hashing)
+//! and lives in one slot of one of them.  A slot stores the key, the value
+//! length, an inline value prefix, and a fixed-size *chain table* of
+//! overflow block indices for the value bytes that don't fit inline; the
+//! overflow region is a shared pool those indices point into.
+//!
+//! Everything here is a pure function of the public configuration — block
+//! size, maximum key/value sizes, capacity — so the layout itself reveals
+//! nothing about the keys stored.  The derivation in [`MapLayout::derive`]
+//! picks the chain length / inline split that minimises the (fixed) number
+//! of ORAM accesses per operation.
+//!
+//! ## Slot wire format
+//!
+//! At byte offset `slot_offset(way)` inside a bucket image:
+//!
+//! ```text
+//! | tag u8 | key_len u16 | val_len u32 | chain [u32; C] | key [u8; K] | inline [u8; I] |
+//! ```
+//!
+//! `tag` is [`SLOT_EMPTY`] or [`SLOT_OCCUPIED`]; unused chain entries hold
+//! [`CHAIN_NONE`]; the key and inline regions are zero-padded.  All integers
+//! are little-endian.
+
+use freecursive::{ConfigError, FreecursiveError, MapError};
+
+/// Tag byte of a vacant slot.
+pub const SLOT_EMPTY: u8 = 0;
+/// Tag byte of an occupied slot.
+pub const SLOT_OCCUPIED: u8 = 1;
+/// Chain-table entry marking "no overflow block".
+pub const CHAIN_NONE: u32 = u32::MAX;
+
+/// Fixed per-slot metadata: tag (1) + key_len (2) + val_len (4).
+const SLOT_FIXED_META: usize = 7;
+
+/// The associativity the derivation aims for: buckets get at least this
+/// many slots (spanning multiple blocks if a block holds fewer), because
+/// two-choice placement *without* eviction needs multi-way buckets to reach
+/// useful load factors — with 1-way buckets the first both-candidates-taken
+/// collision appears at birthday-bound loads.
+const TARGET_WAYS: usize = 4;
+
+/// Bucket-count headroom over `capacity`: `slots ≥ capacity * 4 / 3`
+/// (i.e. the map is sized for a ~75% slot load factor at full capacity).
+const LOAD_HEADROOM_NUM: u64 = 4;
+const LOAD_HEADROOM_DEN: u64 = 3;
+
+/// The fully-derived geometry of one oblivious map.  Constructed only by
+/// [`MapLayout::derive`]; every field is public for inspection but the
+/// struct is validated as a whole on snapshot resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapLayout {
+    /// Maximum key length in bytes (K).
+    pub key_bytes: usize,
+    /// Maximum value length in bytes (V).
+    pub value_bytes: usize,
+    /// Requested entry capacity the bucket region was sized for.
+    pub capacity: u64,
+    /// Block size of the backing ORAM.
+    pub block_bytes: usize,
+    /// Number of buckets in the table region.
+    pub num_buckets: u64,
+    /// Entry slots per block (S ≥ 1).
+    pub slots_per_block: usize,
+    /// Blocks per bucket (G ≥ 1); a bucket's ways span G consecutive blocks.
+    pub blocks_per_bucket: usize,
+    /// Byte stride between slots within a block (`block_bytes / S`).
+    pub slot_stride: usize,
+    /// Inline value prefix bytes per slot (I).
+    pub inline_bytes: usize,
+    /// Overflow chain table length per slot (C) — also the number of
+    /// overflow accesses every operation performs (real or dummy).
+    pub chain_blocks: usize,
+    /// Blocks in the shared overflow pool.
+    pub overflow_blocks: u64,
+}
+
+impl MapLayout {
+    /// Derives the layout for the given knobs, or explains why no layout
+    /// exists.  `overflow_override` replaces the default worst-case
+    /// overflow pool (`capacity × chain_blocks`).
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::Degenerate`] for zero sizes;
+    /// [`MapError::KeyTooLarge`] / [`MapError::ValueTooLarge`] when no
+    /// slot format fits the block; [`ConfigError::MapGeometry`] when the
+    /// overflow pool is smaller than one worst-case chain or a derived
+    /// count overflows its index type.
+    pub fn derive(
+        key_bytes: usize,
+        value_bytes: usize,
+        capacity: u64,
+        block_bytes: usize,
+        overflow_override: Option<u64>,
+    ) -> Result<MapLayout, FreecursiveError> {
+        if key_bytes == 0 || value_bytes == 0 || capacity == 0 || block_bytes == 0 {
+            return Err(ConfigError::Degenerate.into());
+        }
+
+        // Search the chain-length axis for the cheapest feasible slot
+        // format.  For C chain blocks the inline prefix must cover at least
+        // `V - C·B` bytes, so the minimal slot is fixed; packing more slots
+        // per block shrinks the bucket's block span G (ways are spread over
+        // `G = ceil(TARGET_WAYS / S)` blocks).  Cost per op = 4·G + C
+        // accesses (read+write both candidate buckets, C chain accesses).
+        let chain_max = value_bytes.div_ceil(block_bytes);
+        let mut best: Option<(usize, usize, usize, usize)> = None; // (cost, c, s, g)
+        for c in 0..=chain_max {
+            let covered = c.saturating_mul(block_bytes);
+            let inline_min = value_bytes.saturating_sub(covered);
+            let slot_min = SLOT_FIXED_META + 4 * c + key_bytes + inline_min;
+            if slot_min > block_bytes {
+                continue;
+            }
+            let s = block_bytes / slot_min;
+            let g = if s >= TARGET_WAYS {
+                1
+            } else {
+                TARGET_WAYS.div_ceil(s)
+            };
+            let cost = 4 * g + c;
+            let better = match best {
+                None => true,
+                Some((best_cost, best_c, ..)) => {
+                    cost < best_cost || (cost == best_cost && c < best_c)
+                }
+            };
+            if better {
+                best = Some((cost, c, s, g));
+            }
+        }
+        let Some((_, chain_blocks, slots_per_block, blocks_per_bucket)) = best else {
+            // Infeasible: pin the blame on the key or the value.  A slot
+            // needs at least the fixed meta + key + one chain entry; if
+            // that alone exceeds the block, no value could ever fit.
+            let key_budget = block_bytes.saturating_sub(SLOT_FIXED_META + 4);
+            if key_bytes > key_budget {
+                return Err(MapError::KeyTooLarge {
+                    len: key_bytes,
+                    max: key_budget,
+                }
+                .into());
+            }
+            // Otherwise the chain table for a value this large does not
+            // fit next to the key: the largest supportable value uses
+            // every spare slot byte as chain entries.
+            let chain_budget = (block_bytes - SLOT_FIXED_META - key_bytes) / 4;
+            let slack = block_bytes - SLOT_FIXED_META - key_bytes - 4 * chain_budget;
+            return Err(MapError::ValueTooLarge {
+                len: value_bytes,
+                max: chain_budget * block_bytes + slack,
+            }
+            .into());
+        };
+
+        // Re-expand the inline prefix to use the slot's whole stride: the
+        // minimal slot may leave slack once S slots are packed into the
+        // block, and free inline bytes shorten real chains for mid-size
+        // values at zero cost.
+        let slot_stride = block_bytes / slots_per_block;
+        let inline_bytes = slot_stride - SLOT_FIXED_META - 4 * chain_blocks - key_bytes;
+
+        let ways = slots_per_block * blocks_per_bucket;
+        let num_buckets = capacity
+            .saturating_mul(LOAD_HEADROOM_NUM)
+            .div_ceil(ways as u64 * LOAD_HEADROOM_DEN)
+            .max(2);
+
+        let default_overflow = capacity.saturating_mul(chain_blocks as u64);
+        let overflow_blocks = match overflow_override {
+            Some(_) if chain_blocks == 0 => 0,
+            Some(blocks) if blocks < chain_blocks as u64 => {
+                return Err(ConfigError::MapGeometry {
+                    detail: "overflow pool smaller than one worst-case value chain",
+                }
+                .into());
+            }
+            Some(blocks) => blocks,
+            None => default_overflow,
+        };
+        if overflow_blocks >= u64::from(CHAIN_NONE) {
+            return Err(ConfigError::MapGeometry {
+                detail: "overflow pool does not fit 32-bit chain indices",
+            }
+            .into());
+        }
+
+        let layout = MapLayout {
+            key_bytes,
+            value_bytes,
+            capacity,
+            block_bytes,
+            num_buckets,
+            slots_per_block,
+            blocks_per_bucket,
+            slot_stride,
+            inline_bytes,
+            chain_blocks,
+            overflow_blocks,
+        };
+        layout.validate()?;
+        Ok(layout)
+    }
+
+    /// Checks the structural invariants the access path relies on — run on
+    /// every snapshot resume so a corrupted or hand-edited geometry fails
+    /// loudly instead of indexing out of bounds.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError::MapGeometry`] naming the violated invariant.
+    pub fn validate(&self) -> Result<(), FreecursiveError> {
+        let fail = |detail: &'static str| -> Result<(), FreecursiveError> {
+            Err(ConfigError::MapGeometry { detail }.into())
+        };
+        if self.key_bytes == 0
+            || self.value_bytes == 0
+            || self.capacity == 0
+            || self.block_bytes == 0
+        {
+            return Err(ConfigError::Degenerate.into());
+        }
+        if self.slots_per_block == 0 || self.blocks_per_bucket == 0 {
+            return fail("bucket geometry has a zero dimension");
+        }
+        if self.slot_stride * self.slots_per_block > self.block_bytes {
+            return fail("slots overrun the block");
+        }
+        if self.slot_bytes() > self.slot_stride {
+            return fail("slot format overruns its stride");
+        }
+        if self.inline_bytes + self.chain_blocks * self.block_bytes < self.value_bytes {
+            return fail("inline prefix plus chain cannot hold a maximum value");
+        }
+        if self.num_buckets < 2 {
+            return fail("two-choice hashing needs at least two buckets");
+        }
+        if self.chain_blocks > 0 && self.overflow_blocks < self.chain_blocks as u64 {
+            return fail("overflow pool smaller than one worst-case value chain");
+        }
+        if self.chain_blocks == 0 && self.overflow_blocks != 0 {
+            return fail("overflow pool present but no slot can reference it");
+        }
+        if self.overflow_blocks >= u64::from(CHAIN_NONE) {
+            return fail("overflow pool does not fit 32-bit chain indices");
+        }
+        Ok(())
+    }
+
+    /// Occupied bytes of one slot (≤ [`MapLayout::slot_stride`]).
+    pub fn slot_bytes(&self) -> usize {
+        SLOT_FIXED_META + 4 * self.chain_blocks + self.key_bytes + self.inline_bytes
+    }
+
+    /// Slots per bucket (the associativity of the two-choice table).
+    pub fn ways(&self) -> usize {
+        self.slots_per_block * self.blocks_per_bucket
+    }
+
+    /// Total blocks the map needs from the backing ORAM.
+    pub fn total_blocks(&self) -> u64 {
+        self.num_buckets * self.blocks_per_bucket as u64 + self.overflow_blocks
+    }
+
+    /// First block address of the overflow region.
+    pub fn overflow_base(&self) -> u64 {
+        self.num_buckets * self.blocks_per_bucket as u64
+    }
+
+    /// ORAM block address of block `index` within `bucket`.
+    pub fn bucket_block_addr(&self, bucket: u64, index: usize) -> u64 {
+        bucket * self.blocks_per_bucket as u64 + index as u64
+    }
+
+    /// ORAM block address of overflow slot `index`.
+    pub fn overflow_addr(&self, index: u32) -> u64 {
+        self.overflow_base() + u64::from(index)
+    }
+
+    /// The fixed number of ORAM requests every map operation issues: read
+    /// and write both candidate buckets (`2 × 2 × blocks_per_bucket`) plus
+    /// [`MapLayout::chain_blocks`] overflow accesses (real or dummy).
+    pub fn accesses_per_op(&self) -> u64 {
+        4 * self.blocks_per_bucket as u64 + self.chain_blocks as u64
+    }
+
+    /// Overflow blocks a value of `val_len` bytes needs beyond the inline
+    /// prefix (always ≤ [`MapLayout::chain_blocks`] for valid lengths).
+    pub fn chain_needed(&self, val_len: usize) -> usize {
+        val_len
+            .saturating_sub(self.inline_bytes)
+            .div_ceil(self.block_bytes)
+    }
+
+    /// Byte offset of slot `way` inside a bucket image of
+    /// `blocks_per_bucket × block_bytes` bytes.
+    pub fn slot_offset(&self, way: usize) -> usize {
+        debug_assert!(way < self.ways());
+        (way / self.slots_per_block) * self.block_bytes
+            + (way % self.slots_per_block) * self.slot_stride
+    }
+
+    /// Slot tag byte ([`SLOT_EMPTY`] / [`SLOT_OCCUPIED`]).
+    pub fn slot_tag(&self, image: &[u8], way: usize) -> u8 {
+        image[self.slot_offset(way)]
+    }
+
+    /// Stored key length of slot `way`.
+    pub fn slot_key_len(&self, image: &[u8], way: usize) -> usize {
+        let o = self.slot_offset(way) + 1;
+        u16::from_le_bytes([image[o], image[o + 1]]) as usize
+    }
+
+    /// Stored value length of slot `way`.
+    pub fn slot_val_len(&self, image: &[u8], way: usize) -> usize {
+        let o = self.slot_offset(way) + 3;
+        u32::from_le_bytes([image[o], image[o + 1], image[o + 2], image[o + 3]]) as usize
+    }
+
+    /// Chain-table entry `index` of slot `way` ([`CHAIN_NONE`] when unused).
+    pub fn slot_chain(&self, image: &[u8], way: usize, index: usize) -> u32 {
+        debug_assert!(index < self.chain_blocks);
+        let o = self.slot_offset(way) + SLOT_FIXED_META + 4 * index;
+        u32::from_le_bytes([image[o], image[o + 1], image[o + 2], image[o + 3]])
+    }
+
+    /// The key bytes of slot `way` (only the stored `key_len` prefix).
+    pub fn slot_key<'a>(&self, image: &'a [u8], way: usize) -> &'a [u8] {
+        let o = self.slot_offset(way) + SLOT_FIXED_META + 4 * self.chain_blocks;
+        &image[o..o + self.slot_key_len(image, way)]
+    }
+
+    /// The full `key_bytes`-wide key span of slot `way`, zero padding
+    /// included — the fixed-width region constant-shape scans compare.
+    pub fn slot_key_span<'a>(&self, image: &'a [u8], way: usize) -> &'a [u8] {
+        let o = self.slot_offset(way) + SLOT_FIXED_META + 4 * self.chain_blocks;
+        &image[o..o + self.key_bytes]
+    }
+
+    /// The inline value prefix of slot `way` (full `inline_bytes` span).
+    pub fn slot_inline<'a>(&self, image: &'a [u8], way: usize) -> &'a [u8] {
+        let o = self.slot_offset(way) + SLOT_FIXED_META + 4 * self.chain_blocks + self.key_bytes;
+        &image[o..o + self.inline_bytes]
+    }
+
+    // lint: ct-scope, no-alloc
+    /// Serialises an occupied slot in place: key, value length, inline
+    /// prefix, and the chain table (`chain` entries then [`CHAIN_NONE`]
+    /// padding).  Every byte of the slot span is written — including zero
+    /// padding of the key and inline regions — so residue from a previous,
+    /// longer entry can never survive an overwrite.
+    pub fn write_slot(
+        &self,
+        image: &mut [u8],
+        way: usize,
+        probe_key: &[u8],
+        val_len: usize,
+        chain: &[u32],
+        inline: &[u8],
+    ) {
+        debug_assert!(probe_key.len() <= self.key_bytes);
+        debug_assert!(chain.len() <= self.chain_blocks);
+        debug_assert!(inline.len() <= self.inline_bytes);
+        let o = self.slot_offset(way);
+        image[o] = SLOT_OCCUPIED;
+        image[o + 1..o + 3].copy_from_slice(&(probe_key.len() as u16).to_le_bytes());
+        image[o + 3..o + 7].copy_from_slice(&(val_len as u32).to_le_bytes());
+        for index in 0..self.chain_blocks {
+            let entry = chain.get(index).copied().unwrap_or(CHAIN_NONE);
+            let at = o + SLOT_FIXED_META + 4 * index;
+            image[at..at + 4].copy_from_slice(&entry.to_le_bytes());
+        }
+        let key_at = o + SLOT_FIXED_META + 4 * self.chain_blocks;
+        image[key_at..key_at + probe_key.len()].copy_from_slice(probe_key);
+        image[key_at + probe_key.len()..key_at + self.key_bytes].fill(0);
+        let inline_at = key_at + self.key_bytes;
+        image[inline_at..inline_at + inline.len()].copy_from_slice(inline);
+        image[inline_at + inline.len()..inline_at + self.inline_bytes].fill(0);
+    }
+    // lint: end
+
+    /// Zeroes the whole slot span, returning it to [`SLOT_EMPTY`].
+    pub fn clear_slot(&self, image: &mut [u8], way: usize) {
+        let o = self.slot_offset(way);
+        image[o..o + self.slot_bytes()].fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout(k: usize, v: usize, cap: u64, b: usize) -> MapLayout {
+        MapLayout::derive(k, v, cap, b, None).expect("layout derives")
+    }
+
+    #[test]
+    fn tiny_values_need_no_chain() {
+        // 7 + 16 + 4 = 27-byte slots: 4 per 128-byte block, 1-block
+        // buckets — a chain entry would cost an access without shrinking
+        // the bucket, so the derivation stays chain-free.
+        let l = layout(16, 4, 100, 128);
+        assert_eq!(l.chain_blocks, 0);
+        assert_eq!(l.overflow_blocks, 0);
+        assert!(l.ways() >= 4);
+        assert!(l.inline_bytes >= 4);
+        assert_eq!(l.accesses_per_op(), 4 * l.blocks_per_bucket as u64);
+        l.validate().unwrap();
+    }
+
+    #[test]
+    fn chains_can_beat_inline_storage() {
+        // For a 24-byte value a chain entry (4 bytes) is cheaper slot
+        // space than the inline bytes it displaces: slots shrink from 47
+        // to 27 bytes, buckets from 2 blocks to 1, and the op cost from
+        // 8 accesses to 5 — the derivation picks the chained layout.
+        let l = layout(16, 24, 100, 128);
+        assert_eq!(l.chain_blocks, 1);
+        assert_eq!(l.blocks_per_bucket, 1);
+        assert_eq!(l.accesses_per_op(), 5);
+        l.validate().unwrap();
+    }
+
+    #[test]
+    fn oversized_values_get_chains_that_cover_them() {
+        let l = layout(24, 256, 1 << 10, 128);
+        assert!(l.chain_blocks > 0);
+        assert!(l.inline_bytes + l.chain_blocks * l.block_bytes >= 256);
+        assert_eq!(l.overflow_blocks, (1 << 10) * l.chain_blocks as u64);
+        assert_eq!(l.chain_needed(256), l.chain_blocks);
+        assert_eq!(l.chain_needed(l.inline_bytes), 0);
+        l.validate().unwrap();
+    }
+
+    #[test]
+    fn derivation_sweep_upholds_invariants() {
+        for k in [1usize, 8, 24, 40] {
+            for v in [1usize, 32, 100, 300, 1000] {
+                for b in [64usize, 128, 256, 1024] {
+                    match MapLayout::derive(k, v, 500, b, None) {
+                        Ok(l) => {
+                            l.validate().unwrap();
+                            assert!(l.slot_bytes() <= l.slot_stride, "{l:?}");
+                            assert!(l.ways() >= 1);
+                            assert!(
+                                l.num_buckets * l.ways() as u64 >= 500 * 4 / 3,
+                                "headroom {l:?}"
+                            );
+                        }
+                        Err(FreecursiveError::Map(
+                            MapError::KeyTooLarge { .. } | MapError::ValueTooLarge { .. },
+                        )) => {}
+                        Err(e) => panic!("unexpected derive error {e} for k={k} v={v} b={b}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_layouts_blame_the_right_knob() {
+        assert!(matches!(
+            MapLayout::derive(60, 8, 10, 64, None),
+            Err(FreecursiveError::Map(MapError::KeyTooLarge { .. }))
+        ));
+        // Key fits but the chain table for this value cannot.
+        assert!(matches!(
+            MapLayout::derive(40, 1 << 20, 10, 64, None),
+            Err(FreecursiveError::Map(MapError::ValueTooLarge { .. }))
+        ));
+        assert!(matches!(
+            MapLayout::derive(0, 8, 10, 64, None),
+            Err(FreecursiveError::Config(ConfigError::Degenerate))
+        ));
+        assert!(matches!(
+            MapLayout::derive(8, 0, 10, 64, None),
+            Err(FreecursiveError::Config(ConfigError::Degenerate))
+        ));
+        assert!(matches!(
+            MapLayout::derive(8, 8, 0, 64, None),
+            Err(FreecursiveError::Config(ConfigError::Degenerate))
+        ));
+    }
+
+    #[test]
+    fn overflow_override_is_validated() {
+        let base = layout(24, 256, 64, 128);
+        assert!(base.chain_blocks >= 1);
+        // Smaller-than-one-chain pools are rejected up front.
+        assert!(matches!(
+            MapLayout::derive(24, 256, 64, 128, Some(base.chain_blocks as u64 - 1)),
+            Err(FreecursiveError::Config(ConfigError::MapGeometry { .. }))
+        ));
+        // A tighter-than-default pool is honoured.
+        let tight = MapLayout::derive(24, 256, 64, 128, Some(base.chain_blocks as u64)).unwrap();
+        assert_eq!(tight.overflow_blocks, base.chain_blocks as u64);
+        // Chainless layouts ignore the override entirely.
+        let inline = MapLayout::derive(8, 8, 64, 128, Some(1 << 20)).unwrap();
+        assert_eq!(inline.overflow_blocks, 0);
+    }
+
+    #[test]
+    fn slot_codec_round_trips() {
+        let l = layout(24, 256, 64, 128);
+        let mut image = vec![0u8; l.blocks_per_bucket * l.block_bytes];
+        let chain = [7u32, 9];
+        let key = b"hello-world";
+        let inline = vec![0xAB; l.inline_bytes.min(3)];
+        for way in 0..l.ways() {
+            assert_eq!(l.slot_tag(&image, way), SLOT_EMPTY);
+            l.write_slot(
+                &mut image,
+                way,
+                key,
+                300,
+                &chain[..l.chain_blocks.min(2)],
+                &inline,
+            );
+            assert_eq!(l.slot_tag(&image, way), SLOT_OCCUPIED);
+            assert_eq!(l.slot_key(&image, way), key);
+            assert_eq!(l.slot_val_len(&image, way), 300);
+            assert_eq!(&l.slot_inline(&image, way)[..inline.len()], &inline[..]);
+            for (i, c) in chain[..l.chain_blocks.min(2)].iter().enumerate() {
+                assert_eq!(l.slot_chain(&image, way, i), *c);
+            }
+            for i in l.chain_blocks.min(2)..l.chain_blocks {
+                assert_eq!(l.slot_chain(&image, way, i), CHAIN_NONE);
+            }
+            l.clear_slot(&mut image, way);
+            assert_eq!(l.slot_tag(&image, way), SLOT_EMPTY);
+        }
+        // A shorter overwrite leaves no residue of the longer entry.
+        let long_inline = vec![0xFF; l.inline_bytes];
+        l.write_slot(
+            &mut image,
+            0,
+            b"a-much-longer-key-here!!",
+            10,
+            &[],
+            &long_inline,
+        );
+        l.write_slot(&mut image, 0, b"k", 1, &[], &[0x01]);
+        assert_eq!(l.slot_key(&image, 0), b"k");
+        let inline_span = l.slot_inline(&image, 0);
+        assert_eq!(inline_span[0], 0x01);
+        assert!(inline_span[1..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn addressing_partitions_the_space() {
+        let l = layout(24, 256, 100, 128);
+        assert_eq!(
+            l.overflow_base(),
+            l.num_buckets * l.blocks_per_bucket as u64
+        );
+        assert_eq!(l.total_blocks(), l.overflow_base() + l.overflow_blocks);
+        // Bucket block addresses tile [0, overflow_base) without overlap.
+        let last = l.bucket_block_addr(l.num_buckets - 1, l.blocks_per_bucket - 1);
+        assert_eq!(last + 1, l.overflow_base());
+        assert_eq!(l.overflow_addr(0), l.overflow_base());
+    }
+}

@@ -1,0 +1,76 @@
+//! # Oblivious key-value store
+//!
+//! An `ObliviousMap` maps variable-length byte keys to variable-length
+//! byte values on top of any [`freecursive::Oram`] implementation — the
+//! Freecursive frontend, the recursive baseline, sharded composites, the
+//! threaded service, over any storage tier.  The map hides everything the
+//! ORAM itself hides, plus the things a naive map layered on an ORAM
+//! would leak through its *request schedule*:
+//!
+//! - **Which operation ran.** Every `insert`, `get`, `remove`, and
+//!   `contains` issues exactly [`MapLayout::accesses_per_op`] ORAM
+//!   requests in the same read-then-write shape.
+//! - **Whether it hit.** Misses pad with dummy accesses to the same count.
+//! - **How big the value is.** Values longer than a slot's inline prefix
+//!   span a fixed-length chain of overflow blocks; shorter chains are
+//!   padded with dummy reads, so a 1-byte and a maximum-length value are
+//!   indistinguishable on the wire.
+//!
+//! Keys hash to two candidate buckets (two-choice hashing over
+//! multi-way buckets); both candidates are probed and written back on
+//! every operation, so the bucket choice itself never leaks.  See
+//! [`layout`] for the geometry and [`map`] for the schedule and the
+//! security caveats (notably: the backing frontend must not distinguish
+//! reads from writes on the wire — true of the Path ORAM backends).
+//!
+//! Construction goes through the workspace's one configuration path:
+//!
+//! ```
+//! use freecursive::{OramBuilder, SchemePoint};
+//! use omap::{BuildMap, MapConfig};
+//!
+//! # fn main() -> Result<(), freecursive::FreecursiveError> {
+//! let mut map = OramBuilder::for_scheme(SchemePoint::PicX32)
+//!     .block_bytes(128)
+//!     .build_map(&MapConfig::new(24, 256, 1 << 8))?;
+//!
+//! assert_eq!(map.insert(b"key", b"value")?, None);
+//! assert_eq!(map.get(b"key")?.as_deref(), Some(&b"value"[..]));
+//! assert!(map.contains(b"key")?);
+//! assert_eq!(map.remove(b"key")?.as_deref(), Some(&b"value"[..]));
+//! assert!(map.is_empty());
+//!
+//! // The schedule is fixed: 4 ops × accesses_per_op requests, exactly.
+//! assert_eq!(
+//!     map.stats().oram_requests,
+//!     4 * map.layout().accesses_per_op(),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Maps persist and resume with the same barrier semantics as the ORAMs
+//! beneath them: [`ObliviousMap::persist`] snapshots the backing ORAM and
+//! the map's trusted state side by side, [`ObliviousMap::resume`] rebuilds
+//! the pair and cross-checks them.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod layout;
+pub mod map;
+pub mod stats;
+
+pub use builder::{BuildMap, MapConfig};
+pub use layout::MapLayout;
+pub use map::ObliviousMap;
+pub use stats::MapStats;
+
+// The map is generic over `O: Oram` and `Oram: Send`, so maps are Send
+// whenever their backing instance is; pin the common instantiations down.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<ObliviousMap<Box<dyn freecursive::Oram>>>();
+    assert_send::<ObliviousMap<freecursive::OramClient>>();
+};

@@ -1,0 +1,44 @@
+//! Operation counters for the oblivious map.
+//!
+//! These count *logical* map operations and their outcomes in trusted
+//! client memory; the untrusted side only ever observes the fixed
+//! per-operation ORAM request schedule, so none of these counters is
+//! derivable from the access pattern.
+
+/// Counters accumulated by an [`crate::ObliviousMap`] since construction
+/// (or the last [`MapStats::reset`]).  All counters are monotonic `u64`s.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct MapStats {
+    /// Total operations that completed their padded access schedule
+    /// (including operations that then failed with `CapacityExhausted`).
+    pub ops: u64,
+    /// `insert` calls that completed their schedule.
+    pub inserts: u64,
+    /// `get` calls.
+    pub gets: u64,
+    /// `remove` calls.
+    pub removes: u64,
+    /// `contains` calls.
+    pub contains_ops: u64,
+    /// Lookups (`get`/`contains`/`remove`) that found the key.
+    pub hits: u64,
+    /// Lookups that did not find the key.
+    pub misses: u64,
+    /// Inserts that overwrote an existing entry.
+    pub replacements: u64,
+    /// Inserts rejected with `CapacityExhausted` (bucket pair or overflow
+    /// pool full) after completing their padded schedule.
+    pub capacity_failures: u64,
+    /// ORAM requests issued on behalf of map operations.  Always exactly
+    /// `ops × accesses_per_op()` — the access-count invariance tests pin
+    /// this equality down.
+    pub oram_requests: u64,
+}
+
+impl MapStats {
+    /// Zeroes every counter.
+    pub fn reset(&mut self) {
+        *self = MapStats::default();
+    }
+}
