@@ -43,11 +43,18 @@
 //! with that shard fails fast with [`FreecursiveError::Service`]: clients
 //! never hang on a dead worker, because a retired worker's channel
 //! disconnects (sends fail) and its dropped reply senders wake any waiter
-//! (receives fail).  There are no locks anywhere in the runtime, so there
-//! is no poisoning to handle beyond this.
+//! (receives fail).  Worker retirement is additionally published through a
+//! per-shard liveness table (cleared *before* the retirement is announced),
+//! which [`OramClient::submit`] pre-checks for every shard a batch touches
+//! before dispatching anything — so a cross-shard batch that would hit an
+//! already-dead shard fails *side-effect-free* instead of mutating the
+//! live shards first.  There are no locks anywhere in the runtime, so
+//! there is no poisoning to handle beyond this.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crate::error::FreecursiveError;
@@ -83,8 +90,17 @@ fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
 }
 
 /// The per-shard worker loop: owns the shard, serves jobs in order, retires
-/// on panic or shutdown.
-fn worker_loop(shard_index: usize, mut shard: Box<dyn Oram>, jobs: Receiver<Job>) {
+/// on panic or shutdown.  `alive` is this worker's slot in the service-wide
+/// liveness table; the worker clears it **before** announcing its
+/// retirement (panic reply, shutdown reply, or channel disconnect), so any
+/// client that has observed the retirement sees the flag down on its next
+/// [`OramClient::submit`] pre-check.
+fn worker_loop(
+    shard_index: usize,
+    mut shard: Box<dyn Oram>,
+    jobs: Receiver<Job>,
+    alive: &AtomicBool,
+) {
     while let Ok(job) = jobs.recv() {
         match job {
             Job::Batch { requests, reply } => {
@@ -96,15 +112,19 @@ fn worker_loop(shard_index: usize, mut shard: Box<dyn Oram>, jobs: Receiver<Job>
                         let _ = reply.send(result);
                     }
                     Err(payload) => {
+                        // The shard's state is suspect after an unwind
+                        // through its access path: retire.  Flag first,
+                        // reply second — a client holding this error must
+                        // deterministically fail the liveness pre-check on
+                        // its next submit.  Disconnecting the channel (the
+                        // return below) fails racing submissions too.
+                        alive.store(false, Ordering::Release);
                         let _ = reply.send(Err(FreecursiveError::Service {
                             detail: format!(
                                 "shard {shard_index} worker panicked: {}",
                                 panic_detail(payload.as_ref())
                             ),
                         }));
-                        // The shard's state is suspect after an unwind
-                        // through its access path: retire.  Disconnecting
-                        // the channel fails later submissions fast.
                         return;
                     }
                 }
@@ -114,11 +134,14 @@ fn worker_loop(shard_index: usize, mut shard: Box<dyn Oram>, jobs: Receiver<Job>
             }
             Job::ResetStats => shard.reset_stats(),
             Job::Shutdown { reply } => {
+                alive.store(false, Ordering::Release);
                 let _ = reply.send(shard);
                 return;
             }
         }
     }
+    // The service dropped every sender: an orderly teardown.
+    alive.store(false, Ordering::Release);
 }
 
 /// A dead-worker error for shard `shard`.
@@ -196,6 +219,12 @@ impl PendingBatch {
 #[derive(Debug, Clone)]
 pub struct OramClient {
     senders: Vec<Sender<Job>>,
+    /// One liveness flag per worker, shared with the worker threads: `true`
+    /// until the worker retires (panic or shutdown).  [`OramClient::submit`]
+    /// pre-checks every shard a batch touches against this table before
+    /// dispatching anything, so a batch that would hit an already-dead
+    /// shard fails without mutating the live ones.
+    alive: Arc<[AtomicBool]>,
     router: ShardRouter,
     /// Snapshot filled by [`OramClient::fetch_stats`]; what [`Oram::stats`]
     /// returns between fetches.
@@ -213,37 +242,65 @@ impl OramClient {
         self.senders.len()
     }
 
+    /// Whether `shard`'s worker was still serving at the last announcement
+    /// it made: `false` once the worker has panicked or been shut down.  A
+    /// `true` is inherently a snapshot — the worker can die right after —
+    /// but a `false` is final (retired workers never come back).
+    pub fn is_worker_live(&self, shard: usize) -> bool {
+        self.alive[shard].load(Ordering::Acquire)
+    }
+
     /// Submits a batch without waiting: the batch is validated, split by
-    /// shard, and fanned out to every worker it touches; the returned
-    /// [`PendingBatch`] collects the responses.  Workers on different
-    /// shards execute their sub-batches in parallel.
+    /// shard, staged, and only then fanned out to every worker it touches;
+    /// the returned [`PendingBatch`] collects the responses.  Workers on
+    /// different shards execute their sub-batches in parallel.
     ///
     /// # Errors
     ///
     /// [`FreecursiveError::Batch`] (with the global index) if a request is
     /// malformed — validation runs before anything is sent, so nothing is
     /// submitted.  [`FreecursiveError::Service`] if a touched worker is
-    /// gone — and since the fan-out sends shard by shard, sub-batches
-    /// already handed to *earlier, live* shards still execute (their
-    /// receipts are dropped with the error).  A `Service` error therefore
-    /// means "state on the surviving shards may have changed", never
-    /// "state unchanged"; there is no pre-send liveness check because it
-    /// would be inherently racy against a worker dying mid-fan-out.
+    /// gone.  Liveness is pre-checked for *every* touched shard after
+    /// staging and before the first send — the same
+    /// validate-before-dispatch discipline [`ShardRouter::partition`]
+    /// applies to malformed requests — so a batch that routes to a shard
+    /// whose death has already been announced (its panic reply was
+    /// delivered, or the service shut down) fails side-effect-free: no
+    /// sub-batch reaches any worker.  The one remaining window is a worker
+    /// dying *concurrently with this very fan-out*, where the send to the
+    /// freshly-dead worker fails after earlier live shards were already
+    /// fed; that error means "state on the surviving shards may have
+    /// changed" and the detail string says so.
     pub fn submit(&self, requests: Vec<Request>) -> Result<PendingBatch, FreecursiveError> {
         let total = requests.len();
         let PartitionedBatch { per_shard, plan } = self.router.partition(requests)?;
-        let mut receipts = Vec::new();
-        for (shard, sub_batch) in per_shard.into_iter().enumerate() {
-            if sub_batch.is_empty() {
-                continue;
+        // Stage first: everything fallible about the batch itself has
+        // already run (partition validated every request), so after the
+        // liveness pre-check below the only thing left to do is send.
+        let staged: Vec<(usize, Vec<Request>)> = per_shard
+            .into_iter()
+            .enumerate()
+            .filter(|(_, sub_batch)| !sub_batch.is_empty())
+            .collect();
+        for (shard, _) in &staged {
+            if !self.is_worker_live(*shard) {
+                return Err(worker_gone(*shard));
             }
+        }
+        let mut receipts = Vec::with_capacity(staged.len());
+        for (shard, sub_batch) in staged {
             let (reply, receiver) = std::sync::mpsc::channel();
             self.senders[shard]
                 .send(Job::Batch {
                     requests: sub_batch,
                     reply,
                 })
-                .map_err(|_| worker_gone(shard))?;
+                .map_err(|_| FreecursiveError::Service {
+                    detail: format!(
+                        "shard {shard} worker died during fan-out; sub-batches already \
+                         dispatched to earlier shards still execute"
+                    ),
+                })?;
             receipts.push((shard, receiver));
         }
         Ok(PendingBatch {
@@ -352,14 +409,16 @@ impl OramService {
     /// As for [`crate::ShardedOram::new`].
     pub fn from_shards(shards: Vec<Box<dyn Oram>>) -> Result<Self, FreecursiveError> {
         let router = validate_shard_geometry(&shards)?;
+        let alive: Arc<[AtomicBool]> = (0..shards.len()).map(|_| AtomicBool::new(true)).collect();
         let mut handles = Vec::with_capacity(shards.len());
         let mut senders = Vec::with_capacity(shards.len());
         for (shard_index, shard) in shards.into_iter().enumerate() {
             let (sender, receiver) = std::sync::mpsc::channel();
+            let table = Arc::clone(&alive);
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("oram-shard-{shard_index}"))
-                    .spawn(move || worker_loop(shard_index, shard, receiver))
+                    .spawn(move || worker_loop(shard_index, shard, receiver, &table[shard_index]))
                     .map_err(|e| FreecursiveError::Service {
                         detail: format!("failed to spawn shard {shard_index} worker: {e}"),
                     })?,
@@ -370,6 +429,7 @@ impl OramService {
             handles,
             client: OramClient {
                 senders,
+                alive,
                 router,
                 cached_stats: FrontendStats::default(),
             },

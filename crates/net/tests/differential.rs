@@ -1,0 +1,228 @@
+//! Differential check: the TCP path is a transparent wrapper.
+//!
+//! Two identically-seeded ORAM services run side by side — one behind a
+//! [`NetServer`] driven through [`NetClient`] over a real socket, one
+//! driven directly through the in-process `OramClient`.  The same seeded
+//! mixed workload (reads, writes, read-removes, batches) goes to both;
+//! every response must be byte-identical.  Any framing, translation, or
+//! ordering bug in the network layer shows up as a divergence here.
+
+use freecursive::{Oram, OramBuilder, OramService, Request, SchemePoint};
+use oram_net::{NetClient, NetServer, ServerConfig, WireOp, WireResult};
+
+const BLOCK_BYTES: usize = 32;
+const BLOCKS: u64 = 128;
+const SEED: u64 = 0xD1FF_0001;
+const STEPS: usize = 400;
+
+fn build_service() -> OramService {
+    // A real (PLB-enabled) scheme, small enough for the test budget: the
+    // wire layer must be transparent over the production stack, not just
+    // the insecure baseline.
+    OramBuilder::for_scheme(SchemePoint::PicX32)
+        .num_blocks(BLOCKS)
+        .block_bytes(BLOCK_BYTES)
+        .shards(2)
+        .seed(SEED)
+        .build_service()
+        .expect("service")
+}
+
+/// Deterministic xorshift stream driving both sides identically.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    fn addr(&mut self) -> u64 {
+        self.next() % BLOCKS
+    }
+
+    fn block(&mut self) -> Vec<u8> {
+        let mut data = Vec::with_capacity(BLOCK_BYTES);
+        while data.len() < BLOCK_BYTES {
+            data.extend_from_slice(&self.next().to_le_bytes());
+        }
+        data.truncate(BLOCK_BYTES);
+        data
+    }
+}
+
+/// One scripted step, applied identically to both sides.
+enum Step {
+    Read(u64),
+    Write(u64, Vec<u8>),
+    ReadRemove(u64),
+    Batch(Vec<WireOp>),
+}
+
+fn script() -> Vec<Step> {
+    let mut g = Gen(0xACE5_5EED);
+    let mut steps = Vec::with_capacity(STEPS);
+    for _ in 0..STEPS {
+        steps.push(match g.next() % 10 {
+            0..=3 => Step::Read(g.addr()),
+            4..=6 => Step::Write(g.addr(), g.block()),
+            7 => Step::ReadRemove(g.addr()),
+            _ => {
+                let len = 1 + usize::try_from(g.next() % 8).expect("small");
+                let items = (0..len)
+                    .map(|_| match g.next() % 3 {
+                        0 => WireOp::Read { addr: g.addr() },
+                        1 => WireOp::Write {
+                            addr: g.addr(),
+                            data: g.block(),
+                        },
+                        _ => WireOp::ReadRemove { addr: g.addr() },
+                    })
+                    .collect();
+                Step::Batch(items)
+            }
+        });
+    }
+    steps
+}
+
+#[test]
+fn tcp_responses_are_byte_identical_to_in_process_responses() {
+    // Side A: service behind TCP, one tenant covering every block, so
+    // tenant-relative and global addresses coincide.
+    let server = NetServer::spawn(
+        build_service(),
+        ServerConfig::single_tenant(BLOCKS, 1024),
+        "127.0.0.1:0",
+    )
+    .expect("spawn");
+    let mut tcp = NetClient::connect(server.local_addr(), "default").expect("connect");
+
+    // Side B: the same service driven in-process.
+    let reference_service = build_service();
+    let mut reference = reference_service.client();
+
+    for (step_index, step) in script().into_iter().enumerate() {
+        match step {
+            Step::Read(addr) => {
+                let over_tcp = tcp.read(addr).expect("tcp read");
+                let direct = reference
+                    .access(Request::Read { addr })
+                    .expect("direct read")
+                    .data
+                    .expect("reads carry data");
+                assert_eq!(over_tcp, direct, "step {step_index}: read {addr} diverged");
+            }
+            Step::Write(addr, data) => {
+                tcp.write(addr, data.clone()).expect("tcp write");
+                let direct = reference
+                    .access(Request::Write { addr, data })
+                    .expect("direct write");
+                assert_eq!(direct.data, None, "writes return no data");
+            }
+            Step::ReadRemove(addr) => {
+                let over_tcp = tcp.read_remove(addr).expect("tcp read_remove");
+                let direct = reference
+                    .access(Request::ReadRemove { addr })
+                    .expect("direct read_remove")
+                    .data
+                    .expect("read_removes carry data");
+                assert_eq!(
+                    over_tcp, direct,
+                    "step {step_index}: read_remove {addr} diverged"
+                );
+            }
+            Step::Batch(items) => {
+                let requests: Vec<Request> = items
+                    .iter()
+                    .map(|op| match op {
+                        WireOp::Read { addr } => Request::Read { addr: *addr },
+                        WireOp::Write { addr, data } => Request::Write {
+                            addr: *addr,
+                            data: data.clone(),
+                        },
+                        WireOp::ReadRemove { addr } => Request::ReadRemove { addr: *addr },
+                    })
+                    .collect();
+                let over_tcp = tcp.batch(items).expect("tcp batch");
+                let direct = reference
+                    .access_batch_owned(requests)
+                    .expect("direct batch");
+                assert_eq!(over_tcp.len(), direct.len());
+                for (item_index, (wire, response)) in over_tcp.iter().zip(direct.iter()).enumerate()
+                {
+                    match (wire, &response.data) {
+                        (WireResult::Data(a), Some(b)) => assert_eq!(
+                            a, b,
+                            "step {step_index} item {item_index}: batch data diverged"
+                        ),
+                        (WireResult::Done, None) => {}
+                        (wire, direct) => panic!(
+                            "step {step_index} item {item_index}: \
+                             shape mismatch {wire:?} vs {direct:?}"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+
+    assert_eq!(server.panic_count(), 0);
+    server.shutdown().expect("clean shutdown");
+}
+
+#[test]
+fn tenant_offset_translation_is_transparent() {
+    // Side A: two tenants; "beta" starts at global base 32.  Side B: the
+    // raw service addressed globally.  Writing beta-relative addr k must
+    // land exactly at global 32 + k.
+    let server = NetServer::spawn(
+        build_service(),
+        ServerConfig {
+            tenants: vec![
+                oram_net::TenantSpec {
+                    name: "alpha".to_string(),
+                    blocks: 32,
+                },
+                oram_net::TenantSpec {
+                    name: "beta".to_string(),
+                    blocks: 64,
+                },
+            ],
+            max_inflight: 256,
+        },
+        "127.0.0.1:0",
+    )
+    .expect("spawn");
+    let mut beta = NetClient::connect(server.local_addr(), "beta").expect("connect");
+
+    let reference_service = build_service();
+    let mut reference = reference_service.client();
+
+    let mut g = Gen(42);
+    for _ in 0..32 {
+        let addr = g.next() % 64;
+        let data = g.block();
+        beta.write(addr, data.clone()).expect("tcp write");
+        reference
+            .access(Request::Write {
+                addr: 32 + addr,
+                data,
+            })
+            .expect("direct write");
+    }
+    for addr in 0..64 {
+        let over_tcp = beta.read(addr).expect("tcp read");
+        let direct = reference
+            .access(Request::Read { addr: 32 + addr })
+            .expect("direct read")
+            .data
+            .expect("reads carry data");
+        assert_eq!(over_tcp, direct, "beta-relative {addr} diverged");
+    }
+
+    assert_eq!(server.panic_count(), 0);
+    server.shutdown().expect("clean shutdown");
+}

@@ -97,20 +97,65 @@ pub enum Durability {
 }
 
 impl Durability {
+    /// Parses an `ORAM_DURABILITY`-style selector: `none` (or empty)
+    /// selects [`Durability::None`], `strict` selects
+    /// [`Durability::Strict`], `batch:<n>` (with `n ≥ 1`) selects
+    /// [`Durability::Batch`].  Matching is ASCII-case-insensitive.
+    ///
+    /// # Errors
+    ///
+    /// [`OramError::Storage`] for any other value — an unrecognised
+    /// selector is a configuration mistake and must fail loudly, not fall
+    /// back to the unlogged mode and silently un-protect exactly the data
+    /// the operator asked to protect (the same contract as
+    /// [`crate::StorageKind::parse`]).
+    pub fn parse(value: &str) -> Result<Durability, OramError> {
+        let v = value.trim();
+        if v.is_empty() || v.eq_ignore_ascii_case("none") {
+            Ok(Durability::None)
+        } else if v.eq_ignore_ascii_case("strict") {
+            Ok(Durability::Strict)
+        } else if v
+            .as_bytes()
+            .get(..6)
+            .is_some_and(|p| p.eq_ignore_ascii_case(b"batch:"))
+        {
+            let n = &v[6..];
+            match n.trim().parse::<u32>() {
+                Ok(n) if n >= 1 => Ok(Durability::Batch(n)),
+                _ => Err(OramError::Storage {
+                    detail: format!(
+                        "invalid ORAM_DURABILITY batch interval {n:?}: expected an \
+                         integer >= 1, as in \"batch:64\""
+                    ),
+                }),
+            }
+        } else {
+            Err(OramError::Storage {
+                detail: format!(
+                    "unknown ORAM_DURABILITY value {value:?}: expected \"none\", \
+                     \"strict\" or \"batch:<n>\""
+                ),
+            })
+        }
+    }
+
     /// Resolves the ambient default: `ORAM_DURABILITY=strict` or
     /// `ORAM_DURABILITY=batch:<n>` turn the WAL on for every constructed
     /// instance (the crash-recovery CI leg's hook, mirroring
-    /// [`crate::StorageKind::from_env`]); anything else resolves to
+    /// [`crate::StorageKind::from_env`]); unset selects
     /// [`Durability::None`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognised `ORAM_DURABILITY` value (see
+    /// [`Durability::parse`]): an operator who typed `stric` or
+    /// `batch:abc` asked for durability and must not silently run
+    /// without it.
     pub fn from_env() -> Durability {
         match std::env::var("ORAM_DURABILITY") {
-            Ok(v) if v.eq_ignore_ascii_case("strict") => Durability::Strict,
-            Ok(v) => v
-                .to_ascii_lowercase()
-                .strip_prefix("batch:")
-                .and_then(|n| n.parse().ok())
-                .map_or(Durability::None, Durability::Batch),
-            _ => Durability::None,
+            Ok(v) => Durability::parse(&v).unwrap_or_else(|e| panic!("{e}")),
+            Err(_) => Durability::None,
         }
     }
 
@@ -856,5 +901,49 @@ mod tests {
         assert_eq!(format!("{}", Durability::Batch(8)), "batch:8");
         assert!(!Durability::None.is_logged());
         assert!(Durability::Strict.is_logged());
+    }
+
+    #[test]
+    fn durability_parse_accepts_every_documented_selector() {
+        assert_eq!(Durability::parse("").unwrap(), Durability::None);
+        assert_eq!(Durability::parse("  none ").unwrap(), Durability::None);
+        assert_eq!(Durability::parse("NONE").unwrap(), Durability::None);
+        assert_eq!(Durability::parse("strict").unwrap(), Durability::Strict);
+        assert_eq!(Durability::parse("STRICT").unwrap(), Durability::Strict);
+        assert_eq!(Durability::parse("batch:1").unwrap(), Durability::Batch(1));
+        assert_eq!(
+            Durability::parse("batch:64").unwrap(),
+            Durability::Batch(64)
+        );
+        assert_eq!(
+            Durability::parse("Batch: 8 ").unwrap(),
+            Durability::Batch(8)
+        );
+    }
+
+    #[test]
+    fn durability_parse_rejects_typos_instead_of_silently_unprotecting() {
+        // The silent-fallback shape this regression test pins down: every
+        // one of these used to resolve to `Durability::None`, running the
+        // operator's workload without the WAL they asked for.
+        for typo in [
+            "stric",      // the classic one-character slip
+            "strictt",    // trailing garbage
+            "batch",      // missing interval separator
+            "batch:",     // missing interval
+            "batch:abc",  // non-numeric interval
+            "batch:0",    // an fsync-every-0-records log is meaningless
+            "batch:-1",   // negative interval
+            "batch:1e3",  // no float/scientific intervals
+            "everything", // plain nonsense
+            "böse",       // non-ASCII must error, not panic on slicing
+        ] {
+            let err = Durability::parse(typo).unwrap_err();
+            assert!(
+                matches!(err, OramError::Storage { .. }),
+                "{typo:?} -> {err:?}"
+            );
+            assert!(err.to_string().contains("ORAM_DURABILITY"), "{typo:?}");
+        }
     }
 }

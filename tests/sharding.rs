@@ -301,3 +301,85 @@ fn a_panicking_worker_yields_service_errors_not_deadlocks() {
         Err(FreecursiveError::Service { .. })
     ));
 }
+
+/// A cross-shard batch that routes to an already-dead shard fails
+/// *side-effect-free*: `submit` pre-checks worker liveness for every shard
+/// the batch touches before dispatching anything, matching
+/// `ShardRouter::partition`'s validate-before-dispatch discipline.  (Before
+/// this check, the fan-out fed earlier live shards first and only then hit
+/// the dead worker's disconnected channel, leaving the live shards mutated
+/// by a failed submit.)
+#[test]
+fn submit_to_a_dead_shard_leaves_live_shards_untouched() {
+    // Shard 0 is rigged to blow up at intra-shard address 3 (global 6);
+    // shard 1 is healthy.
+    let shards: Vec<Box<dyn Oram>> = vec![
+        Box::new(PanickingOram::new(8, 3)),
+        Box::new(PanickingOram::new(8, u64::MAX)),
+    ];
+    let service = OramService::from_shards(shards).unwrap();
+    let mut client = service.client();
+
+    // Seed a known value on the healthy shard (global 1 -> shard 1).
+    client.write(1, &[0xAAu8; BLOCK]).unwrap();
+    assert!(client.is_worker_live(0) && client.is_worker_live(1));
+
+    // Kill shard 0's worker.  Once the panic error has been delivered, the
+    // liveness table is guaranteed to show the retirement (the worker
+    // clears its flag before sending the reply).
+    let err = client.read(6).unwrap_err();
+    assert!(matches!(err, FreecursiveError::Service { .. }), "{err:?}");
+    assert!(!client.is_worker_live(0));
+    assert!(client.is_worker_live(1));
+
+    // A batch touching BOTH shards — with the shard-1 writes *first* in
+    // batch order — must fail without executing anything anywhere.
+    let err = client
+        .submit(vec![
+            Request::Write {
+                addr: 1, // shard 1: would overwrite the seeded value
+                data: vec![0xBBu8; BLOCK],
+            },
+            Request::ReadRemove { addr: 3 }, // shard 1: would zero the block
+            Request::Read { addr: 0 },       // shard 0: dead
+        ])
+        .unwrap_err();
+    assert!(matches!(err, FreecursiveError::Service { .. }), "{err:?}");
+
+    // The healthy shard neither saw the write nor the read-remove.
+    assert_eq!(client.read(1).unwrap(), vec![0xAAu8; BLOCK]);
+    // Shutdown still reports the casualty.
+    assert!(matches!(
+        service.shutdown(),
+        Err(FreecursiveError::Service { .. })
+    ));
+}
+
+/// The liveness pre-check only fires for shards the batch actually
+/// touches: single-shard batches to healthy shards keep working after
+/// another shard dies, and an all-live batch still round-trips.
+#[test]
+fn liveness_precheck_scopes_to_touched_shards() {
+    let shards: Vec<Box<dyn Oram>> = vec![
+        Box::new(PanickingOram::new(8, 0)), // dies on its first access
+        Box::new(PanickingOram::new(8, u64::MAX)),
+    ];
+    let service = OramService::from_shards(shards).unwrap();
+    let mut client = service.client();
+    assert!(client.read(0).is_err()); // kill shard 0
+    for round in 0..3u8 {
+        // Shard-1-only batches must not be blocked by shard 0's corpse.
+        let responses = client
+            .submit(vec![
+                Request::Write {
+                    addr: 1,
+                    data: vec![round; BLOCK],
+                },
+                Request::Read { addr: 1 },
+            ])
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(responses[1].data(), Some(&[round; BLOCK][..]));
+    }
+}
